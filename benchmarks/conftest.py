@@ -1,0 +1,21 @@
+"""Benchmark-suite plumbing.
+
+pytest captures output at the file-descriptor level, which would swallow
+the paper-style tables the figure benchmarks print (they are the whole
+point of ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``).
+This conftest hands the capture manager to ``_shared.print_table`` so it
+can suspend capture around each table.
+"""
+
+import pytest
+
+from benchmarks import _shared
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _expose_capture_manager(request):
+    _shared.CAPTURE_MANAGER = request.config.pluginmanager.getplugin(
+        "capturemanager"
+    )
+    yield
+    _shared.CAPTURE_MANAGER = None

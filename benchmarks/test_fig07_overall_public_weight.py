@@ -1,0 +1,83 @@
+"""Fig. 7 — overall speedup, private image & public weights.
+
+Paper shape: ZENO beats Arkworks on every network, up to 8.5x, with larger
+networks gaining more (quadratic -> linear circuit computation).  The
+paper's per-model speedups (derived from Table 5) are printed alongside
+the measured ones.
+"""
+
+import pytest
+
+from repro.nn.models import MODEL_ORDER
+from benchmarks._shared import (
+    EVAL_SCALE,
+    baseline_summary,
+    fmt,
+    print_table,
+    zeno_summary,
+)
+
+# Arkworks/ZENO latency ratios from Table 5 of the paper.
+PAPER_SPEEDUP = {
+    "SHAL": 2.4,
+    "LCS": 2.3,
+    "LCL": 7.8,
+    "VGG16": 8.3,
+    "RES18": 8.1,
+    "RES50": 8.0,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        abbr: (baseline_summary(abbr), zeno_summary(abbr))
+        for abbr in MODEL_ORDER
+    }
+
+
+def test_fig07_overall_speedup(results, benchmark):
+    # Benchmark target: the full ZENO compilation of LCL (largest full model).
+    from repro.core.compiler import ZenoCompiler, zeno_options
+    from repro.nn.data import synthetic_images
+    from repro.nn.models import build_model
+
+    model = build_model("LCL", scale="mini")
+    image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+    benchmark.pedantic(
+        lambda: ZenoCompiler(zeno_options()).compile_model(model, image),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    speedups = {}
+    for abbr in MODEL_ORDER:
+        base, zeno = results[abbr]
+        speedup = base.end_to_end() / zeno.end_to_end()
+        speedups[abbr] = speedup
+        rows.append(
+            [
+                f"{abbr} ({EVAL_SCALE[abbr]})",
+                fmt(base.end_to_end(), 3),
+                fmt(zeno.end_to_end(), 3),
+                fmt(speedup) + "x",
+                fmt(PAPER_SPEEDUP[abbr], 1) + "x",
+            ]
+        )
+    print_table(
+        "Fig. 7: overall speedup — private image & public weights",
+        ["model", "arkworks (s)", "zeno (s)", "speedup", "paper"],
+        rows,
+    )
+
+    # ZENO wins on every network.
+    assert all(s > 1.0 for s in speedups.values()), speedups
+    # Within the same family and scale, the larger network gains more
+    # (LeNet pair at full scale) — the paper's size trend.  The absolute
+    # dynamic range (paper: 2.4x-8.5x) is compressed here because the
+    # deepest networks run at reduced scale; see EXPERIMENTS.md.
+    assert speedups["LCS"] < speedups["LCL"]
+    assert speedups["LCS"] < speedups["VGG16"]
+    # Order-of-magnitude agreement with the paper's headline (up to 8.5x).
+    assert 1.5 < max(speedups.values()) < 80.0

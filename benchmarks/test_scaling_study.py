@@ -1,0 +1,72 @@
+"""Scaling study: how ZENO's advantages grow with model scale.
+
+Not a paper figure, but the evidence behind EXPERIMENTS.md's scale
+discussion: the same network family at micro/mini/full scale shows the
+circuit-computation speedup and the knit saving growing with size, which
+is why the reduced-scale ResNets in Fig. 7 understate the paper's
+full-scale speedups.
+"""
+
+import pytest
+
+from benchmarks._shared import fmt, print_table
+
+SCALES = ["micro", "mini", "full"]
+MODEL = "LCL"
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from benchmarks._shared import compile_summary
+    from repro.core.compiler import arkworks_options, zeno_options
+
+    out = {}
+    for scale in SCALES:
+        base = compile_summary(MODEL, arkworks_options(), scale=scale)
+        zeno = compile_summary(MODEL, zeno_options(), scale=scale)
+        out[scale] = (base, zeno)
+    return out
+
+
+def test_scaling_study(sweep, benchmark):
+    from benchmarks._shared import compile_summary
+    from repro.core.compiler import zeno_options
+
+    benchmark.pedantic(
+        lambda: compile_summary(MODEL, zeno_options(), scale="micro"),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    cc_speedups = []
+    e2e_speedups = []
+    for scale in SCALES:
+        base, zeno = sweep[scale]
+        cc = base.circuit_seq_time / zeno.circuit_par_time
+        e2e = base.end_to_end() / zeno.end_to_end()
+        cc_speedups.append(cc)
+        e2e_speedups.append(e2e)
+        rows.append(
+            [
+                scale,
+                base.num_gates,
+                base.num_constraints,
+                fmt(cc, 1) + "x",
+                fmt(e2e) + "x",
+            ]
+        )
+    print_table(
+        f"Scaling study ({MODEL} at micro/mini/full)",
+        ["scale", "base gates", "base m", "circuit-comp speedup", "e2e speedup"],
+        rows,
+    )
+
+    # Circuit-computation speedup grows monotonically with scale — the
+    # O(n^2) vs O(n) gap widens with dot length.
+    assert cc_speedups[0] < cc_speedups[-1]
+    # End-to-end speedup at full scale beats micro scale.
+    assert e2e_speedups[-1] > e2e_speedups[0]
+    # Gate counts really do span the scales.
+    gates = [sweep[s][0].num_gates for s in SCALES]
+    assert gates[0] < gates[1] < gates[2]

@@ -1,0 +1,51 @@
+"""Table 4 — the evaluation networks and their #FLOPs inventory.
+
+Reproduces the table's rows with the *measured* FLOP counts of our
+reconstructions next to the paper's reported values (accuracy cannot be
+measured without the real datasets/training and is reproduced as reported
+metadata — see DESIGN.md "Substitutions").
+"""
+
+from repro.nn.models import MODEL_ORDER, build_model, model_table
+from benchmarks._shared import print_table
+
+
+def test_table4_model_inventory(benchmark):
+    rows_data = benchmark.pedantic(model_table, rounds=1, iterations=1)
+
+    rows = []
+    for row in rows_data:
+        rows.append(
+            [
+                row["network"],
+                row["abbr"],
+                row["layers"],
+                f"{row['flops_k']:,}",
+                f"{row['paper_flops_k']:,}",
+                row["paper_accuracy"],
+            ]
+        )
+    print_table(
+        "Table 4: neural networks for evaluation",
+        ["network", "abbr", "layers", "#FLOPs(K) measured", "#FLOPs(K) paper",
+         "acc.% (paper)"],
+        rows,
+    )
+
+    by_abbr = {r["abbr"]: r for r in rows_data}
+    # Every reconstruction lands within 2x of the paper's FLOP count.
+    for abbr in MODEL_ORDER:
+        ratio = by_abbr[abbr]["flops_k"] / by_abbr[abbr]["paper_flops_k"]
+        assert 0.5 < ratio < 2.0, (abbr, ratio)
+    # Size ordering matches the table.
+    flops = [by_abbr[a]["flops_k"] for a in MODEL_ORDER]
+    assert flops[0] == min(flops)
+    assert flops.index(max(flops)) >= 4  # RES18 or RES50 is largest
+
+    # The mini/micro variants used by heavy benchmarks preserve ordering
+    # within each family.
+    for abbr in MODEL_ORDER:
+        full = build_model(abbr, scale="full").total_flops()
+        mini = build_model(abbr, scale="mini").total_flops()
+        micro = build_model(abbr, scale="micro").total_flops()
+        assert micro < mini < full, abbr

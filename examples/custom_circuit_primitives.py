@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Building custom zkSNARK computations from the §3 tensor primitives.
+
+Not every zkSNARK workload is a standard NN: this example assembles a
+residual block with user-defined scaling (``mulTensor`` / ``addTensor``,
+the primitives the paper provides "to facilitate user-defined NN
+operations such as residual connection") and proves it end-to-end — once
+with the paper's lean gadget accounting and once with fully sound strict
+range gadgets.
+
+Run:
+    python examples/custom_circuit_primitives.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ZenoCompiler, zeno_options
+from repro.core.lang.primitives import ProgramBuilder
+
+
+def main() -> int:
+    rng = np.random.default_rng(11)
+    x = rng.integers(0, 32, (2, 6, 6)).astype(np.int64)
+
+    builder = ProgramBuilder("residual-demo", x)
+    # Main branch: conv -> relu.
+    trunk = builder.convolution(
+        rng.integers(-5, 6, (2, 2, 3, 3)).astype(np.int64),
+        padding=1,
+        requant=5,
+    )
+    trunk = builder.relu()
+    # Skip branch: user-defined channel scaling of the input.
+    skip = builder.mul_tensor(
+        np.array(2, dtype=np.int64), requant=1, src="__input__"
+    )
+    # Residual join, then a pooled classifier head.
+    joined = builder.add_tensor(trunk, skip, requant=1)
+    builder.pool(2)
+    builder.flatten()
+    flat = builder.program.ops[-1].out_values.size
+    builder.fully_connected(rng.integers(-5, 6, (4, flat)).astype(np.int64))
+    program = builder.build()
+
+    print(f"program: {program}")
+    print(f"output logits: {program.final_logits().tolist()}")
+
+    for mode in ("lean", "strict"):
+        compiler = ZenoCompiler(zeno_options(gadget_mode=mode, fusion=False))
+        artifact = compiler.compile_program(program)
+        report = compiler.prove(artifact)
+        stats = artifact.compute.gadget_stats
+        print(
+            f"[{mode:6s}] constraints={artifact.num_constraints:5d} "
+            f"(equality={stats.equality_constraints}, "
+            f"relu={stats.relu_constraints}, range={stats.range_constraints}) "
+            f"verified={report.verified}"
+        )
+        assert report.verified
+    print(
+        "\nstrict mode pays booleanity/range constraints for full"
+        " soundness; lean mode matches the paper's constraint accounting."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""World-ID-style access control: prove identity without revealing the image.
+
+The paper's motivating deployment (§1, §8): a door-lock system runs a
+*public* face-recognition network; a user proves "the public network maps
+my (private) face image to identity k" without ever sending the image.
+
+This example plays both roles:
+
+* **prover (user device)** — runs the quantized NN on the private image,
+  compiles the ZENO circuit, and produces a Groth16 proof whose only public
+  values are the logits;
+* **verifier (door lock)**  — holds the verifying key, checks the proof
+  and that the claimed logits select the enrolled identity.
+
+A replay of another user's proof with a different claim is shown to fail.
+
+Run:
+    python examples/face_id_access_control.py
+"""
+
+import random
+import sys
+
+import numpy as np
+
+from repro import SimulatedBackend, ZenoCompiler, build_model, zeno_options
+from repro.nn.data import synthetic_images
+from repro.snark import groth16
+
+
+def enroll(model, image, backend):
+    """Door-lock setup: compile the circuit once, publish the verifying key."""
+    compiler = ZenoCompiler(zeno_options())
+    artifact = compiler.compile_model(model, image)
+    setup = groth16.setup(artifact.cs, backend, random.Random(2024))
+    return compiler, setup
+
+
+def prove_identity(compiler, model, image, proving_key, backend):
+    """User side: fresh compile of the same circuit on the private image."""
+    artifact = compiler.compile_model(model, image)
+    proof = groth16.prove(proving_key, artifact.cs, backend)
+    claim = artifact.public_inputs()  # logits only — the image stays local
+    identity = int(np.argmax(artifact.public_outputs_signed()))
+    return proof, claim, identity
+
+
+def main() -> int:
+    backend = SimulatedBackend()
+    model = build_model("SHAL", scale="mini")  # the public face network
+
+    # Two users with private biometric images (synthetic stand-ins).
+    alice_img = synthetic_images(model.input_shape, n=1, seed=1)[0]
+    mallory_img = synthetic_images(model.input_shape, n=1, seed=99)[0]
+
+    compiler, setup = enroll(model, alice_img, backend)
+    pk, vk = setup.proving_key, setup.verifying_key
+
+    # -- Alice proves her identity -------------------------------------------
+    proof, claim, identity = prove_identity(
+        compiler, model, alice_img, pk, backend
+    )
+    accepted = groth16.verify(vk, claim, proof, backend)
+    print(f"alice: claimed identity {identity}, proof accepted: {accepted}")
+    assert accepted
+
+    # -- Mallory proves *her own* image (fine) -------------------------------
+    m_proof, m_claim, m_identity = prove_identity(
+        compiler, model, mallory_img, pk, backend
+    )
+    assert groth16.verify(vk, m_claim, m_proof, backend)
+    print(f"mallory: claimed identity {m_identity}, proof accepted: True")
+
+    # -- Mallory replays her proof against Alice's claim: rejected ------------
+    if m_claim != claim:
+        replay = groth16.verify(vk, claim, m_proof, backend)
+        print(f"mallory replaying alice's claim: accepted: {replay}")
+        assert not replay
+
+    # -- A forged claim (wrong logits) is rejected ----------------------------
+    forged = list(claim)
+    forged[0] = (forged[0] + 1) % 21888242871839275222246405745257275088548364400416034343698204186575808495617
+    assert not groth16.verify(vk, forged, proof, backend)
+    print("forged logit claim: accepted: False")
+
+    print(
+        f"\nproof size: {proof.size_bytes()} bytes — the image "
+        f"({int(np.prod(model.input_shape))} pixels) never left the device."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Leela-vs-the-World style: prove a private model's move (§2.2, §8).
+
+An AI game service keeps its network weights secret (they are the product)
+but must convince players that each move really came from the advertised
+model.  Privacy setting: **private weights, private input** — every scalar
+product costs a constraint (Eq. 2), the expensive regime of Fig. 8.
+
+The "board" is a small feature plane and the "move" is the argmax logit;
+the proof shows the committed network produced that move without revealing
+a single weight.
+
+Run:
+    python examples/leela_move_proof.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PrivacySetting, ZenoCompiler, arkworks_options, zeno_options
+from repro.core.lang.primitives import ProgramBuilder
+from repro.core.lang.types import Privacy
+
+
+def build_policy_program(board: np.ndarray, rng: np.random.Generator):
+    """A tiny conv policy head recorded via the §3 tensor primitives."""
+    builder = ProgramBuilder(
+        "leela-policy",
+        board,
+        image_privacy=Privacy.PRIVATE,
+        weights_privacy=Privacy.PRIVATE,
+    )
+    builder.convolution(
+        rng.integers(-7, 8, (4, 2, 3, 3)).astype(np.int64), requant=3
+    )
+    builder.relu()
+    builder.pool(2)
+    builder.flatten()
+    flat = builder.program.ops[-1].out_values.size
+    builder.fully_connected(rng.integers(-7, 8, (9, flat)).astype(np.int64))
+    return builder.build()
+
+
+def main() -> int:
+    rng = np.random.default_rng(5)
+    board = rng.integers(0, 4, (2, 8, 8)).astype(np.int64)  # encoded position
+
+    program = build_policy_program(board, rng)
+    move = int(np.argmax(program.final_logits()))
+    print(f"model chose move {move} (logits {program.final_logits().tolist()})")
+
+    privacy = PrivacySetting.PRIVATE_IMAGE_PRIVATE_WEIGHTS
+    compiler = ZenoCompiler(zeno_options(privacy, fusion=False))
+    artifact = compiler.compile_program(program)
+    print(
+        f"both-private circuit: {artifact.num_constraints} constraints "
+        f"(Eq. 2 charges every scalar product), "
+        f"{artifact.num_variables} variables"
+    )
+
+    report = compiler.prove(artifact)
+    assert report.verified
+    print(f"move proof verified: {report.verified}")
+
+    # Contrast with the one-private setting (public weights): Eq. 3.
+    open_program = build_policy_program(board, np.random.default_rng(5))
+    open_compiler = ZenoCompiler(
+        zeno_options(
+            PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS, fusion=False
+        )
+    )
+    # Rebuild with public weights for the comparison.
+    open_program.weights_privacy = Privacy.PUBLIC
+    for op in open_program.dot_ops():
+        op.weights_private = False
+    open_artifact = open_compiler.compile_program(open_program)
+    print(
+        f"\nsame network with public weights: {open_artifact.num_constraints} "
+        f"constraints — privacy of the weights costs "
+        f"{artifact.num_constraints / open_artifact.num_constraints:.1f}x "
+        f"more constraints (the Fig. 7 vs Fig. 8 gap)"
+    )
+
+    # Baseline IR comparison for the both-private case.
+    base = ZenoCompiler(arkworks_options(privacy)).compile_program(
+        build_policy_program(board, np.random.default_rng(5))
+    )
+    print(
+        f"baseline arithmetic circuit: {base.generate.num_gates} gates vs "
+        f"ZENO {artifact.generate.num_gates} "
+        f"({base.compute.wall_time / max(artifact.circuit_time, 1e-9):.1f}x "
+        f"circuit-computation speedup)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Command-line interface: compile, prove, verify, and inspect zkSNARK NNs.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli models                      # Table 4 inventory
+    python -m repro.cli compile --model LCS         # circuit statistics
+    python -m repro.cli prove --model SHAL --scale mini --out proof.bin
+    python -m repro.cli verify --proof proof.bin ... (see prove output)
+    python -m repro.cli compare --model LCL         # arkworks vs ZENO
+
+``prove`` writes the serialized proof plus a JSON claim file; ``verify``
+replays Groth16 verification against them.  The trusted setup is
+re-derived from the deterministic seed recorded in the claim, standing in
+for CRS distribution (a real deployment ships the verifying key instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compiler import (
+    PrivacySetting,
+    ZenoCompiler,
+    arkworks_options,
+    zeno_options,
+)
+from repro.nn.data import synthetic_images
+from repro.nn.models import MODEL_ORDER, build_model, model_table
+from repro.snark import groth16
+from repro.snark.serialize import deserialize_proof, serialize_proof
+
+PRIVACY_CHOICES = {
+    "one-private": PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS,
+    "both-private": PrivacySetting.PRIVATE_IMAGE_PRIVATE_WEIGHTS,
+}
+
+
+def _build_artifact(args):
+    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
+    options = zeno_options(PRIVACY_CHOICES[args.privacy])
+    if args.gadgets:
+        options.gadget_mode = args.gadgets
+    compiler = ZenoCompiler(options)
+    return model, image, compiler, compiler.compile_model(model, image)
+
+
+def cmd_models(args) -> int:
+    print(f"{'abbr':7s}{'network':18s}{'layers':>7s}{'#FLOPs(K)':>11s}"
+          f"{'paper(K)':>10s}")
+    for row in model_table(scale=args.scale):
+        print(
+            f"{row['abbr']:7s}{row['network']:18s}{row['layers']:>7d}"
+            f"{row['flops_k']:>11,}{row['paper_flops_k']:>10,}"
+        )
+    return 0
+
+
+def cmd_compile(args) -> int:
+    _, _, compiler, artifact = _build_artifact(args)
+    report = compiler.report(artifact)
+    print(report.summary())
+    if artifact.compute.knit_constraints:
+        saving = artifact.compute.knit_expressions / artifact.compute.knit_constraints
+        print(f"  knit packing: {saving:.1f} equality checks per constraint")
+    if args.detail:
+        from repro.core.inspect import format_layer_table
+
+        print()
+        print(format_layer_table(artifact))
+    return 0
+
+
+def cmd_prove(args) -> int:
+    model, image, compiler, artifact = _build_artifact(args)
+    start = time.perf_counter()
+    setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
+    proof = groth16.prove(setup.proving_key, artifact.cs)
+    elapsed = time.perf_counter() - start
+    assert groth16.verify(
+        setup.verifying_key, artifact.public_inputs(), proof
+    ), "self-check failed"
+
+    out = Path(args.out)
+    out.write_bytes(serialize_proof(proof))
+    claim = {
+        "model": args.model,
+        "scale": args.scale,
+        "seed": args.seed,
+        "image_seed": args.image_seed,
+        "privacy": args.privacy,
+        "gadgets": args.gadgets or "lean",
+        "crs_seed": args.crs_seed,
+        "public_inputs": [str(v) for v in artifact.public_inputs()],
+        "logits": artifact.public_outputs_signed(),
+    }
+    claim_path = out.with_suffix(out.suffix + ".claim.json")
+    claim_path.write_text(json.dumps(claim, indent=2))
+    print(f"prediction: class {int(np.argmax(claim['logits']))}")
+    print(f"proof:  {out} ({out.stat().st_size} bytes)")
+    print(f"claim:  {claim_path}")
+    print(f"proved m={artifact.num_constraints} constraints in {elapsed:.2f}s")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    proof = deserialize_proof(Path(args.proof).read_bytes())
+    claim = json.loads(Path(args.claim).read_text())
+
+    # Rebuild the circuit (the verifier knows the public model) and re-derive
+    # the CRS from the recorded seed.
+    ns = argparse.Namespace(
+        model=claim["model"],
+        scale=claim["scale"],
+        seed=claim["seed"],
+        image_seed=claim["image_seed"],
+        privacy=claim["privacy"],
+        gadgets=claim["gadgets"],
+    )
+    _, _, _, artifact = _build_artifact(ns)
+    setup = groth16.setup(artifact.cs, rng=random.Random(claim["crs_seed"]))
+    ok = groth16.verify(
+        setup.verifying_key, [int(v) for v in claim["public_inputs"]], proof
+    )
+    print(f"verification: {'ACCEPTED' if ok else 'REJECTED'}")
+    return 0 if ok else 1
+
+
+def cmd_compare(args) -> int:
+    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
+    privacy = PRIVACY_CHOICES[args.privacy]
+    reports = {}
+    for options in (arkworks_options(privacy), zeno_options(privacy)):
+        compiler = ZenoCompiler(options)
+        artifact = compiler.compile_model(model, image)
+        reports[options.name] = compiler.report(artifact)
+        print(reports[options.name].summary())
+        print()
+    speedup = reports["zeno"].speedup_over(reports["arkworks"])
+    print(f"end-to-end ZENO speedup: {speedup:.2f}x")
+    return 0
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="LCS", choices=MODEL_ORDER)
+    parser.add_argument("--scale", default="mini",
+                        choices=["full", "mini", "micro"])
+    parser.add_argument("--seed", type=int, default=0, help="weight seed")
+    parser.add_argument("--image-seed", type=int, default=42)
+    parser.add_argument(
+        "--privacy", default="one-private", choices=sorted(PRIVACY_CHOICES)
+    )
+    parser.add_argument("--gadgets", choices=["lean", "strict"], default=None)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_models = sub.add_parser("models", help="list the Table 4 networks")
+    p_models.add_argument("--scale", default="full",
+                          choices=["full", "mini", "micro"])
+    p_models.set_defaults(func=cmd_models)
+
+    p_compile = sub.add_parser("compile", help="compile and print statistics")
+    _common(p_compile)
+    p_compile.add_argument(
+        "--detail", action="store_true", help="per-layer constraint table"
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_prove = sub.add_parser("prove", help="generate a Groth16 proof")
+    _common(p_prove)
+    p_prove.add_argument("--out", default="proof.bin")
+    p_prove.add_argument("--crs-seed", type=int, default=2024)
+    p_prove.set_defaults(func=cmd_prove)
+
+    p_verify = sub.add_parser("verify", help="verify a serialized proof")
+    p_verify.add_argument("--proof", required=True)
+    p_verify.add_argument("--claim", required=True)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_compare = sub.add_parser("compare", help="arkworks vs ZENO profiles")
+    _common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""ZENO core: the paper's primary contribution.
+
+Subpackages map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.lang`     — §3  ZENO language construct (types + primitives)
+* :mod:`repro.core.circuit`  — §5.1 circuit IRs (baseline arithmetic vs ZENO)
+* :mod:`repro.core.privacy`  — §4  privacy-adaptive generation + knit encoding
+* :mod:`repro.core.schedule` — §5.2 workload-specialized parallel scheduler
+* :mod:`repro.core.reuse`    — §6.1 cache service + batch constraint sharing
+* :mod:`repro.core.fusion`   — §6.2 zkSNARK-aware NN fusion
+* :mod:`repro.core.compiler` — the end-to-end driver with optimization toggles
+"""
+
+from repro.core.compiler import (
+    CompilerOptions,
+    PrivacySetting,
+    ZenoCompiler,
+    arkworks_options,
+    zeno_options,
+)
+from repro.core.pipeline import PhaseReport, ProveReport
+
+__all__ = [
+    "CompilerOptions",
+    "PrivacySetting",
+    "ZenoCompiler",
+    "arkworks_options",
+    "zeno_options",
+    "PhaseReport",
+    "ProveReport",
+]

@@ -1,0 +1,665 @@
+"""The circuit-computation phase: program -> gates -> constraint system.
+
+This module implements both halves of §2.1's pipeline front end under one
+driver:
+
+* :meth:`CircuitComputer.generate` — the **Generate** phase (arithmetic
+  function -> circuit), per IR;
+* :meth:`CircuitComputer.compute`  — the **Circuit Computation** phase
+  (circuit -> constraints), per IR, with the privacy-adaptive rules of
+  §4.1, optional knit packing (§4.2), the frequency cache (§6.1), and
+  per-layer work accounting consumed by the parallel scheduler (§5.2).
+
+The baseline path deliberately reproduces the O(n^2) recursive LC
+expansion of scalar-gate frameworks (left-deep merge of binary addition
+gates); the ZENO path builds each dot product's LC in a single O(n) pass.
+Both emit *identical* constraint semantics — a property under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.circuit.gadgets import GadgetEmitter, GadgetStats
+from repro.core.circuit.gates import (
+    BaselineLayerCircuit,
+    ZenoLayerCircuit,
+    generate_baseline,
+    generate_zeno,
+)
+from repro.core.lang.program import (
+    AddOp,
+    DotLayerOp,
+    EwiseAffineOp,
+    FlattenOp,
+    MaxPoolOp,
+    ReluOp,
+    ZkProgram,
+)
+from repro.core.lang.types import Privacy
+from repro.core.lang.zktensor import ZkTensor
+from repro.core.privacy.knit import KnitPacker, expression_bits
+from repro.field.counters import global_counter
+from repro.nn.graph import INPUT
+from repro.r1cs.lc import LinearCombination
+from repro.r1cs.system import ConstraintSystem
+
+
+@dataclass
+class ComputeOptions:
+    """Optimization toggles for one compilation."""
+
+    zeno_circuit: bool = True
+    knit: bool = True
+    knit_batch: Optional[int] = None  # None = paper's auto selection
+    # §4.1 privacy-adaptive circuit generation.  When False (the Arkworks
+    # baseline), the compiler "ignores privacy type of input data and
+    # generates constraints for each multiplication": public weights are
+    # still committed as private variables and every scalar product costs a
+    # constraint (Eq. 2), exactly as the paper describes the naive path.
+    privacy_adaptive: bool = True
+    cache: Optional["CacheService"] = None  # repro.core.reuse.cache.CacheService
+    gadget_mode: str = "lean"
+    field_bits: int = 254
+    relu_bits: int = 16
+    record_recipe: bool = False  # log witness recipe for batch sharing (§6.1)
+
+
+@dataclass
+class LayerWork:
+    """Scheduler-facing record of one layer's circuit-computation work."""
+
+    name: str
+    kind: str  # "conv" | "fc" | "pool" | "relu" | "bn" | "add"
+    num_units: int  # independent work items (dots or elements)
+    work_units: int  # total LC-term operations
+    wall_time: float
+    constraints: int
+
+
+@dataclass
+class GenerateResult:
+    """Output of the Generate phase."""
+
+    circuits: Dict[str, object]
+    num_mul_gates: int = 0
+    num_add_gates: int = 0
+    critical_path: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def num_gates(self) -> int:
+        return self.num_mul_gates + self.num_add_gates
+
+
+@dataclass
+class ComputeResult:
+    """Output of the Circuit Computation phase."""
+
+    cs: ConstraintSystem
+    layer_work: List[LayerWork] = field(default_factory=list)
+    gadget_stats: GadgetStats = None
+    knit_constraints: int = 0
+    knit_expressions: int = 0
+    lc_terms: int = 0
+    wall_time: float = 0.0
+    recipe: Optional[list] = None  # (var, descriptor) witness log
+
+    @property
+    def num_constraints(self) -> int:
+        return self.cs.num_constraints
+
+
+class CircuitComputer:
+    """Drives one program through Generate and Circuit Computation."""
+
+    def __init__(self, program: ZkProgram, options: Optional[ComputeOptions] = None):
+        self.program = program
+        self.options = options or ComputeOptions()
+        self.generated: Optional[GenerateResult] = None
+        self._recipe: Optional[list] = None
+        self._weight_var_cache: Dict[str, np.ndarray] = {}
+
+    # -- phase 1: Generate -------------------------------------------------------
+
+    def generate(self) -> GenerateResult:
+        opts = self.options
+        start = time.perf_counter()
+        result = GenerateResult(circuits={})
+        for op in self.program.ops:
+            if isinstance(op, DotLayerOp):
+                circuit = (
+                    generate_zeno(op) if opts.zeno_circuit else generate_baseline(op)
+                )
+                result.circuits[op.name] = circuit
+                result.num_mul_gates += circuit.num_mul_gates
+                result.num_add_gates += circuit.num_add_gates
+                result.critical_path = max(result.critical_path, circuit.critical_path)
+            elif isinstance(op, MaxPoolOp):
+                # One comparison gate per non-first window element.
+                result.num_add_gates += op.num_windows * (op.window_size - 1)
+            elif isinstance(op, (ReluOp, AddOp, EwiseAffineOp)):
+                size = int(op.out_values.size)
+                result.num_add_gates += size  # one elementwise gate each
+        result.wall_time = time.perf_counter() - start
+        self.generated = result
+        return result
+
+    # -- phase 2: Circuit Computation ------------------------------------------------
+
+    def compute(self) -> ComputeResult:
+        if self.generated is None:
+            self.generate()
+        opts = self.options
+        program = self.program
+        start = time.perf_counter()
+        terms_before = global_counter().lc_term
+
+        cs = ConstraintSystem(name=program.name)
+        one_private = (
+            program.image_privacy.is_private
+            and not program.weights_privacy.is_private
+        )
+        knit = (
+            KnitPacker(
+                cs,
+                batch_size=opts.knit_batch,
+                field_bits=opts.field_bits,
+                cache=opts.cache,
+                tag=program.name,
+            )
+            if (opts.knit and one_private)
+            else None
+        )
+        recipe: Optional[list] = [] if opts.record_recipe else None
+        self._recipe = recipe
+        self._weight_var_cache = {}
+        emitter = GadgetEmitter(
+            cs, mode=opts.gadget_mode, knit=knit, recipe=recipe
+        )
+
+        env: Dict[str, ZkTensor] = {INPUT: self._input_tensor(cs, program)}
+        result = ComputeResult(cs=cs, gadget_stats=emitter.stats, recipe=recipe)
+
+        for op in program.ops:
+            layer_start = time.perf_counter()
+            constraints_before = cs.num_constraints
+            if isinstance(op, DotLayerOp):
+                work, units = self._compute_dot(cs, emitter, env, op)
+                kind = op.layer_kind
+            elif isinstance(op, ReluOp):
+                work, units = self._compute_relu(cs, emitter, env, op)
+                kind = "relu"
+            elif isinstance(op, MaxPoolOp):
+                work, units = self._compute_maxpool(cs, emitter, env, op)
+                kind = "maxpool"
+            elif isinstance(op, EwiseAffineOp):
+                work, units = self._compute_affine(cs, emitter, env, op)
+                kind = "bn"
+            elif isinstance(op, AddOp):
+                work, units = self._compute_add(cs, emitter, env, op)
+                kind = "add"
+            elif isinstance(op, FlattenOp):
+                src = env[op.inputs[0]]
+                env[op.output] = src.reshaped((src.values.size,))
+                continue
+            else:
+                raise TypeError(f"no circuit computation for {type(op).__name__}")
+            if knit is not None:
+                knit.flush()  # never pack across layers (per-layer bounds)
+            cs.mark_layer(op.name, constraints_before)
+            result.layer_work.append(
+                LayerWork(
+                    name=op.name,
+                    kind=kind,
+                    num_units=units,
+                    work_units=work,
+                    wall_time=time.perf_counter() - layer_start,
+                    constraints=cs.num_constraints - constraints_before,
+                )
+            )
+
+        if knit is not None:
+            knit.flush()
+            result.knit_constraints = knit.constraints_emitted
+            result.knit_expressions = knit.expressions_packed
+        result.lc_terms = global_counter().lc_term - terms_before
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    # -- inputs ------------------------------------------------------------------------
+
+    def _input_tensor(self, cs: ConstraintSystem, program: ZkProgram) -> ZkTensor:
+        values = program.input_values
+        if program.image_privacy.is_private:
+            flat = values.reshape(-1)
+            indices = np.empty(flat.size, dtype=np.int64)
+            for pos, v in enumerate(flat):
+                var = cs.new_private(int(v))
+                indices[pos] = var
+                if self._recipe is not None:
+                    self._recipe.append((var, ("image", pos)))
+            indices = indices.reshape(values.shape)
+            return ZkTensor(
+                values, Privacy.PRIVATE, stage="input", var_indices=indices,
+                name="image",
+            )
+        return ZkTensor.public(values, name="image")
+
+    # -- dot layers ---------------------------------------------------------------------
+
+    def _compute_dot(self, cs, emitter, env, op: DotLayerOp):
+        x_tensor = env[op.inputs[0]]
+        is_final = op.name == self.program.output_name
+        n = op.dot_length
+        slot_bits = expression_bits(n)
+        circuit = self.generated.circuits[op.name]
+
+        # Without privacy-adaptive generation (§4.1), every multiplication
+        # involving a private value is charged a constraint — except pool
+        # layers, whose ones-vector taps are additions even in the baseline
+        # (Table 3's pool row has zero wires).
+        naive_products = (
+            not self.options.privacy_adaptive
+            and op.layer_kind != "pool"
+            and x_tensor.is_private
+        )
+        if (op.weights_private or naive_products) and x_tensor.is_private:
+            out_vars, work = self._dot_both_private(cs, emitter, op, x_tensor, is_final)
+        elif op.weights_private:
+            out_vars, work = self._dot_private_weights(
+                cs, emitter, op, x_tensor, slot_bits, is_final
+            )
+        else:
+            if isinstance(circuit, ZenoLayerCircuit):
+                out_vars, work = self._dot_zeno(
+                    cs, emitter, op, x_tensor, slot_bits, is_final
+                )
+            else:
+                out_vars, work = self._dot_baseline(
+                    cs, emitter, circuit, op, x_tensor, slot_bits, is_final
+                )
+
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+        return work, op.num_dots
+
+    def _dot_zeno(self, cs, emitter, op, x_tensor, slot_bits, is_final):
+        """ZENO circuit computation: one O(n) pass per dot (§5.1)."""
+        x_vars = x_tensor.flat_vars()
+        weight_rows = op.weight_rows
+        input_cols = op.input_cols
+        bias = op.bias
+        acc_values = op.acc_values
+        p = cs.field.modulus
+        counter = global_counter()
+        out_vars = []
+        work = 0
+        # Coefficients live in canonical field form (negative weights map to
+        # large residues), as in any real Fr implementation — this is what
+        # makes coefficient products λ-bit multiplications the cache service
+        # targets (§6.1).  Canonicalize each distinct weight row once.
+        canon_rows = [[int(w) % p for w in row] for row in weight_rows.tolist()]
+        # Tensor semantics let the whole dot product lower in one vectorized
+        # pass: positions within one dot are distinct input taps, so the
+        # term map is a straight zip — no merging, O(n) total (Table 3).
+        for d in range(op.num_dots):
+            r = int(op.row_of_dot[d])
+            row = weight_rows[r]
+            canon = canon_rows[r]
+            positions = input_cols[:, op.col_of_dot[d]]
+            valid = (positions > 0) & (row != 0)
+            vars_d = x_vars[positions[valid] - 1]
+            idx = np.nonzero(valid)[0].tolist()
+            terms = dict(zip(vars_d.tolist(), (canon[i] for i in idx)))
+            b = int(bias[r])
+            if b:
+                terms[0] = (terms.get(0, 0) + b) % p
+            lc = LinearCombination(cs.field, terms)
+            counter.lc_term += len(lc.terms)
+            work += len(row)
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(acc_values[d]),
+                    op.requant,
+                    slot_bits,
+                    public=is_final,
+                    tag=op.name,
+                    index=d,
+                )
+            )
+        return out_vars, work
+
+    def _dot_baseline(self, cs, emitter, circuit, op, x_tensor, slot_bits, is_final):
+        """Baseline circuit computation: left-deep binary-add expansion.
+
+        Each addition gate merges its children's expanded term lists — the
+        O(n^2) recursive expansion of §5.1.  Term lists stay plain Python
+        lists so the copying cost is the real, measured cost.
+        """
+        x_vars = x_tensor.flat_vars()
+        acc_values = op.acc_values
+        bias = op.bias
+        p = cs.field.modulus
+        counter = global_counter()
+        out_vars = []
+        work = 0
+        x_pos = circuit.x_pos
+        coeff = circuit.coeff
+        for d in range(op.num_dots):
+            positions = x_pos[d].tolist()
+            weights = coeff[d].tolist()
+            expanded: list = []
+            for pos, w in zip(positions, weights):
+                if pos and w:
+                    term = (int(x_vars[pos - 1]), w)
+                    # Binary addition gate: merge (copy) the expanded LCs.
+                    expanded = expanded + [term]
+                    work += len(expanded)
+                else:
+                    expanded = list(expanded)  # zero operand still merges
+                    work += len(expanded) + 1
+            counter.lc_term += len(expanded)
+            terms: dict = {}
+            for var, w in expanded:
+                prev = terms.get(var)
+                terms[var] = w if prev is None else prev + w
+            b = int(bias[op.row_of_dot[d]])
+            if b:
+                terms[0] = terms.get(0, 0) + b
+            lc = LinearCombination(cs.field, {v: c % p for v, c in terms.items()})
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(acc_values[d]),
+                    op.requant,
+                    slot_bits,
+                    public=is_final,
+                    tag=op.name,
+                    index=d,
+                )
+            )
+        return out_vars, work
+
+    def _dot_private_weights(self, cs, emitter, op, x_tensor, slot_bits, is_final):
+        """Private weights, public features: Eq. 3 with roles swapped.
+
+        Feature values become the public coefficients; weight variables are
+        allocated once per layer and shared across all dots that reuse the
+        same weight row (conv weight sharing).
+        """
+        w_vars = self._weight_vars(cs, op)
+        x_values = x_tensor.flat_values()
+        out_vars = []
+        work = 0
+        counter = global_counter()
+        for d in range(op.num_dots):
+            r = int(op.row_of_dot[d])
+            positions = op.input_cols[:, op.col_of_dot[d]]
+            row_vars = w_vars[r]
+            valid = positions > 0
+            x_d = x_values[positions[valid] - 1]
+            nonzero = x_d != 0
+            # Distinct weight variables per tap: a straight zip suffices.
+            terms = dict(
+                zip(row_vars[valid][nonzero].tolist(), x_d[nonzero].tolist())
+            )
+            b = int(op.bias[r])
+            if b:
+                terms[0] = terms.get(0, 0) + b
+            lc = LinearCombination(cs.field, terms)
+            counter.lc_term += len(lc.terms)
+            work += len(positions)
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(op.acc_values[d]),
+                    op.requant,
+                    slot_bits,
+                    public=is_final,
+                    tag=op.name,
+                    index=d,
+                )
+            )
+        return out_vars, work
+
+    def _dot_both_private(self, cs, emitter, op, x_tensor, is_final):
+        """Both private: Eq. 2 — one constraint per scalar product."""
+        w_vars = self._weight_vars(cs, op)
+        x_vars = x_tensor.flat_vars()
+        out_vars = []
+        work = 0
+        for d in range(op.num_dots):
+            r = int(op.row_of_dot[d])
+            positions = op.input_cols[:, op.col_of_dot[d]].tolist()
+            row_vars = w_vars[r]
+            row_w = op.weight_rows[r]
+            lc = cs.lc()
+            for i, pos in enumerate(positions):
+                if not pos:
+                    continue
+                w = int(row_w[i])
+                if not w:
+                    continue
+                wire = cs.mul_private(
+                    int(x_vars[pos - 1]), int(row_vars[i]), tag=f"{op.name}/mul"
+                )
+                if self._recipe is not None:
+                    self._recipe.append((wire, ("dot_wire", op.name, d, i)))
+                lc.add_term(wire, 1)
+                work += 1
+            b = int(op.bias[r])
+            if b:
+                lc.add_term(0, b)
+            # Knit is inapplicable here (Table 2): plain equality check.
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(op.acc_values[d]),
+                    op.requant,
+                    expression_bits(op.dot_length),
+                    public=is_final,
+                    tag=op.name,
+                    index=d,
+                )
+            )
+        return out_vars, work
+
+    def _weight_vars(self, cs, op: DotLayerOp) -> np.ndarray:
+        """Allocate (once per compilation) the layer's weight variables.
+
+        Cached per-compute (never on the shared op object — a program may
+        be compiled into several constraint systems).
+        """
+        cached = self._weight_var_cache.get(op.name)
+        if cached is not None:
+            return cached
+        rows, n = op.weight_rows.shape
+        flat = op.weight_rows.reshape(-1)
+        w_vars = np.empty(flat.size, dtype=np.int64)
+        for j, v in enumerate(flat):
+            var = cs.new_private(int(v))
+            w_vars[j] = var
+            if self._recipe is not None:
+                self._recipe.append((var, ("const", int(v))))
+        w_vars = w_vars.reshape(rows, n)
+        self._weight_var_cache[op.name] = w_vars
+        return w_vars
+
+    # -- elementwise layers -----------------------------------------------------------------
+
+    def _compute_relu(self, cs, emitter, env, op: ReluOp):
+        x = env[op.inputs[0]]
+        if not x.is_private:
+            raise ValueError(f"relu input {op.inputs[0]!r} must be private")
+        x_vars = x.flat_vars()
+        in_values = op.in_values
+        out_vars = [
+            emitter.relu(int(v), int(val), bits=op.bits, tag=op.name, index=i)
+            for i, (v, val) in enumerate(zip(x_vars.tolist(), in_values.tolist()))
+        ]
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+        return len(out_vars), len(out_vars)
+
+    def _compute_maxpool(self, cs, emitter, env, op: MaxPoolOp):
+        """Window maxima via chained ``max(a,b) = a + relu(b - a)`` gadgets.
+
+        Each window costs ``k - 1`` comparison selects plus one equality
+        binding the final maximum LC to a committed output wire — the
+        "higher cost" pooling the paper contrasts with average pooling.
+        """
+        x = env[op.inputs[0]]
+        if not x.is_private:
+            raise ValueError(f"maxpool input {op.inputs[0]!r} must be private")
+        x_vars = x.flat_vars()
+        in_values = op.in_values
+        is_final = op.name == self.program.output_name
+        out_vars = []
+        work = 0
+        for w in range(op.num_windows):
+            taps = op.window_positions[:, w]
+            first = int(taps[0]) - 1
+            cur_lc = cs.lc_variable(int(x_vars[first]))
+            cur_val = int(in_values[first])
+            for tap in taps[1:]:
+                idx = int(tap) - 1
+                tap_val = int(in_values[idx])
+                diff_lc = cs.lc_variable(int(x_vars[idx])) - cur_lc
+                r_var = emitter.relu_lc(
+                    diff_lc, tap_val - cur_val, bits=op.bits, tag=op.name
+                )
+                cur_lc.add_term(r_var, 1)
+                cur_val = max(cur_val, tap_val)
+                work += 1
+            out_vars.append(
+                emitter.commit_output(
+                    cur_lc,
+                    cur_val,
+                    0,
+                    10,
+                    public=is_final,
+                    tag=op.name,
+                    index=w,
+                )
+            )
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+        return work, op.num_windows
+
+    def _compute_affine(self, cs, emitter, env, op: EwiseAffineOp):
+        x = env[op.inputs[0]]
+        is_final = op.name == self.program.output_name
+        x_vars = x.flat_vars()
+        out_vars = []
+        work = 0
+        slot = 8 + int(op.gamma.max()).bit_length() + 1
+        affine_private = op.weights_private or not self.options.privacy_adaptive
+        if affine_private:
+            gamma_vars = {}
+            beta_vars = {}
+        for idx in range(op.acc_values.size):
+            g = int(op.gamma[idx])
+            b = int(op.beta[idx])
+            var = int(x_vars[idx])
+            if affine_private:
+                if g not in gamma_vars:
+                    gamma_vars[g] = cs.new_private(g)
+                    if self._recipe is not None:
+                        self._recipe.append((gamma_vars[g], ("const", g)))
+                g_var = gamma_vars[g]
+                wire = cs.mul_private(var, g_var, tag=f"{op.name}/mul")
+                if self._recipe is not None:
+                    self._recipe.append((wire, ("affine_wire", op.name, idx)))
+                lc = cs.lc_variable(wire)
+                if b not in beta_vars:
+                    beta_vars[b] = cs.new_private(b)
+                    if self._recipe is not None:
+                        self._recipe.append((beta_vars[b], ("const", b)))
+                b_var = beta_vars[b]
+                lc.add_term(b_var, 1)
+                work += 2
+            else:
+                lc = cs.lc_variable(var, g)
+                if b:
+                    lc.add_term(0, b)
+                work += 1
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(op.acc_values[idx]),
+                    op.requant,
+                    slot,
+                    public=is_final,
+                    tag=op.name,
+                    index=idx,
+                )
+            )
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+        return work, len(out_vars)
+
+    def _compute_add(self, cs, emitter, env, op: AddOp):
+        a = env[op.inputs[0]]
+        b = env[op.inputs[1]]
+        is_final = op.name == self.program.output_name
+        a_vars = a.flat_vars()
+        b_vars = b.flat_vars()
+        out_vars = []
+        for idx in range(op.acc_values.size):
+            lc = cs.lc_variable(int(a_vars[idx]))
+            lc.add_term(int(b_vars[idx]), 1)
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(op.acc_values[idx]),
+                    op.requant,
+                    10,
+                    public=is_final,
+                    tag=op.name,
+                    index=idx,
+                )
+            )
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+        return len(out_vars), len(out_vars)

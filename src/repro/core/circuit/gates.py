@@ -1,0 +1,168 @@
+"""Circuit containers for both IRs, plus Table 3's analytic gate counts.
+
+The Generate phase (§2.1 step 1) turns each dot-product layer into gates:
+
+* **baseline** — every scalar multiplication/addition becomes its own
+  binary gate.  We materialize the multiplication gates as two
+  ``(num_dots, n)`` arrays (operand position, coefficient); the ``n-1``
+  binary addition gates per dot are the left-deep chain over them.  Work
+  and memory are proportional to the gate count ``mk * (2n - 1)``.
+* **ZENO** — the structured ``(weight_rows, input_cols)`` tensor form *is*
+  the circuit: ``n`` multiplication gates plus one multi-child addition
+  gate per dot, kept symbolic.  Generate touches only per-layer metadata,
+  which is the measured Generate-phase win of maintaining tensor semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.lang.program import DotLayerOp
+
+
+@dataclass
+class BaselineLayerCircuit:
+    """Scalar-gate circuit of one dot layer (baseline IR)."""
+
+    name: str
+    x_pos: np.ndarray  # (num_dots, n) 1-based flat input positions; 0 = pad
+    coeff: np.ndarray  # (num_dots, n) weight coefficient per mul gate
+    num_mul_gates: int
+    num_add_gates: int
+    critical_path: int
+
+    @property
+    def num_gates(self) -> int:
+        return self.num_mul_gates + self.num_add_gates
+
+
+@dataclass
+class ZenoLayerCircuit:
+    """ZENO circuit of one dot layer: symbolic, tensor-structured."""
+
+    name: str
+    op: DotLayerOp
+    num_mul_gates: int
+    num_add_gates: int  # one multi-child gate per dot
+    critical_path: int  # always 2 (Table 3)
+
+    @property
+    def num_gates(self) -> int:
+        return self.num_mul_gates + self.num_add_gates
+
+
+def generate_baseline(op: DotLayerOp) -> BaselineLayerCircuit:
+    """Expand a dot layer into per-scalar gates (baseline Generate)."""
+    # Materializing these arrays is the gate-construction work: one row of
+    # (position, coefficient) per scalar multiplication gate.
+    x_pos = np.ascontiguousarray(op.input_cols[:, op.col_of_dot].T)
+    coeff = np.ascontiguousarray(op.weight_rows[op.row_of_dot])
+    n = op.dot_length
+    num_dots = op.num_dots
+    return BaselineLayerCircuit(
+        name=op.name,
+        x_pos=x_pos,
+        coeff=coeff,
+        num_mul_gates=num_dots * n,
+        num_add_gates=num_dots * (n - 1),
+        critical_path=n,
+    )
+
+
+def generate_zeno(op: DotLayerOp) -> ZenoLayerCircuit:
+    """Wrap a dot layer as a ZENO circuit (n mul gates + 1 multi-add)."""
+    n = op.dot_length
+    num_dots = op.num_dots
+    return ZenoLayerCircuit(
+        name=op.name,
+        op=op,
+        num_mul_gates=num_dots * n,
+        num_add_gates=num_dots,
+        critical_path=2,
+    )
+
+
+# -- Table 3: analytic per-layer complexity --------------------------------------
+
+
+def baseline_gate_counts(layer: str, m: int, n: int, k: int = 1, s: int = 2) -> Dict:
+    """Arithmetic-circuit row of Table 3 for one layer type.
+
+    ``layer`` in {"dot", "fc", "conv", "pool"}; shapes follow the table:
+    dot=(n,n), fc=(m x n, n), conv=(m x n, n x k), pool=(m x n, s).
+    """
+    if layer == "dot":
+        return {
+            "gates": 2 * n - 1,
+            "wires": n,
+            "lcs": n - 1,
+            "critical_path": n,
+            "computation": n * n,
+        }
+    if layer == "fc":
+        return {
+            "gates": m * (2 * n - 1),
+            "wires": m * n,
+            "lcs": m * (n - 1),
+            "critical_path": n,
+            "computation": m * n * n,
+        }
+    if layer == "conv":
+        return {
+            "gates": m * k * (2 * n - 1),
+            "wires": m * k * n,
+            "lcs": m * k * (n - 1),
+            "critical_path": n,
+            "computation": m * k * n * n,
+        }
+    if layer == "pool":
+        grids = (m * n) // (s * s)
+        return {
+            "gates": grids * (s * s - 1),
+            "wires": 0,
+            "lcs": grids * (s * s - 1),
+            "critical_path": s * s - 1,
+            "computation": m * n * s * s,
+        }
+    raise ValueError(f"unknown layer type {layer!r}")
+
+
+def zeno_gate_counts(layer: str, m: int, n: int, k: int = 1, s: int = 2) -> Dict:
+    """ZENO-circuit row of Table 3 for one layer type."""
+    if layer == "dot":
+        return {
+            "gates": n + 1,
+            "wires": n,
+            "lcs": 1,
+            "critical_path": 2,
+            "computation": n,
+        }
+    if layer == "fc":
+        return {
+            "gates": m * (n + 1),
+            "wires": m * n,
+            "lcs": m,
+            "critical_path": 2,
+            "computation": m * n,
+        }
+    if layer == "conv":
+        return {
+            "gates": m * k * (n + 1),
+            "wires": m * k * n,
+            "lcs": m * k,
+            "critical_path": 2,
+            "computation": m * k * n,
+        }
+    if layer == "pool":
+        grids = (m * n) // (s * s)
+        return {
+            "gates": grids,
+            "wires": 0,
+            "lcs": grids,
+            "critical_path": 1,
+            "computation": m * n,
+        }
+    raise ValueError(f"unknown layer type {layer!r}")

@@ -1,0 +1,6 @@
+"""zkSNARK-aware NN fusion (§6.2)."""
+
+from repro.core.fusion.rules import FUSIBLE, fusible_pairs, is_fusible
+from repro.core.fusion.fuse import fuse_model
+
+__all__ = ["FUSIBLE", "is_fusible", "fusible_pairs", "fuse_model"]

@@ -1,0 +1,98 @@
+"""Pre-computation-based fusion pass (§6.2).
+
+Folds each fusible BatchNorm into its producing conv / fully-connected
+layer by rewriting weights in plaintext *before* circuit generation:
+
+    Y = BN(conv(X))  with  BN(a) = (gamma * a + beta) >> shift
+
+becomes a single conv with ``W' = gamma * W``, ``bias' = gamma * bias +
+beta`` and the BN's requantization shift moved onto the conv.  The fused
+model computes identical activations (checked by tests), while the
+generated circuit drops the BN layer's equality checks and committed
+wires entirely — the constraint saving Fig. 7/9 partially attribute to
+"zkSNARK-aware NN fusion".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.fusion.rules import fusible_pairs
+from repro.nn.graph import Model
+from repro.nn.layers import BatchNorm, Conv2d, Linear
+
+
+def _fold(producer, bn: BatchNorm):
+    """Return a new producer layer with the BN folded in."""
+    gamma, beta = bn.gamma, bn.beta
+    if isinstance(producer, Conv2d):
+        weight = producer.weight * gamma[:, None, None, None]
+        fused = Conv2d(
+            weight,
+            gamma * producer.bias + beta,
+            stride=producer.stride,
+            padding=producer.padding,
+            requant=bn.requant,
+        )
+    elif isinstance(producer, Linear):
+        fused = Linear(
+            producer.weight * gamma[:, None],
+            gamma * producer.bias + beta,
+            requant=bn.requant,
+        )
+    else:  # pragma: no cover - guarded by fusible_pairs
+        raise TypeError(f"cannot fold BatchNorm into {type(producer).__name__}")
+    return fused
+
+
+def fuse_model(model: Model) -> Model:
+    """Apply all legal pre-computation fusions; returns a new Model.
+
+    The producer's requant must be 0 (guaranteed by calibration for convs
+    feeding BN — BN operates on the raw accumulator) or the fold would not
+    be exact; violating producers are skipped defensively.
+    """
+    pairs = fusible_pairs(model)
+    fold_into: Dict[str, str] = {}  # consumer -> producer
+    for producer_name, consumer_name in pairs:
+        producer = model.node(producer_name).layer
+        if getattr(producer, "requant", 0) != 0:
+            continue
+        fold_into[consumer_name] = producer_name
+
+    fused = Model(model.name, model.input_shape)
+    # consumer name -> fused producer output name, for input rewiring
+    alias: Dict[str, str] = {}
+    for node in model.nodes:
+        if node.name in fold_into:
+            # Replace the already-added producer with the folded layer.
+            producer_name = fold_into[node.name]
+            producer_node = fused.node(producer_name)
+            producer_node.layer = _fold(producer_node.layer, node.layer)
+            alias[node.name] = producer_name
+            # Output shape is unchanged (BN is shape-preserving).
+            fused._shapes[producer_name] = fused._shapes[producer_name]
+            continue
+        inputs = tuple(alias.get(src, src) for src in node.inputs)
+        fused.add(node.name, node.layer, inputs=inputs)
+    return fused
+
+
+def fusion_summary(model: Model) -> dict:
+    """How many layers fusion would remove (for reports/ablations)."""
+    pairs = fusible_pairs(model)
+    removable = sum(
+        1
+        for producer_name, _ in pairs
+        if getattr(model.node(producer_name).layer, "requant", 0) == 0
+    )
+    bn_count = sum(
+        1 for node in model.nodes if isinstance(node.layer, BatchNorm)
+    )
+    return {
+        "fusible_pairs": len(pairs),
+        "fused_layers": removable,
+        "total_bn_layers": bn_count,
+    }

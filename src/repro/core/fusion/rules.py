@@ -1,0 +1,64 @@
+"""Fusibility rules for zkSNARK NNs (§6.2).
+
+The fusion objective differs from plaintext NN compilers: plaintext fusion
+saves *memory traffic*, zkSNARK fusion saves *constraints*.  The rule set
+follows directly:
+
+* **fusible**: injective per-channel affine layers (BatchNorm, scale,
+  bias-add) into a preceding conv / fully-connected layer — their effect
+  pre-computes into the weights (``W' = g W``, ``b' = g b + beta``),
+  deleting the fused layer's equality checks and requantization gadget;
+* **not fusible**: ReLU — "relu requires expensive comparison operator with
+  hundreds of constraints in zkSNARK"; folding it into the conv would not
+  remove those comparisons, so unlike TVM-style compilers we never fuse it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.nn.graph import Model
+from repro.nn.layers import BatchNorm, Conv2d, Linear, ReLU
+
+#: (producer, consumer) layer-class pairs eligible for pre-computation fusion.
+FUSIBLE: Tuple[Tuple[type, type], ...] = (
+    (Conv2d, BatchNorm),
+    (Linear, BatchNorm),
+)
+
+
+def is_fusible(producer, consumer) -> bool:
+    """Can ``consumer`` be folded into ``producer``?
+
+    ReLU is explicitly rejected whatever the producer — the zkSNARK-specific
+    rule the paper contrasts with plaintext fusion.
+    """
+    if isinstance(consumer, ReLU):
+        return False
+    return any(
+        isinstance(producer, prod) and isinstance(consumer, cons)
+        for prod, cons in FUSIBLE
+    )
+
+
+def fusible_pairs(model: Model) -> List[Tuple[str, str]]:
+    """All (producer, consumer) node-name pairs fusible in ``model``.
+
+    A pair qualifies only when the consumer is the producer's *sole* reader
+    (otherwise other readers would observe un-fused values).
+    """
+    readers = {}
+    for node in model.nodes:
+        for src in node.inputs:
+            readers.setdefault(src, []).append(node.name)
+    pairs = []
+    for node in model.nodes:
+        if len(node.inputs) != 1:
+            continue
+        src = node.inputs[0]
+        if src == "__input__" or len(readers.get(src, [])) != 1:
+            continue
+        producer = model.node(src).layer
+        if is_fusible(producer, node.layer):
+            pairs.append((src, node.name))
+    return pairs

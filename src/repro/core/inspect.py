@@ -1,0 +1,147 @@
+"""Circuit inspection and diagnostics.
+
+Two developer-facing tools the compiler work made us want constantly:
+
+* :func:`layer_statistics` — a per-layer breakdown of a compiled artifact
+  (constraints, committed wires, knit packing, circuit-computation share),
+  the table `python -m repro.cli compile --detail` prints;
+* :func:`diagnose` — a human-readable report for an unsatisfied constraint
+  system: the first violated constraint, its provenance tag and layer, and
+  the evaluated A/B/C values with the offending variables listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.r1cs.constraint import Constraint
+from repro.r1cs.lc import ONE, LinearCombination
+from repro.r1cs.system import ConstraintSystem
+
+
+@dataclass(frozen=True)
+class LayerStatistics:
+    """One compiled layer's circuit footprint."""
+
+    name: str
+    kind: str
+    constraints: int
+    work_units: int
+    num_units: int
+    wall_time: float
+
+    @property
+    def constraints_per_unit(self) -> float:
+        return self.constraints / self.num_units if self.num_units else 0.0
+
+
+def layer_statistics(artifact) -> List[LayerStatistics]:
+    """Per-layer breakdown of a :class:`CompileArtifact`."""
+    return [
+        LayerStatistics(
+            name=work.name,
+            kind=work.kind,
+            constraints=work.constraints,
+            work_units=work.work_units,
+            num_units=work.num_units,
+            wall_time=work.wall_time,
+        )
+        for work in artifact.compute.layer_work
+    ]
+
+
+def format_layer_table(artifact) -> str:
+    """The `cli compile --detail` table, as a string."""
+    stats = layer_statistics(artifact)
+    total_constraints = sum(s.constraints for s in stats) or 1
+    header = (
+        f"{'layer':24s}{'kind':9s}{'units':>8s}{'constraints':>12s}"
+        f"{'share':>7s}{'c/unit':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        lines.append(
+            f"{s.name:24s}{s.kind:9s}{s.num_units:>8d}{s.constraints:>12d}"
+            f"{s.constraints / total_constraints:>6.0%} {s.constraints_per_unit:>7.2f}"
+        )
+    lines.append(
+        f"{'total':24s}{'':9s}{sum(s.num_units for s in stats):>8d}"
+        f"{sum(s.constraints for s in stats):>12d}"
+    )
+    return "\n".join(lines)
+
+
+# -- violation diagnosis -----------------------------------------------------------
+
+
+def _describe_var(index: int) -> str:
+    if index == ONE:
+        return "ONE"
+    return f"pub{-index}" if index < 0 else f"w{index}"
+
+
+def _lc_summary(lc: LinearCombination, cs: ConstraintSystem, limit: int = 6):
+    parts = []
+    for i, (index, coeff) in enumerate(sorted(lc.terms.items())):
+        if i >= limit:
+            parts.append(f"... (+{len(lc.terms) - limit} terms)")
+            break
+        value = cs.value_of(index)
+        shown = coeff if coeff < cs.field.modulus // 2 else coeff - cs.field.modulus
+        parts.append(f"{shown}*{_describe_var(index)}[={value}]")
+    return " + ".join(parts) if parts else "0"
+
+
+def _layer_of(cs: ConstraintSystem, constraint_index: int) -> Optional[str]:
+    for tag, layer_range in cs.layer_ranges.items():
+        if constraint_index in layer_range:
+            return tag
+    return None
+
+
+def diagnose(cs: ConstraintSystem, max_violations: int = 3) -> str:
+    """Explain why a constraint system is (un)satisfied.
+
+    Returns "satisfied" for a clean system; otherwise a report covering up
+    to ``max_violations`` violated constraints with provenance and values.
+    """
+    try:
+        assignment = cs.assignment()
+    except ValueError as exc:
+        return f"incomplete witness: {exc}"
+
+    field = cs.field
+    reports = []
+    for idx, constraint in enumerate(cs.constraints):
+        a = constraint.a.evaluate(assignment)
+        b = constraint.b.evaluate(assignment)
+        c = constraint.c.evaluate(assignment)
+        if field.mul(a, b) == c:
+            continue
+        layer = _layer_of(cs, idx)
+        where = f" in layer {layer!r}" if layer else ""
+        reports.append(
+            "\n".join(
+                [
+                    f"constraint #{idx}{where}"
+                    + (f" [{constraint.tag}]" if constraint.tag else "")
+                    + " VIOLATED:",
+                    f"  A = {_lc_summary(constraint.a, cs)}  -> {a}",
+                    f"  B = {_lc_summary(constraint.b, cs)}  -> {b}",
+                    f"  C = {_lc_summary(constraint.c, cs)}  -> {c}",
+                    f"  A*B = {field.mul(a, b)} != C",
+                ]
+            )
+        )
+        if len(reports) >= max_violations:
+            break
+    if not reports:
+        return "satisfied"
+    remaining = sum(
+        1
+        for constraint in cs.constraints
+        if not constraint.is_satisfied(assignment)
+    )
+    header = f"{remaining} violated constraint(s); showing {len(reports)}:"
+    return "\n".join([header, *reports])

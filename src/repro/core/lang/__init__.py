@@ -1,0 +1,24 @@
+"""ZENO language construct (§3): types and tensor compute primitives.
+
+The construct's purpose is to carry two kinds of semantics from model to
+circuit that assembly-style scalar circuits destroy (§2.3):
+
+* **privacy type** — every tensor is a :class:`~repro.core.lang.zktensor.ZkTensor`
+  ``(T, P)`` whose privacy drives constraint generation (§4);
+* **tensor type** — computation is recorded as whole-tensor ops
+  (:class:`~repro.core.lang.program.TensorOp`), so the circuit generator can
+  emit ZENO circuits per dot product instead of parsing scalar gates (§5).
+"""
+
+from repro.core.lang.types import Privacy, ScalarKind
+from repro.core.lang.zktensor import ZkTensor
+from repro.core.lang.program import TensorOp, ZkProgram, program_from_model
+
+__all__ = [
+    "Privacy",
+    "ScalarKind",
+    "ZkTensor",
+    "TensorOp",
+    "ZkProgram",
+    "program_from_model",
+]

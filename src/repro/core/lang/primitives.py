@@ -1,0 +1,262 @@
+"""Tensor compute primitives (§3): the user-facing ZENO construction API.
+
+The paper's primitive set — ``dotProduct``, ``fullyConnected``,
+``convolution``, ``pool``, ``ReLU``, plus ``addTensor``/``mulTensor`` for
+user-defined operations such as residual connections — is exposed through
+:class:`ProgramBuilder`.  Each call computes the plaintext result *and*
+records a typed :class:`~repro.core.lang.program.TensorOp`, so the builder
+produces the same :class:`~repro.core.lang.program.ZkProgram` IR as lowering
+a full NN model.
+
+Example (a single private-image dot product)::
+
+    builder = ProgramBuilder("demo", image_vector)
+    builder.dot_product(weight_vector)
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.lang.program import (
+    AddOp,
+    EwiseAffineOp,
+    FlattenOp,
+    ReluOp,
+    ZkProgram,
+    _dot_op_from_conv,
+    _dot_op_from_linear,
+    _dot_op_from_pool,
+)
+from repro.core.lang.types import Privacy
+from repro.nn.graph import INPUT, LayerTrace
+from repro.nn.layers import AvgPool2d, Conv2d, Linear
+
+
+class ProgramBuilder:
+    """Incrementally records tensor primitives into a ZkProgram."""
+
+    def __init__(
+        self,
+        name: str,
+        input_values: np.ndarray,
+        image_privacy: Privacy = Privacy.PRIVATE,
+        weights_privacy: Privacy = Privacy.PUBLIC,
+        relu_bits: int = 16,
+    ) -> None:
+        input_values = np.asarray(input_values, dtype=np.int64)
+        self.program = ZkProgram(
+            name=name,
+            input_shape=tuple(input_values.shape),
+            input_values=input_values,
+            image_privacy=image_privacy,
+            weights_privacy=weights_privacy,
+        )
+        self.relu_bits = relu_bits
+        self._values = {INPUT: input_values}
+        self._last = INPUT
+        self._counter = 0
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _fresh(self, kind: str) -> str:
+        self._counter += 1
+        return f"{kind}{self._counter}"
+
+    def _resolve(self, src: Optional[str]) -> Tuple[str, np.ndarray]:
+        name = src if src is not None else self._last
+        if name not in self._values:
+            raise KeyError(f"unknown tensor {name!r}")
+        return name, self._values[name]
+
+    def _record(self, op, out_values: np.ndarray) -> str:
+        self.program.ops.append(op)
+        self._values[op.name] = out_values
+        self._last = op.name
+        self.program.output_name = op.name
+        return op.name
+
+    def _trace(self, name, layer, x, result) -> LayerTrace:
+        return LayerTrace(
+            name=name,
+            layer=layer,
+            input_values=[x],
+            acc=result.acc,
+            out=result.out,
+        )
+
+    @property
+    def wp(self) -> bool:
+        return self.program.weights_privacy.is_private
+
+    # -- primitives (§3) ------------------------------------------------------------
+
+    def dot_product(
+        self, weight: np.ndarray, requant: int = 0, src: Optional[str] = None
+    ) -> str:
+        """A single dot product — the workhorse primitive (§4.1, §5.1)."""
+        weight = np.asarray(weight, dtype=np.int64)
+        if weight.ndim != 1:
+            raise ValueError("dot_product expects a 1-D weight vector")
+        return self.fully_connected(weight.reshape(1, -1), requant=requant, src=src)
+
+    def fully_connected(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        requant: int = 0,
+        src: Optional[str] = None,
+    ) -> str:
+        src_name, x = self._resolve(src)
+        layer = Linear(np.asarray(weight, dtype=np.int64), bias, requant=requant)
+        result = layer.forward(x)
+        name = self._fresh("fc")
+        op = _dot_op_from_linear(
+            name, layer, self._trace(name, layer, x, result), (src_name,), self.wp
+        )
+        return self._record(op, result.out)
+
+    def convolution(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        stride: int = 1,
+        padding: int = 0,
+        requant: int = 0,
+        src: Optional[str] = None,
+    ) -> str:
+        src_name, x = self._resolve(src)
+        layer = Conv2d(
+            np.asarray(weight, dtype=np.int64),
+            bias,
+            stride=stride,
+            padding=padding,
+            requant=requant,
+        )
+        result = layer.forward(x)
+        name = self._fresh("conv")
+        op = _dot_op_from_conv(
+            name, layer, self._trace(name, layer, x, result), (src_name,), self.wp
+        )
+        return self._record(op, result.out)
+
+    def pool(self, size: int = 2, src: Optional[str] = None) -> str:
+        src_name, x = self._resolve(src)
+        layer = AvgPool2d(size)
+        result = layer.forward(x)
+        name = self._fresh("pool")
+        op = _dot_op_from_pool(
+            name, layer, self._trace(name, layer, x, result), (src_name,)
+        )
+        return self._record(op, result.out)
+
+    def max_pool(self, size: int = 2, src: Optional[str] = None) -> str:
+        """Window maximum — compiled to comparison-gadget chains (§2.2)."""
+        from repro.core.lang.program import _maxpool_op
+        from repro.nn.layers import MaxPool2d
+
+        src_name, x = self._resolve(src)
+        layer = MaxPool2d(size)
+        result = layer.forward(x)
+        name = self._fresh("maxpool")
+        op = _maxpool_op(
+            name,
+            layer,
+            self._trace(name, layer, x, result),
+            (src_name,),
+            self.relu_bits,
+        )
+        return self._record(op, result.out)
+
+    def relu(self, src: Optional[str] = None) -> str:
+        src_name, x = self._resolve(src)
+        out = np.maximum(x, 0)
+        name = self._fresh("relu")
+        op = ReluOp(
+            name=name,
+            inputs=(src_name,),
+            output=name,
+            out_values=out,
+            in_values=x.reshape(-1),
+            bits=self.relu_bits,
+        )
+        return self._record(op, out)
+
+    def add_tensor(self, a: str, b: str, requant: int = 0) -> str:
+        """Elementwise addition of two recorded tensors (residuals)."""
+        _, va = self._resolve(a)
+        _, vb = self._resolve(b)
+        if va.shape != vb.shape:
+            raise ValueError(f"add_tensor shapes differ: {va.shape} vs {vb.shape}")
+        acc = va + vb
+        out = acc >> requant
+        name = self._fresh("add")
+        op = AddOp(
+            name=name,
+            inputs=(a, b),
+            output=name,
+            out_values=out,
+            acc_values=acc.reshape(-1),
+            requant=requant,
+        )
+        return self._record(op, out)
+
+    def mul_tensor(
+        self,
+        scale: np.ndarray,
+        shift: Optional[np.ndarray] = None,
+        requant: int = 0,
+        src: Optional[str] = None,
+    ) -> str:
+        """Elementwise public affine ``scale*x + shift`` (user-defined ops)."""
+        src_name, x = self._resolve(src)
+        scale = np.broadcast_to(np.asarray(scale, dtype=np.int64), x.shape)
+        shift_arr = (
+            np.broadcast_to(np.asarray(shift, dtype=np.int64), x.shape)
+            if shift is not None
+            else np.zeros_like(x)
+        )
+        acc = scale * x + shift_arr
+        out = acc >> requant
+        name = self._fresh("mul")
+        op = EwiseAffineOp(
+            name=name,
+            inputs=(src_name,),
+            output=name,
+            out_values=out,
+            gamma=np.ascontiguousarray(scale.reshape(-1)),
+            beta=np.ascontiguousarray(shift_arr.reshape(-1)),
+            acc_values=acc.reshape(-1),
+            requant=requant,
+            weights_private=self.wp,
+        )
+        return self._record(op, out)
+
+    def flatten(self, src: Optional[str] = None) -> str:
+        src_name, x = self._resolve(src)
+        out = x.reshape(-1)
+        name = self._fresh("flat")
+        op = FlattenOp(
+            name=name, inputs=(src_name,), output=name, out_values=out
+        )
+        return self._record(op, out)
+
+    # -- finalize ----------------------------------------------------------------------
+
+    def build(self, validate: bool = False) -> ZkProgram:
+        """Finalize the program.
+
+        With ``validate=True`` the structural invariants are checked via
+        :func:`repro.core.lang.validate.validate_program` (shallow — the
+        O(MACs) accumulator reconstruction is opt-in there).
+        """
+        if not self.program.ops:
+            raise ValueError("empty program: record at least one primitive")
+        if validate:
+            from repro.core.lang.validate import validate_program
+
+            validate_program(self.program, deep=False)
+        return self.program

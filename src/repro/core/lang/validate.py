@@ -1,0 +1,175 @@
+"""Program validation: check ZkProgram invariants before compilation.
+
+The circuit generator trusts several structural invariants of the typed
+program (distinct taps per dot, accumulator consistency with the recorded
+geometry, dataflow well-formedness).  Violations would surface later as
+unsatisfiable systems or — worse — silently wrong dict-built LCs, so
+:func:`validate_program` checks them up front.  The compiler does not run
+this on every compile (it is O(MACs)); it is meant for program authors,
+tests, and debugging sessions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.lang.program import (
+    AddOp,
+    DotLayerOp,
+    EwiseAffineOp,
+    FlattenOp,
+    MaxPoolOp,
+    ReluOp,
+    ZkProgram,
+)
+from repro.nn.graph import INPUT
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a ZkProgram violates a compiler invariant."""
+
+
+def validate_program(program: ZkProgram, deep: bool = True) -> List[str]:
+    """Check all invariants; returns human-readable notes (warnings).
+
+    Raises :class:`ProgramValidationError` on any hard violation.  With
+    ``deep=True`` (default) the O(MACs) accumulator reconstruction runs
+    too; ``deep=False`` checks only the structural properties.
+    """
+    notes: List[str] = []
+    if not program.ops:
+        raise ProgramValidationError("program has no operations")
+
+    # -- dataflow: every input resolves to INPUT or an earlier op -------------
+    produced = {INPUT}
+    values = {INPUT: program.input_values}
+    for op in program.ops:
+        for src in op.inputs:
+            if src not in produced:
+                raise ProgramValidationError(
+                    f"op {op.name!r} reads {src!r} before it is produced"
+                )
+        if op.output in produced:
+            raise ProgramValidationError(
+                f"op {op.name!r} redefines tensor {op.output!r}"
+            )
+        produced.add(op.output)
+        values[op.output] = op.out_values
+    if program.output_name != program.ops[-1].name:
+        raise ProgramValidationError(
+            f"output_name {program.output_name!r} is not the last op"
+        )
+
+    for op in program.ops:
+        if isinstance(op, DotLayerOp):
+            _validate_dot(op, values, deep, notes)
+        elif isinstance(op, MaxPoolOp):
+            _validate_maxpool(op, values, deep)
+        elif isinstance(op, ReluOp):
+            _validate_relu(op, values)
+        elif isinstance(op, (EwiseAffineOp, AddOp, FlattenOp)):
+            _validate_sizes(op, values)
+    return notes
+
+
+def _validate_sizes(op, values) -> None:
+    src = values[op.inputs[0]]
+    if isinstance(op, FlattenOp):
+        if op.out_values.size != src.size:
+            raise ProgramValidationError(f"{op.name}: flatten changes size")
+        return
+    if isinstance(op, AddOp):
+        other = values[op.inputs[1]]
+        if src.shape != other.shape:
+            raise ProgramValidationError(f"{op.name}: residual shape mismatch")
+    if op.acc_values.size != op.out_values.size:
+        raise ProgramValidationError(f"{op.name}: acc/out size mismatch")
+
+
+def _validate_relu(op: ReluOp, values) -> None:
+    src = values[op.inputs[0]]
+    if op.in_values.size != src.size:
+        raise ProgramValidationError(f"{op.name}: in_values size mismatch")
+    expected = np.maximum(op.in_values.reshape(op.out_values.shape), 0)
+    if not np.array_equal(expected, op.out_values):
+        raise ProgramValidationError(f"{op.name}: out != relu(in)")
+    limit = 1 << (op.bits - 1)
+    if op.in_values.size and (
+        int(op.in_values.min()) < -limit or int(op.in_values.max()) >= limit
+    ):
+        raise ProgramValidationError(
+            f"{op.name}: inputs exceed the {op.bits}-bit sign-gadget range"
+        )
+
+
+def _validate_dot(op: DotLayerOp, values, deep: bool, notes: List[str]) -> None:
+    src = values[op.inputs[0]]
+    n, num_cols = op.input_cols.shape
+    if n != op.weight_rows.shape[1]:
+        raise ProgramValidationError(
+            f"{op.name}: input_cols rows != weight row length"
+        )
+    if op.input_cols.min() < 0 or op.input_cols.max() > src.size:
+        raise ProgramValidationError(
+            f"{op.name}: tap positions outside the input tensor"
+        )
+    if op.row_of_dot.shape != op.col_of_dot.shape:
+        raise ProgramValidationError(f"{op.name}: dot index arrays differ")
+    if int(op.row_of_dot.max()) >= op.weight_rows.shape[0]:
+        raise ProgramValidationError(f"{op.name}: row_of_dot out of range")
+    if int(op.col_of_dot.max()) >= num_cols:
+        raise ProgramValidationError(f"{op.name}: col_of_dot out of range")
+    if op.acc_values.shape[0] != op.num_dots:
+        raise ProgramValidationError(f"{op.name}: acc count != num_dots")
+
+    # Distinct taps per column: the ZENO dict-built LC relies on it.
+    for c in range(num_cols):
+        taps = op.input_cols[:, c]
+        nonzero = taps[taps > 0]
+        if len(np.unique(nonzero)) != len(nonzero):
+            raise ProgramValidationError(
+                f"{op.name}: duplicate taps in column {c}"
+            )
+
+    zero_weights = int(np.sum(op.weight_rows == 0))
+    if zero_weights:
+        notes.append(
+            f"{op.name}: {zero_weights} zero weight entries (dead witness "
+            f"vars if weights are private — consider repro.r1cs.optimize)"
+        )
+
+    if not deep:
+        return
+    flat = src.reshape(-1)
+    for d in range(op.num_dots):
+        row = op.weight_rows[op.row_of_dot[d]]
+        taps = op.input_cols[:, op.col_of_dot[d]]
+        valid = taps > 0
+        acc = int(row[valid] @ flat[taps[valid] - 1]) + int(
+            op.bias[op.row_of_dot[d]]
+        )
+        if acc != int(op.acc_values[d]):
+            raise ProgramValidationError(
+                f"{op.name}: dot {d} accumulator mismatch "
+                f"(recomputed {acc}, recorded {int(op.acc_values[d])})"
+            )
+
+
+def _validate_maxpool(op: MaxPoolOp, values, deep: bool) -> None:
+    src = values[op.inputs[0]]
+    if op.in_values.size != src.size:
+        raise ProgramValidationError(f"{op.name}: in_values size mismatch")
+    if op.window_positions.min() < 1 or op.window_positions.max() > src.size:
+        raise ProgramValidationError(f"{op.name}: window taps out of range")
+    if not deep:
+        return
+    out_flat = op.out_values.reshape(-1)
+    for w in range(op.num_windows):
+        taps = op.window_positions[:, w]
+        expected = max(int(op.in_values[t - 1]) for t in taps)
+        if expected != int(out_flat[w]):
+            raise ProgramValidationError(
+                f"{op.name}: window {w} maximum mismatch"
+            )

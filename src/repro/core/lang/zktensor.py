@@ -1,0 +1,103 @@
+"""zkTensor: the basic data unit of zkSNARK NNs (§3, Table 1)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.lang.types import Privacy, ScalarKind, infer_scalar_kind
+
+
+class ZkTensor:
+    """A tensor of finite-field data paired with a privacy type.
+
+    ``values`` holds the plaintext integers (the prover knows everything);
+    ``var_indices`` holds, for private tensors that have been allocated in a
+    constraint system, the signed variable index of every element (same
+    shape as ``values``).  Public tensors never allocate variables — their
+    elements become constraint *coefficients*, which is the root of every
+    privacy-type optimization in §4.
+    """
+
+    __slots__ = ("values", "privacy", "stage", "var_indices", "name")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        privacy: Privacy,
+        stage: str = "input",
+        var_indices: Optional[np.ndarray] = None,
+        name: str = "",
+    ) -> None:
+        self.values = np.asarray(values, dtype=np.int64)
+        self.privacy = privacy
+        self.stage = stage
+        self.name = name
+        if privacy is Privacy.PUBLIC and var_indices is not None:
+            raise ValueError("public tensors do not own circuit variables")
+        if var_indices is not None and var_indices.shape != self.values.shape:
+            raise ValueError(
+                f"var_indices shape {var_indices.shape} != values "
+                f"shape {self.values.shape}"
+            )
+        self.var_indices = var_indices
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def public(cls, values: np.ndarray, name: str = "") -> "ZkTensor":
+        return cls(values, Privacy.PUBLIC, stage="input", name=name)
+
+    @classmethod
+    def private(
+        cls, values: np.ndarray, stage: str = "input", name: str = ""
+    ) -> "ZkTensor":
+        return cls(values, Privacy.PRIVATE, stage=stage, name=name)
+
+    # -- type information ----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.values.shape)
+
+    @property
+    def is_private(self) -> bool:
+        return self.privacy.is_private
+
+    @property
+    def scalar_kind(self) -> ScalarKind:
+        """The automatically inferred per-element scalar type (Table 1)."""
+        return infer_scalar_kind(self.privacy, self.stage)
+
+    def is_allocated(self) -> bool:
+        return self.var_indices is not None
+
+    # -- structure helpers -----------------------------------------------------------
+
+    def flat_values(self) -> np.ndarray:
+        return self.values.reshape(-1)
+
+    def flat_vars(self) -> np.ndarray:
+        if self.var_indices is None:
+            raise ValueError(f"tensor {self.name!r} has no allocated variables")
+        return self.var_indices.reshape(-1)
+
+    def reshaped(self, shape: Tuple[int, ...]) -> "ZkTensor":
+        vars_reshaped = (
+            self.var_indices.reshape(shape) if self.var_indices is not None else None
+        )
+        return ZkTensor(
+            self.values.reshape(shape),
+            self.privacy,
+            stage=self.stage,
+            var_indices=vars_reshaped,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        alloc = "alloc" if self.is_allocated() else "unalloc"
+        return (
+            f"ZkTensor({self.name or '?'}: shape={self.shape}, "
+            f"{self.privacy}, {self.scalar_kind.value}, {alloc})"
+        )

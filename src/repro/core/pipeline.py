@@ -1,0 +1,61 @@
+"""Phase-level reports for one proof generation (the Fig. 3 pipeline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class PhaseReport:
+    """One pipeline phase: Generate, Circuit Computation, or Security."""
+
+    name: str
+    wall_time: float = 0.0  # measured Python seconds (0 if modeled only)
+    modeled_time: Optional[float] = None  # cost-model seconds (security phase)
+    counts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float:
+        """The number figures plot: modeled when available, else measured."""
+        return self.modeled_time if self.modeled_time is not None else self.wall_time
+
+
+@dataclass
+class ProveReport:
+    """Full proof-generation report for one image."""
+
+    model_name: str
+    privacy: str
+    optimization_profile: str
+    phases: Dict[str, PhaseReport] = field(default_factory=dict)
+    num_constraints: int = 0
+    num_variables: int = 0
+    num_gates: int = 0
+    verified: Optional[bool] = None
+
+    def phase(self, name: str) -> PhaseReport:
+        return self.phases[name]
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end latency: the three phases run sequentially (§2.1)."""
+        return sum(p.latency for p in self.phases.values())
+
+    def speedup_over(self, baseline: "ProveReport") -> float:
+        return baseline.total_latency / self.total_latency
+
+    def phase_speedup_over(self, baseline: "ProveReport", phase: str) -> float:
+        return baseline.phase(phase).latency / self.phase(phase).latency
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.model_name} [{self.privacy}, {self.optimization_profile}]: "
+            f"m={self.num_constraints}, n={self.num_variables}, "
+            f"gates={self.num_gates}"
+        ]
+        for name, p in self.phases.items():
+            source = "modeled" if p.modeled_time is not None else "measured"
+            lines.append(f"  {name:20s} {p.latency:10.4f}s ({source})")
+        lines.append(f"  {'total':20s} {self.total_latency:10.4f}s")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Privacy-type driven optimizations (§4).
+
+* :mod:`repro.core.privacy.adaptive` — privacy-adaptive circuit generation:
+  Eq. 2 (both private, ``n+1`` constraints per dot) vs Eq. 3 (one side
+  public, 1 constraint per dot).
+* :mod:`repro.core.privacy.knit`     — privacy-aware knit encoding: pack
+  ``s`` low-bit equality checks into one 254-bit constraint.
+* :mod:`repro.core.privacy.stranded` — ZEN's stranded encoding baseline for
+  the Table 2 comparison.
+"""
+
+from repro.core.privacy.adaptive import constraints_for_dot
+from repro.core.privacy.knit import KnitPacker, knit_batch_size
+from repro.core.privacy.stranded import StrandedEncoding
+
+__all__ = [
+    "constraints_for_dot",
+    "KnitPacker",
+    "knit_batch_size",
+    "StrandedEncoding",
+]

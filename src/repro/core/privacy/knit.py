@@ -1,0 +1,174 @@
+"""Privacy-aware knit encoding (§4.2).
+
+One equality check per dot product costs one constraint (Eq. 3), yet the
+checked quantity occupies only ``2*b_in + ceil(log2 n)`` bits of a 254-bit
+field element.  Knit encoding packs ``s`` such checks into a single
+constraint:
+
+    sum_j delta^j * expr_j == 0,      delta = 2^(bits per expression)
+
+Because ``delta`` is a public scalar, building the packed linear
+combination multiplies public coefficients only — zero extra constraints
+(Table 2: encoding overhead 0, decoding overhead 0, max saving
+``254 / (2*8 + log n)`` ~ 8x for uint8 data).
+
+Batch-size selection follows the paper's formula: the largest ``s`` with
+``s <= b_out / (2*b_in + ceil(log2 n))``.  We additionally reserve
+``_SAFETY_BITS`` slack per slot so signed expression bounds (our
+expressions may include requantization remainders, see
+:mod:`repro.core.circuit.gadgets`) can never alias across slots.
+
+Applicability: only when exactly one of weights/features is private
+(Table 2) — with both private the per-term products are already wires and
+the packing argument gives no constraint saving.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.field.counters import global_counter
+from repro.r1cs.lc import LinearCombination
+from repro.r1cs.system import ConstraintSystem
+
+_SAFETY_BITS = 2
+
+
+def expression_bits(dot_length: int, b_in: int = 8) -> int:
+    """Bits one dot-product expression can occupy: ``2*b_in + ceil(log2 n)``."""
+    n = max(int(dot_length), 1)
+    return 2 * b_in + max(1, math.ceil(math.log2(n + 1)))
+
+
+def knit_batch_size(
+    dot_length: int, b_in: int = 8, b_out: int = 254
+) -> int:
+    """The paper's auto-selected batch size ``s`` (§4.2, Security Analysis).
+
+    >>> knit_batch_size(1024)
+    9
+    """
+    per_slot = expression_bits(dot_length, b_in)
+    return max(1, b_out // per_slot)
+
+
+class KnitPacker:
+    """Accumulates zero-expressions and flushes packed equality constraints.
+
+    Usage: for each dot product, build ``expr = LC(acc) - ref_terms`` (which
+    an honest prover makes exactly zero) and call :meth:`push` with the bit
+    bound of its honest-value range.  The packer multiplies each expression
+    by the running ``delta^j`` (public scalars — free) and emits one
+    constraint per ``s`` expressions.  Expressions from layers with
+    different bounds are never mixed (a flush happens on bound change), so
+    the non-overlap argument stays per-constraint.
+    """
+
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        batch_size: Optional[int] = None,
+        field_bits: int = 254,
+        cache=None,
+        tag: str = "",
+    ) -> None:
+        self.cs = cs
+        self.forced_batch = batch_size
+        self.field_bits = field_bits
+        self.cache = cache  # optional frequency CacheService for coeff muls
+        self.tag = tag
+        self._pending: Optional[LinearCombination] = None
+        self._count = 0
+        self._slot_bits = 0
+        self._delta_power = 1
+        self.constraints_emitted = 0
+        self.expressions_packed = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _capacity(self, slot_bits: int) -> int:
+        if self.forced_batch is not None:
+            return max(1, self.forced_batch)
+        return max(1, self.field_bits // slot_bits)
+
+    # -- public API ------------------------------------------------------------
+
+    def push(self, expr: LinearCombination, slot_bits: int) -> None:
+        """Add one zero-expression bounded by ``slot_bits`` bits.
+
+        Folding ``delta^j * expr`` into the pending LC is the knit
+        encoding's only arithmetic: public-coefficient multiplications
+        (served by the frequency cache when one is attached) and "free"
+        additions.
+        """
+        slot_bits = slot_bits + _SAFETY_BITS
+        if self._pending is not None and slot_bits != self._slot_bits:
+            self.flush()
+        if self._pending is None:
+            self._pending = expr.copy()
+            self._slot_bits = slot_bits
+            self._count = 1
+            self._delta_power = 1
+        else:
+            field = self.cs.field
+            p = field.modulus
+            self._delta_power = (self._delta_power << self._slot_bits) % p
+            factor = self._delta_power
+            pending = self._pending.terms
+            cache = self.cache
+            n = len(expr.terms)
+            if cache is not None:
+                # One product table per (delta power, slot width): within a
+                # push the right operand is fixed, so the pair key collapses
+                # to the weight coefficient alone.  The table stays tiny —
+                # "there are at most 256 values for uint8" (§6.1).
+                table = cache.table_for((self._count, self._slot_bits))
+                before = len(table)
+                table_get = table.get
+                for index, coeff in expr.terms.items():
+                    product = table_get(coeff)
+                    if product is None:
+                        product = coeff * factor % p
+                        table[coeff] = product
+                    merged = (pending.get(index, 0) + product) % p
+                    if merged:
+                        pending[index] = merged
+                    else:
+                        pending.pop(index, None)
+                added = len(table) - before
+                cache.record(hits=n - added, misses=added)
+            else:
+                for index, coeff in expr.terms.items():
+                    merged = (pending.get(index, 0) + coeff * factor) % p
+                    if merged:
+                        pending[index] = merged
+                    else:
+                        pending.pop(index, None)
+            counter = global_counter()
+            counter.lc_term += n
+            counter.field_add += n
+            counter.field_mul += n
+            self._count += 1
+        self.expressions_packed += 1
+        if self._count >= self._capacity(slot_bits):
+            self.flush()
+
+    def flush(self) -> None:
+        """Emit the pending packed constraint, if any."""
+        if self._pending is None:
+            return
+        one = self.cs.lc_constant(1)
+        zero = self.cs.lc()
+        self.cs.enforce(self._pending, one, zero, tag=f"{self.tag}/knit")
+        self.constraints_emitted += 1
+        self._pending = None
+        self._count = 0
+
+    # -- reporting ----------------------------------------------------------------
+
+    def saving_ratio(self) -> float:
+        """Expressions per emitted constraint (the measured knit saving)."""
+        if not self.constraints_emitted:
+            return 1.0
+        return self.expressions_packed / self.constraints_emitted

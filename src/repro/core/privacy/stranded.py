@@ -1,0 +1,196 @@
+"""Stranded encoding — ZEN's [25] batching baseline for Table 2.
+
+Stranded encoding targets the *both-private* setting, where every scalar
+product costs a constraint (Eq. 2).  It packs ``s`` consecutive weight taps
+into one field element and the matching feature taps into another in
+**reversed** digit order:
+
+    A = a_0 + a_1 d + ... + a_{s-1} d^(s-1)
+    B = b_{s-1} + ... + b_1 d^(s-2) + b_0 d^(s-1)          (d = 2^seg)
+
+so the product's *middle* digit collects exactly the wanted partial dot
+product:
+
+    A * B = ... + (a_0 b_0 + a_1 b_1 + ... + a_{s-1} b_{s-1}) d^(s-1) + ...
+
+One multiplication constraint now covers ``s`` scalar products — but the
+product occupies ``2s - 1`` digit positions, which caps the batch at
+``s ~ (b_out/seg + 1) / 2`` (~4 for uint8 in a 254-bit field: Table 2's
+"max saving 4x" versus knit's 8x).  And the middle digit must be *decoded*
+out of the packed accumulator with a bit-decomposition gadget — the
+hundreds of decoding constraints Table 2 charges stranded encoding, versus
+zero for knit (whose packed value is simply required to be zero).
+
+Packing itself is free: A and B are linear combinations of the
+already-committed digit variables (encoding overhead 0, matching Table 2).
+Negative operands are handled by the standard ``+2^(b-1)`` digit offset;
+the offset correction folds into the final equality as free LC terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.r1cs.system import ConstraintSystem
+
+
+@dataclass(frozen=True)
+class StrandedParams:
+    """Packing geometry for dots of length ``n`` with ``b_in``-bit data."""
+
+    s: int
+    n: int
+    b_in: int = 8
+    b_out: int = 254
+
+    @property
+    def segment_bits(self) -> int:
+        """Bits one product digit can occupy after accumulation.
+
+        A digit position collects up to ``s`` digit products per chunk and
+        ``n/s`` chunks — ``n`` terms of ``2*b_in`` bits in the worst case.
+        """
+        return 2 * self.b_in + max(1, math.ceil(math.log2(self.n + 1))) + 1
+
+    @property
+    def delta(self) -> int:
+        return 1 << self.segment_bits
+
+    @property
+    def num_product_segments(self) -> int:
+        return 2 * self.s - 1
+
+    def fits(self) -> bool:
+        return self.num_product_segments * self.segment_bits <= self.b_out
+
+
+def max_batch_size(n: int, b_in: int = 8, b_out: int = 254) -> int:
+    """Largest ``s`` whose 2s-1 product digits fit the field (Table 2)."""
+    s = 1
+    while StrandedParams(s=s + 1, n=n, b_in=b_in, b_out=b_out).fits():
+        s += 1
+    return s
+
+
+class StrandedEncoding:
+    """Emit one both-private dot product with stranded tap packing."""
+
+    def __init__(self, params: StrandedParams) -> None:
+        if not params.fits():
+            raise ValueError(
+                f"stranded batch s={params.s} needs {params.num_product_segments}"
+                f" x {params.segment_bits} bits > {params.b_out}-bit field"
+            )
+        self.params = params
+        self.decoding_constraints_emitted = 0
+        self.product_constraints_emitted = 0
+
+    def emit(
+        self,
+        cs: ConstraintSystem,
+        weights: Sequence[int],
+        features: Sequence[int],
+        tag: str = "stranded",
+    ) -> int:
+        """Prove ``ref = <w, x>`` with both operands private.
+
+        Returns the public ref variable.  Multiplication constraints drop
+        from ``n`` to ``ceil(n / s)``; decoding adds the bit-decomposition
+        constraints recorded in :attr:`decoding_constraints_emitted`.
+        """
+        p = self.params
+        field = cs.field
+        weights = np.asarray(weights, dtype=np.int64)
+        features = np.asarray(features, dtype=np.int64)
+        if weights.shape != (p.n,) or features.shape != (p.n,):
+            raise ValueError(f"expected two length-{p.n} vectors")
+        offset = 1 << (p.b_in - 1)
+        w_dig = weights + offset
+        x_dig = features + offset
+        if w_dig.min() < 0 or x_dig.min() < 0:
+            raise ValueError("operands exceed the declared bit width")
+
+        # Commit every digit once (these are the ordinary NN witnesses).
+        w_vars = [cs.new_private(int(v)) for v in w_dig]
+        x_vars = [cs.new_private(int(v)) for v in x_dig]
+
+        # Chunked packed products: LC * LC = wire, one constraint per chunk.
+        num_chunks = math.ceil(p.n / p.s)
+        acc_lc = cs.lc()
+        packed_acc = 0
+        for c in range(num_chunks):
+            lo = c * p.s
+            hi = min(lo + p.s, p.n)
+            a_lc = cs.lc()
+            b_lc = cs.lc()
+            a_val = 0
+            b_val = 0
+            for j in range(lo, hi):
+                a_lc.add_term(w_vars[j], 1 << ((j - lo) * p.segment_bits))
+                b_lc.add_term(
+                    x_vars[j], 1 << ((p.s - 1 - (j - lo)) * p.segment_bits)
+                )
+                a_val += int(w_dig[j]) << ((j - lo) * p.segment_bits)
+                b_val += int(x_dig[j]) << ((p.s - 1 - (j - lo)) * p.segment_bits)
+            wire = cs.new_private((a_val * b_val) % field.modulus)
+            cs.enforce(a_lc, b_lc, cs.lc_variable(wire), tag=f"{tag}/pack{c}")
+            self.product_constraints_emitted += 1
+            acc_lc.add_term(wire, 1)
+            packed_acc += a_val * b_val
+
+        # Commit the packed accumulator.
+        s_var = cs.new_private(packed_acc % field.modulus)
+        cs.enforce_equal(acc_lc, cs.lc_variable(s_var), tag=f"{tag}/acc")
+        self.decoding_constraints_emitted += 1
+
+        # Decode: full bit decomposition of the packed accumulator
+        # (booleanity per bit) and recomposition — the Table 2 overhead.
+        total_bits = p.num_product_segments * p.segment_bits
+        recompose = cs.lc()
+        middle_lc = cs.lc()
+        middle_base = (p.s - 1) * p.segment_bits
+        for i in range(total_bits):
+            bit = (packed_acc >> i) & 1
+            bit_var = cs.new_private(bit)
+            bit_lc = cs.lc_variable(bit_var)
+            cs.enforce(
+                bit_lc, bit_lc - cs.lc_constant(1), cs.lc(), tag=f"{tag}/bool"
+            )
+            self.decoding_constraints_emitted += 1
+            recompose.add_term(bit_var, 1 << i)
+            if middle_base <= i < middle_base + p.segment_bits:
+                middle_lc.add_term(bit_var, 1 << (i - middle_base))
+        cs.enforce_equal(recompose, cs.lc_variable(s_var), tag=f"{tag}/recompose")
+        self.decoding_constraints_emitted += 1
+
+        # Offset correction: middle digit = sum (w+o)(x+o)
+        #                  = <w,x> + o*sum(w+o) + o*sum(x+o) - n*o^2.
+        ref_value = int(weights @ features)
+        ref = cs.new_public(ref_value)
+        correction = cs.lc()
+        for var in w_vars:
+            correction.add_term(var, offset)
+        for var in x_vars:
+            correction.add_term(var, offset)
+        correction.add_term(0, (-p.n * offset * offset) % field.modulus)
+        lhs = middle_lc - correction
+        cs.enforce_equal(lhs, cs.lc_variable(ref), tag=f"{tag}/out")
+        self.decoding_constraints_emitted += 1
+        return ref
+
+    # -- analytic comparison (Table 2) --------------------------------------------
+
+    def total_constraints(self) -> int:
+        return self.product_constraints_emitted + self.decoding_constraints_emitted
+
+    def decoding_overhead(self) -> int:
+        return self.decoding_constraints_emitted
+
+    @staticmethod
+    def naive_constraints(n: int) -> int:
+        """Both-private without packing: Eq. 2 for one dot product."""
+        return n + 1

@@ -1,0 +1,176 @@
+"""Batch-specialized constraint-system sharing (§6.1).
+
+"The constraint system is a description of the zkSNARK NN computation ...
+the same computation applies to each image such that the constraint system
+can be shared."  ZENO's batch mode runs Generate and Circuit Computation
+**once**, then for each image only re-assigns witness values before
+security computation — exactly the paper's design (ZEN's n=100 accuracy
+scheme is the canonical workload, Fig. 14).
+
+Re-assignment is driven by the *witness recipe* recorded during circuit
+computation: an ordered log of ``(variable, descriptor)`` pairs describing
+how each variable's value derives from a plaintext trace.  Re-proving a new
+image therefore costs one plaintext forward pass plus ``O(num_variables)``
+assignments — no gates, no LC expansion, no constraint emission.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.circuit.compute import (
+    CircuitComputer,
+    ComputeOptions,
+    ComputeResult,
+)
+from repro.core.circuit.gadgets import RANGE_OFFSET
+from repro.core.lang.program import DotLayerOp, ZkProgram, program_from_model
+from repro.core.lang.types import Privacy
+from repro.nn.graph import INPUT, Model
+
+
+@dataclass
+class BatchStats:
+    """Timing ledger comparing shared vs per-image compilation."""
+
+    generate_time: float = 0.0
+    circuit_time: float = 0.0
+    assign_times: List[float] = field(default_factory=list)
+
+    def shared_total(self) -> float:
+        """Compilation cost with sharing: compile once + assign per image."""
+        return self.generate_time + self.circuit_time + sum(self.assign_times)
+
+    def unshared_total(self) -> float:
+        """Compilation cost without sharing: compile every image."""
+        n = max(len(self.assign_times), 1)
+        return (self.generate_time + self.circuit_time) * n
+
+
+class BatchProver:
+    """Compile once, re-assign witnesses per image."""
+
+    def __init__(
+        self,
+        model: Model,
+        base_image: np.ndarray,
+        image_privacy: Privacy = Privacy.PRIVATE,
+        weights_privacy: Privacy = Privacy.PUBLIC,
+        options: Optional[ComputeOptions] = None,
+    ) -> None:
+        self.model = model
+        self.image_privacy = image_privacy
+        self.weights_privacy = weights_privacy
+        opts = options or ComputeOptions()
+        opts.record_recipe = True
+        self.options = opts
+        self.stats = BatchStats()
+
+        program = program_from_model(
+            model, base_image, image_privacy, weights_privacy,
+            relu_bits=opts.relu_bits,
+        )
+        from repro.core.lang.program import MaxPoolOp
+
+        if any(isinstance(op, MaxPoolOp) for op in program.ops):
+            raise NotImplementedError(
+                "batch constraint-system sharing does not support MaxPool2d "
+                "(its comparison-chain witnesses are not recipe-encoded); "
+                "use AvgPool2d or per-image compilation"
+            )
+        computer = CircuitComputer(program, opts)
+        generated = computer.generate()
+        self.result: ComputeResult = computer.compute()
+        if self.result.recipe is None:
+            raise RuntimeError("witness recipe was not recorded")
+        self.stats.generate_time = generated.wall_time
+        self.stats.circuit_time = self.result.wall_time
+
+    @property
+    def cs(self):
+        return self.result.cs
+
+    # -- per-image witness assignment -------------------------------------------------
+
+    def assign_image(self, image: np.ndarray) -> ZkProgram:
+        """Re-trace the model on ``image`` and re-assign every variable.
+
+        Returns the traced program (whose final logits are the new public
+        inputs).  Raises if the recipe meets an unknown descriptor.
+        """
+        start = time.perf_counter()
+        program = program_from_model(
+            self.model,
+            image,
+            self.image_privacy,
+            self.weights_privacy,
+            relu_bits=self.options.relu_bits,
+        )
+        values: Dict[str, np.ndarray] = {
+            INPUT: program.input_values.reshape(-1)
+        }
+        acc: Dict[str, np.ndarray] = {}
+        relu_in: Dict[str, np.ndarray] = {}
+        ops = {}
+        for op in program.ops:
+            values[op.output] = op.out_values.reshape(-1)
+            ops[op.name] = op
+            if hasattr(op, "acc_values") and op.acc_values is not None:
+                acc[op.name] = op.acc_values
+            if hasattr(op, "in_values") and op.in_values is not None:
+                relu_in[op.name] = op.in_values
+
+        cs = self.cs
+        for var, desc in self.result.recipe:
+            kind = desc[0]
+            if kind == "image":
+                cs.assign(var, int(values[INPUT][desc[1]]))
+            elif kind == "const":
+                continue  # weights and BN parameters do not change per image
+            elif kind == "out":
+                _, name, idx, shift = desc
+                cs.assign(var, int(acc[name][idx]) >> shift)
+            elif kind == "rem":
+                _, name, idx, shift = desc
+                a = int(acc[name][idx])
+                cs.assign(var, a - ((a >> shift) << shift))
+            elif kind == "rem_bit":
+                _, name, idx, shift, i = desc
+                a = int(acc[name][idx])
+                rem = a - ((a >> shift) << shift)
+                cs.assign(var, (rem >> i) & 1)
+            elif kind == "out_bit":
+                _, name, idx, shift, i = desc
+                out = (int(acc[name][idx]) >> shift) + RANGE_OFFSET
+                cs.assign(var, (out >> i) & 1)
+            elif kind == "sign":
+                _, name, idx, _bits = desc
+                cs.assign(var, 1 if int(relu_in[name][idx]) >= 0 else 0)
+            elif kind == "relu_bit":
+                _, name, idx, bits, i = desc
+                shifted = int(relu_in[name][idx]) + (1 << (bits - 1))
+                cs.assign(var, (shifted >> i) & 1)
+            elif kind == "relu_out":
+                _, name, idx, _bits = desc
+                v = int(relu_in[name][idx])
+                cs.assign(var, v if v > 0 else 0)
+            elif kind == "dot_wire":
+                _, name, d, i = desc
+                op: DotLayerOp = ops[name]
+                pos = int(op.input_cols[i, op.col_of_dot[d]])
+                x = int(values[op.inputs[0]][pos - 1])
+                w = int(op.weight_rows[op.row_of_dot[d]][i])
+                cs.assign(var, w * x)
+            elif kind == "affine_wire":
+                _, name, idx = desc
+                op = ops[name]
+                x = int(values[op.inputs[0]][idx])
+                cs.assign(var, int(op.gamma[idx]) * x)
+            else:
+                raise ValueError(f"unknown recipe descriptor {desc!r}")
+        self.stats.assign_times.append(time.perf_counter() - start)
+        return program

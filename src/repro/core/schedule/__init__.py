@@ -1,0 +1,12 @@
+"""Workload-specialized parallel scheduler (§5.2)."""
+
+from repro.core.schedule.counter import layer_gate_counts
+from repro.core.schedule.scheduler import ParallelSchedule, WorkloadScheduler
+from repro.core.schedule.simclock import simulate_parallel_time
+
+__all__ = [
+    "layer_gate_counts",
+    "WorkloadScheduler",
+    "ParallelSchedule",
+    "simulate_parallel_time",
+]

@@ -1,0 +1,59 @@
+"""Step 1 of the scheduler (§5.2): count gates per layer from shapes alone.
+
+"Based on the plaintext NN with specific layer shapes, we first count the
+number of addition and multiplication in each layer" — no circuit parsing,
+which is the whole point: reconstructing this from an assembly-style
+circuit would cost a scan of millions of gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.nn.graph import Model
+
+
+@dataclass(frozen=True)
+class LayerGateCount:
+    """Gate inventory of one layer, derived purely from its shape."""
+
+    name: str
+    kind: str
+    multiplications: int
+    additions: int
+    independent_units: int  # dots (or elements) computable in parallel
+
+    @property
+    def total_gates(self) -> int:
+        return self.multiplications + self.additions
+
+
+def layer_gate_counts(model: Model) -> List[LayerGateCount]:
+    """Per-layer multiplication/addition counts for a plaintext model."""
+    counts: List[LayerGateCount] = []
+    for node in model.nodes:
+        in_shape = model.shape_of(node.inputs[0])
+        layer = node.layer
+        geometry = layer.dot_geometry(in_shape)
+        if geometry is not None:
+            units = geometry[0]
+        else:
+            out_shape = layer.out_shape(in_shape)
+            units = 1
+            for dim in out_shape:
+                units *= dim
+        counts.append(
+            LayerGateCount(
+                name=node.name,
+                kind=layer.kind,
+                multiplications=layer.macs(in_shape),
+                additions=layer.adds(in_shape),
+                independent_units=units,
+            )
+        )
+    return counts
+
+
+def gate_count_map(model: Model) -> Dict[str, LayerGateCount]:
+    return {c.name: c for c in layer_gate_counts(model)}

@@ -1,0 +1,123 @@
+"""Steps 2-3 of the scheduler (§5.2): map layer gates to worker threads.
+
+Two observations drive the design (quoted from the paper):
+
+* gates in the same NN layer can be computed independently, while gates in
+  later layers depend on earlier layers — so parallelism is exploited
+  *within* a layer and layers stay sequential;
+* the number of gates per layer follows directly from the layer shape — so
+  assignment needs no circuit parsing.
+
+"We evenly assign gates in the same layer to each thread."  A layer with
+``u`` independent units on ``T`` workers gives some worker
+``ceil(u / T)`` units; the layer's parallel span is that worker's share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """One layer's partition across workers."""
+
+    name: str
+    units_per_worker: List[int]  # length = num_workers
+    work_per_unit: float  # LC-term operations per independent unit
+
+    @property
+    def span_units(self) -> int:
+        return max(self.units_per_worker)
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.units_per_worker)
+
+    def span_work(self) -> float:
+        return self.span_units * self.work_per_unit
+
+    def total_work(self) -> float:
+        return self.total_units * self.work_per_unit
+
+
+@dataclass
+class ParallelSchedule:
+    """The full schedule plus its modeled speedup."""
+
+    num_workers: int
+    assignments: List[LayerAssignment] = field(default_factory=list)
+
+    def total_work(self) -> float:
+        return sum(a.total_work() for a in self.assignments)
+
+    def span_work(self) -> float:
+        """Critical-path work: layers are sequential, units parallel."""
+        return sum(a.span_work() for a in self.assignments)
+
+    def speedup(self) -> float:
+        span = self.span_work()
+        return self.total_work() / span if span else 1.0
+
+    def utilization(self) -> float:
+        """Fraction of worker-time doing useful work."""
+        span = self.span_work()
+        if not span:
+            return 1.0
+        return self.total_work() / (span * self.num_workers)
+
+
+class WorkloadScheduler:
+    """Builds a :class:`ParallelSchedule` from per-layer work records."""
+
+    def __init__(self, num_workers: int = 16) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def partition_units(self, units: int) -> List[int]:
+        """Evenly split ``units`` independent items over the workers."""
+        base, extra = divmod(units, self.num_workers)
+        return [base + (1 if w < extra else 0) for w in range(self.num_workers)]
+
+    def schedule(self, layer_work: Sequence) -> ParallelSchedule:
+        """``layer_work``: records with .name, .num_units, .work_units."""
+        schedule = ParallelSchedule(num_workers=self.num_workers)
+        for layer in layer_work:
+            units = max(int(layer.num_units), 1)
+            per_unit = layer.work_units / units if units else 0.0
+            schedule.assignments.append(
+                LayerAssignment(
+                    name=layer.name,
+                    units_per_worker=self.partition_units(units),
+                    work_per_unit=per_unit,
+                )
+            )
+        return schedule
+
+    def schedule_from_model(self, model) -> ParallelSchedule:
+        """The paper's §5.2 flow: schedule from layer *shapes* alone.
+
+        "Based on the plaintext NN with specific layer shapes, we first
+        count the number of addition and multiplication in each layer ...
+        then we directly identify the gates for each NN layer" — no circuit
+        is compiled or parsed.  Gate counts come from
+        :func:`repro.core.schedule.counter.layer_gate_counts`; work per
+        layer is its total gate count.
+        """
+        from repro.core.schedule.counter import layer_gate_counts
+
+        schedule = ParallelSchedule(num_workers=self.num_workers)
+        for count in layer_gate_counts(model):
+            units = max(count.independent_units, 1)
+            per_unit = count.total_gates / units
+            schedule.assignments.append(
+                LayerAssignment(
+                    name=count.name,
+                    units_per_worker=self.partition_units(units),
+                    work_per_unit=per_unit,
+                )
+            )
+        return schedule

@@ -1,0 +1,35 @@
+"""Simulated-clock execution of a parallel schedule.
+
+Python's GIL prevents genuine thread-level speedup for this workload, so —
+per the substitution note in DESIGN.md — parallel latency is *simulated*:
+the schedule's per-layer worker assignment is exact, and the parallel wall
+time is derived from the measured **sequential** wall time of each layer,
+
+    parallel_time(layer) = sequential_time(layer) * span_work / total_work.
+
+This preserves every effect the paper measures (imbalance on small layers,
+sequential cross-layer dependencies, diminishing returns with more
+workers) while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schedule.scheduler import ParallelSchedule
+
+
+def simulate_parallel_time(
+    schedule: ParallelSchedule, layer_work: Sequence
+) -> float:
+    """Parallel wall time implied by measured sequential layer times."""
+    by_name = {layer.name: layer for layer in layer_work}
+    total = 0.0
+    for assignment in schedule.assignments:
+        layer = by_name[assignment.name]
+        work = assignment.total_work()
+        if work <= 0 or layer.wall_time <= 0:
+            total += layer.wall_time
+            continue
+        total += layer.wall_time * assignment.span_work() / work
+    return total

@@ -1,0 +1,42 @@
+"""Elliptic-curve substrate for the Groth16 security-computation phase.
+
+The paper's artifact proves over BN254 ("BN254 for the rest of us" [53] in
+the paper's bibliography).  This package implements, from scratch:
+
+* the Fp2/Fp6-free generic extension tower (:mod:`repro.ec.tower`) — BN254
+  Fq2 and Fq12 as polynomial extension fields;
+* generic Jacobian short-Weierstrass point arithmetic
+  (:mod:`repro.ec.curve`) instantiated for G1 (over Fq), G2 (over Fq2) and
+  the Fq12 embedding used by the pairing;
+* the optimal-ate pairing (:mod:`repro.ec.pairing`) — Miller loop plus final
+  exponentiation;
+* Pippenger bucketed multi-scalar multiplication (:mod:`repro.ec.msm`), the
+  dominant cost of security computation;
+* an exponent-tracking *simulated* bilinear group
+  (:mod:`repro.ec.simulated`) with the identical API, used by the benchmark
+  sweeps (see DESIGN.md "Substitutions");
+* the :class:`~repro.ec.backend.GroupBackend` interface the SNARK layer
+  programs against.
+"""
+
+from repro.ec.tower import FQ2, FQ12, fq2, fq12
+from repro.ec.curve import CurveGroup, Point
+from repro.ec.bn254 import BN254_G1, BN254_G2, bn254_pairing
+from repro.ec.msm import msm
+from repro.ec.backend import GroupBackend, RealBN254Backend, SimulatedBackend
+
+__all__ = [
+    "FQ2",
+    "FQ12",
+    "fq2",
+    "fq12",
+    "CurveGroup",
+    "Point",
+    "BN254_G1",
+    "BN254_G2",
+    "bn254_pairing",
+    "msm",
+    "GroupBackend",
+    "RealBN254Backend",
+    "SimulatedBackend",
+]

@@ -1,0 +1,144 @@
+"""Group backends: one API over the real BN254 curve and the simulated group.
+
+The SNARK layer (:mod:`repro.snark`) programs exclusively against
+:class:`GroupBackend`; swapping ``RealBN254Backend`` for
+``SimulatedBackend`` changes only the per-operation constant factor (and
+cryptographic hardness — see :mod:`repro.ec.simulated`), never the algebra.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence, Tuple
+
+from repro.field.fp import BN254_FR, Field
+from repro.ec import bn254
+from repro.ec.msm import msm as pippenger_msm
+from repro.ec.simulated import (
+    G1_TAG,
+    G2_TAG,
+    GT_TAG,
+    SimPoint,
+    sim_generator,
+    sim_msm,
+    sim_pairing,
+)
+
+GroupElement = Any  # Point | SimPoint
+
+
+class GroupBackend(ABC):
+    """Bilinear group operations required by Groth16."""
+
+    name: str = "abstract"
+    scalar_field: Field = BN254_FR
+
+    @abstractmethod
+    def g1_generator(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g2_generator(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g1_zero(self) -> GroupElement: ...
+
+    @abstractmethod
+    def g2_zero(self) -> GroupElement: ...
+
+    @abstractmethod
+    def add(self, a: GroupElement, b: GroupElement) -> GroupElement: ...
+
+    @abstractmethod
+    def neg(self, a: GroupElement) -> GroupElement: ...
+
+    @abstractmethod
+    def scalar_mul(self, a: GroupElement, k: int) -> GroupElement: ...
+
+    @abstractmethod
+    def msm(
+        self, points: Sequence[GroupElement], scalars: Sequence[int]
+    ) -> GroupElement: ...
+
+    @abstractmethod
+    def pairing_product_is_one(
+        self, pairs: Sequence[Tuple[GroupElement, GroupElement]]
+    ) -> bool:
+        """Check ``prod e(P_i, Q_i) == 1`` — the Groth16 verify primitive."""
+
+    def sub(self, a: GroupElement, b: GroupElement) -> GroupElement:
+        return self.add(a, self.neg(b))
+
+
+class RealBN254Backend(GroupBackend):
+    """Operations on the genuine BN254 curve with the optimal-ate pairing."""
+
+    name = "bn254"
+
+    def g1_generator(self) -> GroupElement:
+        return bn254.BN254_G1.generator
+
+    def g2_generator(self) -> GroupElement:
+        return bn254.BN254_G2.generator
+
+    def g1_zero(self) -> GroupElement:
+        return bn254.BN254_G1.infinity()
+
+    def g2_zero(self) -> GroupElement:
+        return bn254.BN254_G2.infinity()
+
+    def add(self, a, b):
+        return a.group.add(a, b)
+
+    def neg(self, a):
+        return a.group.neg(a)
+
+    def scalar_mul(self, a, k: int):
+        return a.group.scalar_mul(a, k)
+
+    def msm(self, points, scalars):
+        # G1 MSMs take the inversion-free Jacobian fast path; G2 (whose
+        # coordinates live in Fq2) uses the generic affine Pippenger.
+        if points and points[0].group is bn254.BN254_G1:
+            from repro.ec.jacobian import msm_jacobian
+
+            return msm_jacobian(points, scalars)
+        return pippenger_msm(points, scalars)
+
+    def pairing_product_is_one(self, pairs) -> bool:
+        return bn254.pairing_product_is_one(tuple(pairs))
+
+
+class SimulatedBackend(GroupBackend):
+    """Exponent-tracking group; identical algebra, cheap operations."""
+
+    name = "simulated"
+
+    def g1_generator(self) -> GroupElement:
+        return sim_generator(G1_TAG)
+
+    def g2_generator(self) -> GroupElement:
+        return sim_generator(G2_TAG)
+
+    def g1_zero(self) -> GroupElement:
+        return SimPoint(G1_TAG, 0)
+
+    def g2_zero(self) -> GroupElement:
+        return SimPoint(G2_TAG, 0)
+
+    def add(self, a: SimPoint, b: SimPoint) -> SimPoint:
+        return a + b
+
+    def neg(self, a: SimPoint) -> SimPoint:
+        return -a
+
+    def scalar_mul(self, a: SimPoint, k: int) -> SimPoint:
+        return a * k
+
+    def msm(self, points, scalars):
+        return sim_msm(points, scalars)
+
+    def pairing_product_is_one(self, pairs) -> bool:
+        acc = 0
+        for p, q in pairs:
+            acc += sim_pairing(p, q).log
+        return acc % BN254_FR.modulus == 0

@@ -1,0 +1,158 @@
+"""BN254 (alt_bn128) instantiation and the optimal-ate pairing.
+
+Parameters follow the Ethereum alt_bn128 precompiles and the arkworks
+``ark-bn254`` crate used by the paper's artifact:
+
+* base field prime ``q``, scalar field prime ``r`` (see :mod:`repro.field.fp`)
+* G1: ``y^2 = x^3 + 3`` over Fq, generator (1, 2)
+* G2: ``y^2 = x^3 + 3/(9+u)`` over Fq2
+* ate loop count ``6u + 2`` with BN parameter ``u = 4965661367192848881``
+
+The pairing is computed py_ecc-style: twist G2 into the Fq12 curve, run the
+Miller loop with affine line functions, then apply the final exponentiation
+``(q^12 - 1) / r``.  Products of pairings (as needed by Groth16
+verification) share a single final exponentiation via
+:func:`miller_loop` + :func:`final_exponentiate`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.field.counters import global_counter
+from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS, BN254_FR_MODULUS
+from repro.ec.curve import CurveGroup, Point
+from repro.ec.tower import FQ2, FQ12
+
+_Q = BN254_FQ_MODULUS
+_R = BN254_FR_MODULUS
+
+# BN parameter u and the ate loop count 6u + 2.
+BN_U = 4965661367192848881
+ATE_LOOP_COUNT = 6 * BN_U + 2
+_LOG_ATE_LOOP_COUNT = ATE_LOOP_COUNT.bit_length() - 2  # = 63, as in py_ecc
+
+FINAL_EXP_POWER = (_Q**12 - 1) // _R
+
+# -- group instantiations ----------------------------------------------------------
+
+BN254_G1 = CurveGroup(
+    "G1",
+    a=BN254_FQ(0),
+    b=BN254_FQ(3),
+    generator_xy=(BN254_FQ(1), BN254_FQ(2)),
+    order=_R,
+)
+
+_B2 = FQ2([3, 0]) / FQ2([9, 1])
+
+_G2_GEN_X = FQ2(
+    [
+        10857046999023057135944570762232829481370756359578518086990519993285655852781,
+        11559732032986387107991004021392285783925812861821192530917403151452391805634,
+    ]
+)
+_G2_GEN_Y = FQ2(
+    [
+        8495653923123431417604973247489272438418190587263600148770280649306958101930,
+        4082367875863433681332203403145435568316851327593401208105741076214120093531,
+    ]
+)
+
+BN254_G2 = CurveGroup(
+    "G2", a=FQ2.zero(), b=_B2, generator_xy=(_G2_GEN_X, _G2_GEN_Y), order=_R
+)
+
+# The Fq12 curve both groups are mapped into for the Miller loop.
+BN254_G12 = CurveGroup("G12", a=FQ12.zero(), b=FQ12.from_int(3), order=_R)
+
+_W = FQ12([0, 1] + [0] * 10)
+_W2 = _W * _W
+_W3 = _W2 * _W
+
+
+def twist(p: Point) -> Point:
+    """Map a G2 point (over Fq2) onto the Fq12 curve via the sextic twist."""
+    if p.inf:
+        return BN254_G12.infinity()
+    x, y = p.x, p.y
+    # Unwind the 9+u shift used by the alt_bn128 Fq2 representation.
+    xc = [(x.coeffs[0] - 9 * x.coeffs[1]) % _Q, x.coeffs[1]]
+    yc = [(y.coeffs[0] - 9 * y.coeffs[1]) % _Q, y.coeffs[1]]
+    nx = FQ12([xc[0], 0, 0, 0, 0, 0, xc[1], 0, 0, 0, 0, 0])
+    ny = FQ12([yc[0], 0, 0, 0, 0, 0, yc[1], 0, 0, 0, 0, 0])
+    return Point(BN254_G12, nx * _W2, ny * _W3)
+
+
+def embed_g1(p: Point) -> Point:
+    """Lift a G1 point (over Fq) onto the Fq12 curve."""
+    if p.inf:
+        return BN254_G12.infinity()
+    return Point(BN254_G12, FQ12.from_int(p.x.value), FQ12.from_int(p.y.value))
+
+
+def _linefunc(p1: Point, p2: Point, t: Point) -> FQ12:
+    """Evaluate the line through ``p1`` and ``p2`` at ``t`` (all on G12)."""
+    x1, y1 = p1.x, p1.y
+    x2, y2 = p2.x, p2.y
+    xt, yt = t.x, t.y
+    if x1 != x2:
+        slope = (y2 - y1) / (x2 - x1)
+        return slope * (xt - x1) - (yt - y1)
+    if y1 == y2:
+        slope = (3 * x1 * x1) / (2 * y1)
+        return slope * (xt - x1) - (yt - y1)
+    return xt - x1
+
+
+def miller_loop(q_point: Point, p_point: Point) -> FQ12:
+    """The BN254 optimal-ate Miller loop (without final exponentiation).
+
+    ``q_point`` is a G2 point, ``p_point`` a G1 point; both are mapped onto
+    the Fq12 curve internally.
+    """
+    if q_point.inf or p_point.inf:
+        return FQ12.one()
+    q12 = twist(q_point)
+    p12 = embed_g1(p_point)
+    r12 = q12
+    f = FQ12.one()
+    for i in range(_LOG_ATE_LOOP_COUNT, -1, -1):
+        f = f * f * _linefunc(r12, r12, p12)
+        r12 = BN254_G12.double(r12)
+        if ATE_LOOP_COUNT & (2**i):
+            f = f * _linefunc(r12, q12, p12)
+            r12 = BN254_G12.add(r12, q12)
+    q1 = Point(BN254_G12, q12.x**_Q, q12.y**_Q)
+    nq2 = Point(BN254_G12, q1.x**_Q, -(q1.y**_Q))
+    f = f * _linefunc(r12, q1, p12)
+    r12 = BN254_G12.add(r12, q1)
+    f = f * _linefunc(r12, nq2, p12)
+    return f
+
+
+def final_exponentiate(f: FQ12) -> FQ12:
+    """Raise a Miller-loop output to ``(q^12 - 1) / r``."""
+    return f**FINAL_EXP_POWER
+
+
+def bn254_pairing(p_point: Point, q_point: Point) -> FQ12:
+    """The full pairing ``e(P, Q)`` for ``P`` in G1 and ``Q`` in G2."""
+    if p_point.group is not BN254_G1 or q_point.group is not BN254_G2:
+        raise ValueError("bn254_pairing expects (G1 point, G2 point)")
+    global_counter().pairing += 1
+    return final_exponentiate(miller_loop(q_point, p_point))
+
+
+def pairing_product_is_one(pairs: Tuple[Tuple[Point, Point], ...]) -> bool:
+    """Check ``prod e(P_i, Q_i) == 1`` with a single final exponentiation.
+
+    This is how Groth16 verification is implemented in practice: the four
+    pairings of the verification equation are merged into one product of
+    Miller loops followed by one final exponentiation.
+    """
+    f = FQ12.one()
+    for p_point, q_point in pairs:
+        global_counter().pairing += 1
+        f = f * miller_loop(q_point, p_point)
+    return final_exponentiate(f) == FQ12.one()

@@ -1,0 +1,189 @@
+"""Jacobian-coordinate G1 arithmetic: the inversion-free fast path.
+
+Affine point addition (:mod:`repro.ec.curve`) pays one field inversion per
+operation — fine for tests, ruinous for MSMs.  This module implements the
+standard Jacobian projective formulas for BN254 G1 (``a = 0``), where a
+point ``(X, Y, Z)`` represents affine ``(X/Z^2, Y/Z^3)``:
+
+* doubling: 2M + 5S (a = 0 shortcut), no inversion;
+* mixed addition (Jacobian + affine): 7M + 4S, no inversion;
+* one inversion total at the end of an MSM, to normalize the result.
+
+Everything is raw-``int`` arithmetic on the base prime.  The test suite
+cross-checks every operation against the affine implementation, and
+:func:`msm_jacobian` against both Pippenger-over-affine and the naive MSM.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ec.bn254 import BN254_G1
+from repro.ec.curve import Point
+from repro.field.counters import global_counter
+from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS
+
+_Q = BN254_FQ_MODULUS
+
+# A Jacobian point is (X, Y, Z) with Z == 0 encoding infinity.
+JPoint = Tuple[int, int, int]
+
+J_INFINITY: JPoint = (1, 1, 0)
+
+
+def to_jacobian(p: Point) -> JPoint:
+    if p.inf:
+        return J_INFINITY
+    return (p.x.value, p.y.value, 1)
+
+
+def to_affine(j: JPoint) -> Point:
+    x, y, z = j
+    if z == 0:
+        return BN254_G1.infinity()
+    z_inv = pow(z, -1, _Q)
+    z2 = (z_inv * z_inv) % _Q
+    return BN254_G1.point(
+        BN254_FQ((x * z2) % _Q), BN254_FQ((y * z2 * z_inv) % _Q)
+    )
+
+
+def j_double(p: JPoint) -> JPoint:
+    """Doubling with the a=0 shortcut (dbl-2009-l)."""
+    x, y, z = p
+    if z == 0 or y == 0:
+        return J_INFINITY
+    a = (x * x) % _Q
+    b = (y * y) % _Q
+    c = (b * b) % _Q
+    d = (2 * ((x + b) * (x + b) - a - c)) % _Q
+    e = (3 * a) % _Q
+    f = (e * e) % _Q
+    x3 = (f - 2 * d) % _Q
+    y3 = (e * (d - x3) - 8 * c) % _Q
+    z3 = (2 * y * z) % _Q
+    global_counter().group_add += 1
+    return (x3, y3, z3)
+
+
+def j_add_mixed(p: JPoint, q_affine: Tuple[int, int]) -> JPoint:
+    """Mixed addition: Jacobian ``p`` plus affine ``q`` (madd-2007-bl)."""
+    x1, y1, z1 = p
+    x2, y2 = q_affine
+    if z1 == 0:
+        return (x2, y2, 1)
+    z1z1 = (z1 * z1) % _Q
+    u2 = (x2 * z1z1) % _Q
+    s2 = (y2 * z1 * z1z1) % _Q
+    if u2 == x1:
+        if s2 == y1:
+            return j_double(p)
+        return J_INFINITY
+    h = (u2 - x1) % _Q
+    hh = (h * h) % _Q
+    i = (4 * hh) % _Q
+    j = (h * i) % _Q
+    r = (2 * (s2 - y1)) % _Q
+    v = (x1 * i) % _Q
+    x3 = (r * r - j - 2 * v) % _Q
+    y3 = (r * (v - x3) - 2 * y1 * j) % _Q
+    z3 = ((z1 + h) * (z1 + h) - z1z1 - hh) % _Q
+    global_counter().group_add += 1
+    return (x3, y3, z3)
+
+
+def j_add(p: JPoint, q: JPoint) -> JPoint:
+    """Full Jacobian addition (add-2007-bl)."""
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    if z1 == 0:
+        return q
+    if z2 == 0:
+        return p
+    z1z1 = (z1 * z1) % _Q
+    z2z2 = (z2 * z2) % _Q
+    u1 = (x1 * z2z2) % _Q
+    u2 = (x2 * z1z1) % _Q
+    s1 = (y1 * z2 * z2z2) % _Q
+    s2 = (y2 * z1 * z1z1) % _Q
+    if u1 == u2:
+        if s1 == s2:
+            return j_double(p)
+        return J_INFINITY
+    h = (u2 - u1) % _Q
+    i = (4 * h * h) % _Q
+    j = (h * i) % _Q
+    r = (2 * (s2 - s1)) % _Q
+    v = (u1 * i) % _Q
+    x3 = (r * r - j - 2 * v) % _Q
+    y3 = (r * (v - x3) - 2 * s1 * j) % _Q
+    # z3 = ((z1+z2)^2 - z1^2 - z2^2) * h = 2 z1 z2 h
+    z3 = ((z1 + z2) * (z1 + z2) - z1z1 - z2z2) % _Q * h % _Q
+    global_counter().group_add += 1
+    return (x3, y3, z3)
+
+
+def j_neg(p: JPoint) -> JPoint:
+    x, y, z = p
+    return (x, (-y) % _Q, z)
+
+
+def j_scalar_mul(p: JPoint, k: int) -> JPoint:
+    k %= BN254_G1.order
+    acc = J_INFINITY
+    add = p
+    while k:
+        if k & 1:
+            acc = j_add(acc, add)
+        k >>= 1
+        if k:
+            add = j_double(add)
+    return acc
+
+
+def msm_jacobian(
+    points: Sequence[Point],
+    scalars: Sequence[int],
+    window: Optional[int] = None,
+) -> Point:
+    """Pippenger MSM with Jacobian buckets and affine input points.
+
+    Identical algorithm to :func:`repro.ec.msm.msm`, but bucket
+    accumulation uses inversion-free mixed additions — the production
+    layout (and ~50x faster in CPython).
+    """
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
+        )
+    if not points:
+        raise ValueError("msm requires at least one point")
+    order = BN254_G1.order
+    reduced = [s % order for s in scalars]
+    affine = [None if p.inf else (p.x.value, p.y.value) for p in points]
+    n = len(points)
+    c = window or (max(2, min(16, n.bit_length() - 2)) if n >= 4 else 2)
+    max_bits = max((s.bit_length() for s in reduced), default=1) or 1
+    num_windows = (max_bits + c - 1) // c
+
+    total = J_INFINITY
+    mask = (1 << c) - 1
+    for w in range(num_windows - 1, -1, -1):
+        if w != num_windows - 1:
+            for _ in range(c):
+                total = j_double(total)
+        shift = w * c
+        buckets: List[JPoint] = [J_INFINITY] * mask
+        for pt, scalar in zip(affine, reduced):
+            if pt is None:
+                continue
+            idx = (scalar >> shift) & mask
+            if idx:
+                buckets[idx - 1] = j_add_mixed(buckets[idx - 1], pt)
+        running = J_INFINITY
+        window_sum = J_INFINITY
+        for bucket in reversed(buckets):
+            running = j_add(running, bucket)
+            window_sum = j_add(window_sum, running)
+        total = j_add(total, window_sum)
+    return to_affine(total)

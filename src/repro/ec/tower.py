@@ -1,0 +1,233 @@
+"""Polynomial extension fields for the BN254 pairing.
+
+The optimal-ate pairing on BN254 evaluates in Fq12, constructed here (as in
+py_ecc and early arkworks) as direct polynomial extensions of Fq:
+
+* ``Fq2  = Fq[u] / (u^2 + 1)``
+* ``Fq12 = Fq[w] / (w^12 - 18 w^6 + 82)``
+
+A single generic :class:`ExtensionField` implements arithmetic for any monic
+modulus polynomial: schoolbook multiplication with reduction, and inversion
+by the extended Euclidean algorithm over Fq[x].  This is not the fastest
+tower (no Karatsuba, no Frobenius precomputation) but it is compact,
+auditable, and exactly matches the reference pairing libraries' semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.field.counters import global_counter
+from repro.field.fp import BN254_FQ_MODULUS
+
+_Q = BN254_FQ_MODULUS
+
+IntoCoeffs = Union[int, "ExtensionField", Sequence[int]]
+
+
+class ExtensionField:
+    """Element of ``Fq[x] / modulus(x)`` for a fixed monic modulus.
+
+    Subclasses fix ``degree`` and ``modulus_coeffs`` (the low coefficients of
+    the monic modulus polynomial, i.e. ``x^degree + sum(c_i x^i)``).
+    Coefficients are canonical ints mod the BN254 base prime.
+    """
+
+    degree: int = 0
+    modulus_coeffs: Sequence[int] = ()
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Sequence[int]) -> None:
+        if len(coeffs) != self.degree:
+            raise ValueError(
+                f"expected {self.degree} coefficients, got {len(coeffs)}"
+            )
+        self.coeffs = [c % _Q for c in coeffs]
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "ExtensionField":
+        return cls([0] * cls.degree)
+
+    @classmethod
+    def one(cls) -> "ExtensionField":
+        return cls([1] + [0] * (cls.degree - 1))
+
+    @classmethod
+    def from_int(cls, value: int) -> "ExtensionField":
+        return cls([value] + [0] * (cls.degree - 1))
+
+    def _coerce(self, other: IntoCoeffs) -> "ExtensionField":
+        if isinstance(other, ExtensionField):
+            if type(other) is not type(self):
+                raise TypeError(
+                    f"cannot mix {type(self).__name__} and {type(other).__name__}"
+                )
+            return other
+        if isinstance(other, int):
+            return type(self).from_int(other)
+        raise TypeError(f"cannot coerce {other!r} into {type(self).__name__}")
+
+    # -- ring operations ----------------------------------------------------------
+
+    def __add__(self, other: IntoCoeffs) -> "ExtensionField":
+        o = self._coerce(other)
+        global_counter().field_add += self.degree
+        return type(self)(
+            [(a + b) % _Q for a, b in zip(self.coeffs, o.coeffs)]
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntoCoeffs) -> "ExtensionField":
+        o = self._coerce(other)
+        global_counter().field_add += self.degree
+        return type(self)(
+            [(a - b) % _Q for a, b in zip(self.coeffs, o.coeffs)]
+        )
+
+    def __rsub__(self, other: IntoCoeffs) -> "ExtensionField":
+        return self._coerce(other).__sub__(self)
+
+    def __neg__(self) -> "ExtensionField":
+        return type(self)([-c % _Q for c in self.coeffs])
+
+    def __mul__(self, other: IntoCoeffs) -> "ExtensionField":
+        if isinstance(other, int):
+            global_counter().field_mul += self.degree
+            return type(self)([(c * other) % _Q for c in self.coeffs])
+        o = self._coerce(other)
+        deg = self.degree
+        global_counter().field_mul += deg * deg
+        # Schoolbook product ...
+        product = [0] * (2 * deg - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(o.coeffs):
+                product[i + j] += a * b
+        # ... then reduce by the monic modulus: x^deg = -modulus_coeffs.
+        for exp in range(2 * deg - 2, deg - 1, -1):
+            top = product[exp] % _Q
+            if top == 0:
+                continue
+            product[exp] = 0
+            base = exp - deg
+            for i, c in enumerate(self.modulus_coeffs):
+                if c:
+                    product[base + i] -= top * c
+        return type(self)([c % _Q for c in product[:deg]])
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: IntoCoeffs) -> "ExtensionField":
+        o = self._coerce(other)
+        return self * o.inverse()
+
+    def __rtruediv__(self, other: IntoCoeffs) -> "ExtensionField":
+        return self._coerce(other) * self.inverse()
+
+    def __pow__(self, exponent: int) -> "ExtensionField":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = type(self).one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def inverse(self) -> "ExtensionField":
+        """Extended Euclid over Fq[x] against the modulus polynomial."""
+        if not self:
+            raise ZeroDivisionError(f"inverse of zero in {type(self).__name__}")
+        global_counter().field_inv += 1
+        deg = self.degree
+        lm, hm = [1] + [0] * deg, [0] * (deg + 1)
+        low = list(self.coeffs) + [0]
+        high = list(self.modulus_coeffs) + [0] * (deg - len(self.modulus_coeffs)) + [1]
+        while _poly_degree(low):
+            r = _poly_div(high, low)
+            r += [0] * (deg + 1 - len(r))
+            nm, new = list(hm), list(high)
+            for i in range(deg + 1):
+                for j in range(deg + 1 - i):
+                    nm[i + j] -= lm[i] * r[j]
+                    new[i + j] -= low[i] * r[j]
+            nm = [c % _Q for c in nm]
+            new = [c % _Q for c in new]
+            lm, low, hm, high = nm, new, lm, low
+        inv_lead = pow(low[0], -1, _Q)
+        return type(self)([(c * inv_lead) % _Q for c in lm[:deg]])
+
+    # -- comparisons / misc ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExtensionField):
+            return type(self) is type(other) and self.coeffs == other.coeffs
+        if isinstance(other, int):
+            return self == type(self).from_int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(self.coeffs)))
+
+    def __bool__(self) -> bool:
+        return any(self.coeffs)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.coeffs})"
+
+
+def _poly_degree(poly: Sequence[int]) -> int:
+    for i in range(len(poly) - 1, 0, -1):
+        if poly[i] % _Q:
+            return i
+    return 0
+
+
+def _poly_div(numerator: Sequence[int], denominator: Sequence[int]) -> List[int]:
+    """Floor division of polynomials over Fq (py_ecc-style helper)."""
+    num = [n % _Q for n in numerator]
+    deg_num = _poly_degree(num)
+    deg_den = _poly_degree(denominator)
+    out = [0] * (deg_num - deg_den + 1)
+    inv_lead = pow(denominator[deg_den] % _Q, -1, _Q)
+    for shift in range(deg_num - deg_den, -1, -1):
+        factor = (num[deg_den + shift] * inv_lead) % _Q
+        out[shift] = factor
+        if factor == 0:
+            continue
+        for i in range(deg_den + 1):
+            num[shift + i] = (num[shift + i] - factor * denominator[i]) % _Q
+    return out
+
+
+class FQ2(ExtensionField):
+    """BN254 Fq2 = Fq[u] / (u^2 + 1)."""
+
+    degree = 2
+    modulus_coeffs = (1, 0)
+    __slots__ = ()
+
+
+class FQ12(ExtensionField):
+    """BN254 Fq12 = Fq[w] / (w^12 - 18 w^6 + 82)."""
+
+    degree = 12
+    modulus_coeffs = (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0)
+    __slots__ = ()
+
+
+def fq2(c0: int, c1: int) -> FQ2:
+    """Convenience constructor ``c0 + c1*u``."""
+    return FQ2([c0, c1])
+
+
+def fq12(coeffs: Sequence[int]) -> FQ12:
+    return FQ12(list(coeffs))

@@ -1,0 +1,56 @@
+"""Quantized neural-network substrate.
+
+zkSNARK NNs prove *quantized integer* inference (§2.2): activations are
+uint8, weights int8, accumulators int32, and every layer is expressible with
+additions and multiplications (plus comparisons for ReLU).  This package
+provides that plaintext substrate:
+
+* :mod:`repro.nn.quantize`   — symmetric-weight affine quantization and
+  power-of-two requantization (chosen to be zkSNARK-friendly: the circuit
+  proves an exact integer identity, never a float rounding);
+* :mod:`repro.nn.layers`     — Conv2d (im2col), Linear, AvgPool2d, ReLU,
+  BatchNorm, residual Add, Flatten, with MAC/addition counts;
+* :mod:`repro.nn.graph`      — a small DAG model container with traced
+  execution (the trace is the zk witness source);
+* :mod:`repro.nn.models`     — the paper's six networks (Table 4) in full
+  and ``mini`` scale;
+* :mod:`repro.nn.data`       — deterministic synthetic MNIST / CIFAR-10
+  stand-ins (see DESIGN.md "Substitutions").
+"""
+
+from repro.nn.quantize import QuantParams, quantize_weights, requant_shift
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Layer,
+    Linear,
+    ReLU,
+)
+from repro.nn.graph import LayerTrace, Model, Node
+from repro.nn.models import MODEL_BUILDERS, build_model, model_table
+from repro.nn.data import synthetic_cifar10, synthetic_mnist
+
+__all__ = [
+    "QuantParams",
+    "quantize_weights",
+    "requant_shift",
+    "Layer",
+    "Conv2d",
+    "Linear",
+    "AvgPool2d",
+    "ReLU",
+    "BatchNorm",
+    "Add",
+    "Flatten",
+    "Model",
+    "Node",
+    "LayerTrace",
+    "MODEL_BUILDERS",
+    "build_model",
+    "model_table",
+    "synthetic_mnist",
+    "synthetic_cifar10",
+]

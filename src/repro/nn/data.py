@@ -1,0 +1,69 @@
+"""Deterministic synthetic stand-ins for MNIST and CIFAR-10.
+
+The paper evaluates on MNIST (28x28x1 uint8) and CIFAR-10 (32x32x3 uint8).
+No dataset downloads are possible here, and zkSNARK proving cost depends
+only on tensor shapes and value distributions — never on what the pixels
+depict — so we synthesize images with matched shape, dtype, and a natural
+low-frequency structure (smoothed noise) whose value histogram resembles
+photographs more than white noise does.  Labels are deterministic functions
+of the image so accuracy-style experiments (ZEN's n=100 batch proof,
+Fig. 14) remain meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """A batch of synthetic images with deterministic labels."""
+
+    name: str
+    images: np.ndarray  # (n, c, h, w) int64 in [0, 255]
+    labels: np.ndarray  # (n,) int64 in [0, num_classes)
+    num_classes: int
+
+
+def _smooth_images(
+    rng: np.random.Generator, n: int, shape: Tuple[int, int, int]
+) -> np.ndarray:
+    """Low-frequency uint8 images: white noise blurred by a box filter."""
+    c, h, w = shape
+    raw = rng.normal(loc=128.0, scale=64.0, size=(n, c, h + 2, w + 2))
+    # 3x3 box blur gives photograph-like local correlation.
+    blurred = sum(
+        raw[:, :, di : di + h, dj : dj + w] for di in range(3) for dj in range(3)
+    ) / 9.0
+    return np.clip(np.round(blurred), 0, 255).astype(np.int64)
+
+
+def _labels_for(images: np.ndarray, num_classes: int) -> np.ndarray:
+    """Deterministic pseudo-labels: bucket the mean intensity."""
+    means = images.reshape(images.shape[0], -1).mean(axis=1)
+    return (np.floor(means) % num_classes).astype(np.int64)
+
+
+def synthetic_mnist(n: int = 16, seed: int = 0) -> SyntheticDataset:
+    """``n`` MNIST-shaped images: (1, 28, 28) uint8 grayscale."""
+    rng = np.random.default_rng(seed)
+    images = _smooth_images(rng, n, (1, 28, 28))
+    return SyntheticDataset("mnist-synthetic", images, _labels_for(images, 10), 10)
+
+
+def synthetic_cifar10(n: int = 16, seed: int = 0) -> SyntheticDataset:
+    """``n`` CIFAR-10-shaped images: (3, 32, 32) uint8 RGB."""
+    rng = np.random.default_rng(seed)
+    images = _smooth_images(rng, n, (3, 32, 32))
+    return SyntheticDataset("cifar10-synthetic", images, _labels_for(images, 10), 10)
+
+
+def synthetic_images(
+    shape: Tuple[int, int, int], n: int = 4, seed: int = 0
+) -> np.ndarray:
+    """Arbitrary-shape synthetic images (used by the ``mini`` model variants)."""
+    rng = np.random.default_rng(seed)
+    return _smooth_images(rng, n, shape)

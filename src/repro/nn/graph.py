@@ -1,0 +1,148 @@
+"""DAG model container with traced integer execution.
+
+The trace — per-layer inputs, raw accumulators, and outputs — doubles as the
+zero-knowledge witness source: the compiler walks it to assign every wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer, LayerOutput, Shape
+
+INPUT = "__input__"
+
+
+@dataclass
+class Node:
+    """One named layer and the node names feeding it."""
+
+    name: str
+    layer: Layer
+    inputs: Tuple[str, ...]
+
+
+@dataclass
+class LayerTrace:
+    """Recorded execution of one node."""
+
+    name: str
+    layer: Layer
+    input_values: List[np.ndarray]
+    acc: np.ndarray
+    out: np.ndarray
+
+
+class Model:
+    """A topologically ordered DAG of layers (sequential + residual skips)."""
+
+    def __init__(self, name: str, input_shape: Shape) -> None:
+        self.name = name
+        self.input_shape = input_shape
+        self.nodes: List[Node] = []
+        self._names: Dict[str, int] = {}
+        self._shapes: Dict[str, Shape] = {INPUT: input_shape}
+
+    # -- construction ------------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        layer: Layer,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Append a node; default input is the previous node (or the image)."""
+        if name in self._names:
+            raise ValueError(f"duplicate node name {name!r}")
+        if inputs is None:
+            inputs = (self.nodes[-1].name,) if self.nodes else (INPUT,)
+        inputs = tuple(inputs)
+        for src in inputs:
+            if src != INPUT and src not in self._names:
+                raise ValueError(f"node {name!r} reads unknown input {src!r}")
+        in_shape = self._shapes[inputs[0]]
+        self._shapes[name] = layer.out_shape(in_shape)
+        self._names[name] = len(self.nodes)
+        self.nodes.append(Node(name, layer, inputs))
+        return name
+
+    # -- introspection -----------------------------------------------------------
+
+    def shape_of(self, name: str) -> Shape:
+        return self._shapes[name]
+
+    @property
+    def output_name(self) -> str:
+        return self.nodes[-1].name
+
+    @property
+    def output_shape(self) -> Shape:
+        return self._shapes[self.output_name]
+
+    def node(self, name: str) -> Node:
+        return self.nodes[self._names[name]]
+
+    def total_macs(self) -> int:
+        return sum(
+            node.layer.macs(self._shapes[node.inputs[0]]) for node in self.nodes
+        )
+
+    def total_adds(self) -> int:
+        return sum(
+            node.layer.adds(self._shapes[node.inputs[0]]) for node in self.nodes
+        )
+
+    def total_flops(self) -> int:
+        """MACs + standalone additions — the Table 4 '#FLOPs' convention."""
+        return self.total_macs() + sum(
+            node.layer.adds(self._shapes[node.inputs[0]])
+            for node in self.nodes
+            if node.layer.kind == "ewise"
+        )
+
+    def num_params(self) -> int:
+        return sum(node.layer.num_params() for node in self.nodes)
+
+    def num_layers(self) -> int:
+        return len(self.nodes)
+
+    # -- execution --------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.trace(x)[-1].out
+
+    def trace(self, x: np.ndarray) -> List[LayerTrace]:
+        """Run the model and record every node's inputs/accumulator/output."""
+        if tuple(x.shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"{self.name} expects input {self.input_shape}, got {x.shape}"
+            )
+        values: Dict[str, np.ndarray] = {INPUT: x.astype(np.int64)}
+        traces: List[LayerTrace] = []
+        for node in self.nodes:
+            ins = [values[src] for src in node.inputs]
+            result: LayerOutput = node.layer.forward(*ins)
+            values[node.name] = result.out
+            traces.append(
+                LayerTrace(
+                    name=node.name,
+                    layer=node.layer,
+                    input_values=ins,
+                    acc=result.acc,
+                    out=result.out,
+                )
+            )
+        return traces
+
+    def predict(self, x: np.ndarray) -> int:
+        """Argmax class of the final logits."""
+        return int(np.argmax(self.forward(x)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name}: {len(self.nodes)} layers, "
+            f"in={self.input_shape}, out={self.output_shape})"
+        )

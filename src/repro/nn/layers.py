@@ -1,0 +1,368 @@
+"""Integer NN layers with traced accumulators.
+
+Every layer's ``forward`` returns both the raw integer accumulator (what the
+zk dot-product circuit proves) and the post-requantization activation (what
+the next layer consumes).  Shapes follow the NCHW-without-N convention:
+``(channels, height, width)`` for conv stacks and ``(features,)`` after
+flattening.
+
+Cost accounting (``macs`` / ``adds``) feeds three consumers: Table 4's FLOP
+inventory, the workload-specialized parallel scheduler's gate counting
+(§5.2 — "the number of gates for a NN layer is proportional to the number
+of computation in this layer"), and the analytic circuit-size model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.quantize import apply_requant, assert_uint8
+
+Shape = Tuple[int, ...]
+
+
+@dataclass
+class LayerOutput:
+    """Raw accumulator plus requantized activation for one layer."""
+
+    acc: np.ndarray  # int64 accumulator, pre-requant / pre-ReLU
+    out: np.ndarray  # int64 activation handed to the next layer
+
+
+class Layer:
+    """Base layer: integer forward pass plus cost/shape accounting."""
+
+    #: "dot" layers compile to dot-product circuits; "ewise" to per-element
+    #: gadgets; "shape" layers generate no constraints.
+    kind: str = "shape"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        raise NotImplementedError
+
+    def forward(self, *xs: np.ndarray) -> LayerOutput:
+        raise NotImplementedError
+
+    def macs(self, in_shape: Shape) -> int:
+        """Multiply-accumulate count — one multiplication gate each."""
+        return 0
+
+    def adds(self, in_shape: Shape) -> int:
+        """Addition count — one addition gate each in the baseline circuit."""
+        return 0
+
+    def dot_geometry(self, in_shape: Shape) -> Optional[Tuple[int, int]]:
+        """``(num_dots, dot_length)`` for dot-product layers, else None.
+
+        This is the (m*k, n) factorization of Table 3: a conv/FC layer is a
+        bag of independent dot products, each of the returned length.
+        """
+        return None
+
+    def num_params(self) -> int:
+        return 0
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col, int8 weights, int32 bias."""
+
+    kind = "dot"
+
+    def __init__(
+        self,
+        weight: np.ndarray,  # (c_out, c_in, kh, kw) int
+        bias: Optional[np.ndarray] = None,  # (c_out,) int
+        stride: int = 1,
+        padding: int = 0,
+        requant: int = 0,
+    ) -> None:
+        if weight.ndim != 4:
+            raise ValueError(f"conv weight must be 4-D, got {weight.shape}")
+        self.weight = weight.astype(np.int64)
+        c_out = weight.shape[0]
+        self.bias = (
+            bias.astype(np.int64) if bias is not None else np.zeros(c_out, np.int64)
+        )
+        self.stride = stride
+        self.padding = padding
+        self.requant = requant
+
+    # -- geometry ---------------------------------------------------------------
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c_in, h, w = in_shape
+        c_out, c_in_w, kh, kw = self.weight.shape
+        if c_in != c_in_w:
+            raise ValueError(
+                f"conv expects {c_in_w} input channels, got {c_in}"
+            )
+        oh = (h + 2 * self.padding - kh) // self.stride + 1
+        ow = (w + 2 * self.padding - kw) // self.stride + 1
+        return (c_out, oh, ow)
+
+    def im2col(self, x: np.ndarray) -> np.ndarray:
+        """Unfold input into a ``(c_in*kh*kw, oh*ow)`` patch matrix."""
+        c_in, h, w = x.shape
+        _, _, kh, kw = self.weight.shape
+        if self.padding:
+            x = np.pad(
+                x,
+                ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            )
+        _, oh, ow = self.out_shape((c_in, h, w))
+        cols = np.empty((c_in * kh * kw, oh * ow), dtype=np.int64)
+        idx = 0
+        for c in range(c_in):
+            for i in range(kh):
+                for j in range(kw):
+                    patch = x[
+                        c,
+                        i : i + oh * self.stride : self.stride,
+                        j : j + ow * self.stride : self.stride,
+                    ]
+                    cols[idx] = patch.reshape(-1)
+                    idx += 1
+        return cols
+
+    # -- execution ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        in_shape = x.shape
+        cols = self.im2col(x)
+        w_mat = self.weight.reshape(self.weight.shape[0], -1)
+        acc = w_mat @ cols + self.bias[:, None]
+        acc = acc.reshape(self.out_shape(in_shape))
+        out = apply_requant(acc, self.requant)
+        return LayerOutput(acc=acc, out=out)
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def dot_geometry(self, in_shape: Shape) -> Tuple[int, int]:
+        c_out, oh, ow = self.out_shape(in_shape)
+        n = int(np.prod(self.weight.shape[1:]))
+        return (c_out * oh * ow, n)
+
+    def macs(self, in_shape: Shape) -> int:
+        num_dots, n = self.dot_geometry(in_shape)
+        return num_dots * n
+
+    def adds(self, in_shape: Shape) -> int:
+        num_dots, n = self.dot_geometry(in_shape)
+        return num_dots * (n - 1)
+
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class Linear(Layer):
+    """Fully connected layer ``acc = W x + b``."""
+
+    kind = "dot"
+
+    def __init__(
+        self,
+        weight: np.ndarray,  # (c_out, c_in) int
+        bias: Optional[np.ndarray] = None,
+        requant: int = 0,
+    ) -> None:
+        if weight.ndim != 2:
+            raise ValueError(f"linear weight must be 2-D, got {weight.shape}")
+        self.weight = weight.astype(np.int64)
+        self.bias = (
+            bias.astype(np.int64)
+            if bias is not None
+            else np.zeros(weight.shape[0], np.int64)
+        )
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        (c_in,) = in_shape
+        if c_in != self.weight.shape[1]:
+            raise ValueError(
+                f"linear expects {self.weight.shape[1]} features, got {c_in}"
+            )
+        return (self.weight.shape[0],)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        acc = self.weight @ x + self.bias
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def dot_geometry(self, in_shape: Shape) -> Tuple[int, int]:
+        return (self.weight.shape[0], self.weight.shape[1])
+
+    def macs(self, in_shape: Shape) -> int:
+        return int(self.weight.size)
+
+    def adds(self, in_shape: Shape) -> int:
+        return self.weight.shape[0] * (self.weight.shape[1] - 1)
+
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class AvgPool2d(Layer):
+    """Average pooling as a ones-vector dot product plus a shift (§5.1).
+
+    The window size must be a power of two squared so the division is an
+    exact power-of-two shift (the paper follows ZEN's average-pool scheme).
+    """
+
+    kind = "dot"
+
+    def __init__(self, size: int = 2) -> None:
+        if size & (size - 1):
+            raise ValueError("pool size must be a power of two")
+        self.size = size
+        self.requant = 2 * (size.bit_length() - 1)  # log2(size^2)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if h % self.size or w % self.size:
+            raise ValueError(
+                f"pool size {self.size} does not divide {h}x{w}"
+            )
+        return (c, h // self.size, w // self.size)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        c, h, w = x.shape
+        s = self.size
+        acc = (
+            x.reshape(c, h // s, s, w // s, s)
+            .sum(axis=(2, 4))
+            .astype(np.int64)
+        )
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def dot_geometry(self, in_shape: Shape) -> Tuple[int, int]:
+        c, oh, ow = self.out_shape(in_shape)
+        return (c * oh * ow, self.size * self.size)
+
+    def macs(self, in_shape: Shape) -> int:
+        return 0  # multiplications by the public ones-vector are free
+
+    def adds(self, in_shape: Shape) -> int:
+        num_dots, n = self.dot_geometry(in_shape)
+        return num_dots * (n - 1)
+
+
+class MaxPool2d(Layer):
+    """Max pooling — the paper's "higher cost" pooling variant (§2.2).
+
+    Unlike average pooling (a free dot product with a public ones-vector),
+    every window maximum needs comparison gadgets in the circuit:
+    ``max(a, b) = a + relu(b - a)``, chained across the window.
+    """
+
+    kind = "maxpool"
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 2:
+            raise ValueError("pool size must be >= 2")
+        self.size = size
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if h % self.size or w % self.size:
+            raise ValueError(f"pool size {self.size} does not divide {h}x{w}")
+        return (c, h // self.size, w // self.size)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        c, h, w = x.shape
+        s = self.size
+        out = x.reshape(c, h // s, s, w // s, s).max(axis=(2, 4))
+        return LayerOutput(acc=out, out=out)
+
+    def adds(self, in_shape: Shape) -> int:
+        # One comparison per non-first window element.
+        c, oh, ow = self.out_shape(in_shape)
+        return c * oh * ow * (self.size * self.size - 1)
+
+
+class ReLU(Layer):
+    """Elementwise ``max(0, x)`` — the expensive comparison layer (§2.2)."""
+
+    kind = "ewise"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        out = np.maximum(x, 0)
+        return LayerOutput(acc=x, out=assert_uint8(out, "relu"))
+
+    def adds(self, in_shape: Shape) -> int:
+        # One comparison per element; counted as an "add" for gate totals.
+        return int(np.prod(in_shape))
+
+
+class BatchNorm(Layer):
+    """Inference-mode batch norm on the accumulator: ``g*x + b`` (§6.2).
+
+    Integer gamma/beta act on the *pre-requant* accumulator so fusing into
+    the preceding conv/FC (``W' = g W``, ``b' = g b_conv + b``) is exact.
+    """
+
+    kind = "ewise"
+
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, requant: int = 0):
+        self.gamma = gamma.astype(np.int64)  # per-channel
+        self.beta = beta.astype(np.int64)
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def _broadcast(self, x: np.ndarray):
+        if x.ndim == 3:
+            return self.gamma[:, None, None], self.beta[:, None, None]
+        return self.gamma, self.beta
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        g, b = self._broadcast(x)
+        acc = g * x + b
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def macs(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+    def adds(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+    def num_params(self) -> int:
+        return self.gamma.size + self.beta.size
+
+
+class Add(Layer):
+    """Residual addition with a shift-1 requant to stay in uint8."""
+
+    kind = "ewise"
+
+    def __init__(self, requant: int = 1) -> None:
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def forward(self, a: np.ndarray, b: np.ndarray) -> LayerOutput:
+        if a.shape != b.shape:
+            raise ValueError(f"residual shapes differ: {a.shape} vs {b.shape}")
+        acc = a + b
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def adds(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+
+class Flatten(Layer):
+    """Reshape to 1-D; generates no constraints."""
+
+    kind = "shape"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (int(np.prod(in_shape)),)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        flat = x.reshape(-1)
+        return LayerOutput(acc=flat, out=flat)

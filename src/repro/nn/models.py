@@ -1,0 +1,437 @@
+"""The paper's six evaluation networks (Table 4), plus ``mini`` variants.
+
+Full-size variants match Table 4's FLOP inventory to within the precision
+its architecture descriptions allow (the paper gives layer counts, not
+channel widths; widths here are chosen so measured #FLOPs land near the
+reported column — see EXPERIMENTS.md for actual vs paper numbers):
+
+=============  =====  ==============  =========================
+Network        Abbr.  paper #FLOPs(K) construction
+=============  =====  ==============  =========================
+ShallowNet     SHAL   102             FC-128, ReLU, FC-10 (MNIST)
+LeNetCifarSm.  LCS    530             LeNet-5, base width 6
+LeNetCifarLg.  LCL    7,170           LeNet-5, base width 32
+VggNet-16      VGG16  19,917          VGG-16 @ width 16
+ResNet-18      RES18  32,355          ResNet-18 @ width 16
+ResNet-50      RES50  69,191          ResNet-50 @ width 14
+=============  =====  ==============  =========================
+
+``mini`` variants shrink the spatial input (CIFAR 32->16, MNIST 28->14) and
+halve widths; they exist so end-to-end proving benchmarks finish in
+pure-Python time while full variants feed the analytic circuit-size model.
+
+Weights are drawn from a Normal distribution and symmetrically quantized to
+int8 — matching the paper's cache-service assumption that "NN weights and
+features usually follow Normal distribution" (§6.1).  Requantization shifts
+are calibrated on synthetic images so the no-clipping invariant holds
+(see :mod:`repro.nn.quantize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.data import synthetic_images
+from repro.nn.graph import INPUT, Model
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Linear,
+    ReLU,
+)
+from repro.nn.quantize import requant_shift
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Table 4 row metadata."""
+
+    abbr: str
+    full_name: str
+    dataset: str  # "mnist" | "cifar10"
+    paper_flops_k: int
+    paper_accuracy: float  # reported in Table 4 (we cannot train here)
+
+
+MODEL_INFO: Dict[str, ModelInfo] = {
+    "SHAL": ModelInfo("SHAL", "ShallowNet", "mnist", 102, 94.91),
+    "LCS": ModelInfo("LCS", "LeNetCifarSmall", "cifar10", 530, 55.35),
+    "LCL": ModelInfo("LCL", "LeNetCifarLarge", "cifar10", 7_170, 63.68),
+    "VGG16": ModelInfo("VGG16", "VggNet-16", "cifar10", 19_917, 84.19),
+    "RES18": ModelInfo("RES18", "ResNet-18", "cifar10", 32_355, 85.45),
+    "RES50": ModelInfo("RES50", "ResNet-50", "cifar10", 69_191, 87.05),
+}
+
+
+class _WeightSampler:
+    """Deterministic Normal-distributed int8 weight generator."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def conv(self, c_out: int, c_in: int, k: int) -> np.ndarray:
+        fan_in = c_in * k * k
+        real = self.rng.normal(0.0, 1.0 / np.sqrt(fan_in), (c_out, c_in, k, k))
+        scale = np.max(np.abs(real)) / 127.0 or 1.0
+        return np.clip(np.round(real / scale), -127, 127).astype(np.int64)
+
+    def linear(self, c_out: int, c_in: int) -> np.ndarray:
+        real = self.rng.normal(0.0, 1.0 / np.sqrt(c_in), (c_out, c_in))
+        scale = np.max(np.abs(real)) / 127.0 or 1.0
+        return np.clip(np.round(real / scale), -127, 127).astype(np.int64)
+
+    def bias(self, c_out: int) -> np.ndarray:
+        return self.rng.integers(-64, 64, c_out).astype(np.int64)
+
+    def bn(self, channels: int) -> Tuple[np.ndarray, np.ndarray]:
+        gamma = self.rng.integers(1, 4, channels).astype(np.int64)
+        beta = self.rng.integers(-32, 32, channels).astype(np.int64)
+        return gamma, beta
+
+
+# -- builders -----------------------------------------------------------------
+
+
+def _shallownet(sampler: _WeightSampler, side: int, width: int) -> Model:
+    model = Model("ShallowNet", (1, side, side))
+    model.add("flatten", Flatten())
+    model.add("fc1", Linear(sampler.linear(width, side * side), sampler.bias(width)))
+    model.add("relu1", ReLU())
+    model.add("fc2", Linear(sampler.linear(10, width), sampler.bias(10)))
+    return model
+
+
+def _lenet(
+    sampler: _WeightSampler, side: int, widths: Tuple[int, int, int, int]
+) -> Model:
+    """LeNet-5 skeleton: 2x (conv5x5, relu, avgpool) + 3 FC layers."""
+    c1, c2, f1, f2 = widths
+    model = Model("LeNet", (3, side, side))
+    model.add("conv1", Conv2d(sampler.conv(c1, 3, 5), sampler.bias(c1)))
+    model.add("relu1", ReLU())
+    model.add("pool1", AvgPool2d(2))
+    model.add("conv2", Conv2d(sampler.conv(c2, c1, 5), sampler.bias(c2)))
+    model.add("relu2", ReLU())
+    model.add("pool2", AvgPool2d(2))
+    model.add("flatten", Flatten())
+    flat = model.shape_of("flatten")[0]
+    model.add("fc1", Linear(sampler.linear(f1, flat), sampler.bias(f1)))
+    model.add("relu3", ReLU())
+    model.add("fc2", Linear(sampler.linear(f2, f1), sampler.bias(f2)))
+    model.add("relu4", ReLU())
+    model.add("fc3", Linear(sampler.linear(10, f2), sampler.bias(10)))
+    return model
+
+
+_VGG16_PLAN = [
+    (1, 1), "M", (2, 2), "M", (4, 4, 4), "M", (8, 8, 8), "M", (8, 8, 8), "M"
+]  # channel multipliers of the base width; "M" = 2x2 average pool
+
+
+def _vgg16(sampler: _WeightSampler, side: int, width: int) -> Model:
+    model = Model("VggNet-16", (3, side, side))
+    c_in = 3
+    conv_idx = 0
+    pool_idx = 0
+    for stage in _VGG16_PLAN:
+        if stage == "M":
+            pool_idx += 1
+            model.add(f"pool{pool_idx}", AvgPool2d(2))
+            continue
+        for mult in stage:
+            conv_idx += 1
+            c_out = mult * width
+            model.add(
+                f"conv{conv_idx}",
+                Conv2d(sampler.conv(c_out, c_in, 3), sampler.bias(c_out), padding=1),
+            )
+            model.add(f"relu{conv_idx}", ReLU())
+            c_in = c_out
+    model.add("flatten", Flatten())
+    flat = model.shape_of("flatten")[0]
+    model.add("fc1", Linear(sampler.linear(8 * width, flat), sampler.bias(8 * width)))
+    model.add("relu_fc1", ReLU())
+    model.add("fc2", Linear(sampler.linear(8 * width, 8 * width), sampler.bias(8 * width)))
+    model.add("relu_fc2", ReLU())
+    model.add("fc3", Linear(sampler.linear(10, 8 * width), sampler.bias(10)))
+    return model
+
+
+def _basic_block(
+    model: Model,
+    sampler: _WeightSampler,
+    prefix: str,
+    src: str,
+    c_in: int,
+    c_out: int,
+    stride: int,
+) -> str:
+    """ResNet-18/34 basic block; returns the output node name."""
+    model.add(
+        f"{prefix}.conv1",
+        Conv2d(sampler.conv(c_out, c_in, 3), stride=stride, padding=1),
+        inputs=(src,),
+    )
+    g, b = sampler.bn(c_out)
+    model.add(f"{prefix}.bn1", BatchNorm(g, b))
+    model.add(f"{prefix}.relu1", ReLU())
+    model.add(
+        f"{prefix}.conv2", Conv2d(sampler.conv(c_out, c_out, 3), padding=1)
+    )
+    g, b = sampler.bn(c_out)
+    model.add(f"{prefix}.bn2", BatchNorm(g, b))
+    shortcut = src
+    if stride != 1 or c_in != c_out:
+        model.add(
+            f"{prefix}.down",
+            Conv2d(sampler.conv(c_out, c_in, 1), stride=stride),
+            inputs=(src,),
+        )
+        g, b = sampler.bn(c_out)
+        model.add(f"{prefix}.down_bn", BatchNorm(g, b))
+        shortcut = f"{prefix}.down_bn"
+    model.add(f"{prefix}.add", Add(), inputs=(f"{prefix}.bn2", shortcut))
+    model.add(f"{prefix}.relu2", ReLU())
+    return f"{prefix}.relu2"
+
+
+def _bottleneck_block(
+    model: Model,
+    sampler: _WeightSampler,
+    prefix: str,
+    src: str,
+    c_in: int,
+    c_mid: int,
+    stride: int,
+) -> Tuple[str, int]:
+    """ResNet-50 bottleneck (1x1 -> 3x3 -> 1x1, expansion 4)."""
+    c_out = 4 * c_mid
+    model.add(
+        f"{prefix}.conv1", Conv2d(sampler.conv(c_mid, c_in, 1)), inputs=(src,)
+    )
+    g, b = sampler.bn(c_mid)
+    model.add(f"{prefix}.bn1", BatchNorm(g, b))
+    model.add(f"{prefix}.relu1", ReLU())
+    model.add(
+        f"{prefix}.conv2",
+        Conv2d(sampler.conv(c_mid, c_mid, 3), stride=stride, padding=1),
+    )
+    g, b = sampler.bn(c_mid)
+    model.add(f"{prefix}.bn2", BatchNorm(g, b))
+    model.add(f"{prefix}.relu2", ReLU())
+    model.add(f"{prefix}.conv3", Conv2d(sampler.conv(c_out, c_mid, 1)))
+    g, b = sampler.bn(c_out)
+    model.add(f"{prefix}.bn3", BatchNorm(g, b))
+    shortcut = src
+    if stride != 1 or c_in != c_out:
+        model.add(
+            f"{prefix}.down",
+            Conv2d(sampler.conv(c_out, c_in, 1), stride=stride),
+            inputs=(src,),
+        )
+        g, b = sampler.bn(c_out)
+        model.add(f"{prefix}.down_bn", BatchNorm(g, b))
+        shortcut = f"{prefix}.down_bn"
+    model.add(f"{prefix}.add", Add(), inputs=(f"{prefix}.bn3", shortcut))
+    model.add(f"{prefix}.relu3", ReLU())
+    return f"{prefix}.relu3", c_out
+
+
+def _resnet18(sampler: _WeightSampler, side: int, width: int) -> Model:
+    model = Model("ResNet-18", (3, side, side))
+    model.add("conv0", Conv2d(sampler.conv(width, 3, 3), padding=1))
+    g, b = sampler.bn(width)
+    model.add("bn0", BatchNorm(g, b))
+    model.add("relu0", ReLU())
+    src, c_in = "relu0", width
+    plan = [(width, 1), (width, 1), (2 * width, 2), (2 * width, 1),
+            (4 * width, 2), (4 * width, 1), (8 * width, 2), (8 * width, 1)]
+    for i, (c_out, stride) in enumerate(plan):
+        src = _basic_block(model, sampler, f"b{i}", src, c_in, c_out, stride)
+        c_in = c_out
+    final_side = model.shape_of(src)[1]
+    model.add("gap", AvgPool2d(final_side), inputs=(src,))
+    model.add("flatten", Flatten())
+    model.add("fc", Linear(sampler.linear(10, c_in), sampler.bias(10)))
+    return model
+
+
+def _resnet50(sampler: _WeightSampler, side: int, width: int) -> Model:
+    model = Model("ResNet-50", (3, side, side))
+    model.add("conv0", Conv2d(sampler.conv(width, 3, 3), padding=1))
+    g, b = sampler.bn(width)
+    model.add("bn0", BatchNorm(g, b))
+    model.add("relu0", ReLU())
+    src, c_in = "relu0", width
+    plan = [
+        (width, 1, 3),        # stage 1: 3 bottlenecks
+        (2 * width, 2, 4),    # stage 2: 4
+        (4 * width, 2, 6),    # stage 3: 6
+        (8 * width, 2, 3),    # stage 4: 3
+    ]
+    block = 0
+    for c_mid, first_stride, count in plan:
+        for k in range(count):
+            stride = first_stride if k == 0 else 1
+            src, c_in = _bottleneck_block(
+                model, sampler, f"b{block}", src, c_in, c_mid, stride
+            )
+            block += 1
+    final_side = model.shape_of(src)[1]
+    model.add("gap", AvgPool2d(final_side), inputs=(src,))
+    model.add("flatten", Flatten())
+    model.add("fc", Linear(sampler.linear(10, c_in), sampler.bias(10)))
+    return model
+
+
+# -- calibration -----------------------------------------------------------------
+
+
+def calibrate(model: Model, num_images: int = 2, seed: int = 7) -> Model:
+    """Set requantization shifts so every activation stays inside uint8.
+
+    Walks nodes in topological order, accumulating worst-case magnitudes
+    over a few synthetic images.  A conv/FC immediately followed by a
+    BatchNorm keeps shift 0 (BN acts on the raw accumulator so fusion stays
+    exact, §6.2); the BN carries the shift instead.
+    """
+    followers: Dict[str, List[str]] = {}
+    for node in model.nodes:
+        for src in node.inputs:
+            followers.setdefault(src, []).append(node.name)
+
+    def feeds_bn(name: str) -> bool:
+        return any(
+            isinstance(model.node(f).layer, BatchNorm)
+            for f in followers.get(name, [])
+        )
+
+    images = synthetic_images(model.input_shape, n=num_images, seed=seed)
+    # Track the max |acc| seen per node across calibration images.
+    max_acc: Dict[str, int] = {}
+    for img in images:
+        values = {INPUT: img}
+        for node in model.nodes:
+            ins = [values[s] for s in node.inputs]
+            result = node.layer.forward(*ins)
+            values[node.name] = result.out
+            magnitude = int(np.max(np.abs(result.acc))) if result.acc.size else 0
+            max_acc[node.name] = max(max_acc.get(node.name, 0), magnitude)
+            # Update the shift on the fly so downstream layers see
+            # realistically scaled inputs during calibration itself.
+            if hasattr(node.layer, "requant") and not isinstance(
+                node.layer, (AvgPool2d, Add)
+            ):
+                if not feeds_bn(node.name):
+                    # Margin of 2x guards unseen inputs.
+                    node.layer.requant = requant_shift(2 * max_acc[node.name])
+                    values[node.name] = result.acc >> node.layer.requant
+                else:
+                    node.layer.requant = 0
+                    values[node.name] = result.acc
+    return model
+
+
+# -- registry ---------------------------------------------------------------------------
+
+
+#: Per-model construction parameters at each evaluation scale.  "full"
+#: matches Table 4's FLOP inventory; "mini"/"micro" shrink spatial input
+#: and widths for the pure-Python proving benchmarks (see DESIGN.md).
+_SCALES = {
+    "SHAL": {
+        "full": dict(side=28, width=128),
+        "mini": dict(side=14, width=32),
+        "micro": dict(side=14, width=16),
+    },
+    "LCS": {
+        "full": dict(side=32, widths=(6, 16, 120, 84)),
+        "mini": dict(side=16, widths=(4, 8, 32, 16)),
+        "micro": dict(side=16, widths=(3, 6, 16, 8)),
+    },
+    "LCL": {
+        "full": dict(side=32, widths=(32, 64, 256, 84)),
+        "mini": dict(side=16, widths=(8, 16, 64, 32)),
+        "micro": dict(side=16, widths=(6, 12, 32, 16)),
+    },
+    "VGG16": {
+        "full": dict(side=32, width=16),
+        "mini": dict(side=32, width=4),
+        "micro": dict(side=32, width=2),
+    },
+    "RES18": {
+        "full": dict(side=32, width=16),
+        "mini": dict(side=16, width=4),
+        "micro": dict(side=16, width=2),
+    },
+    "RES50": {
+        "full": dict(side=32, width=14),
+        "mini": dict(side=16, width=4),
+        "micro": dict(side=16, width=2),
+    },
+}
+
+_BUILDERS = {
+    "SHAL": _shallownet,
+    "LCS": _lenet,
+    "LCL": _lenet,
+    "VGG16": _vgg16,
+    "RES18": _resnet18,
+    "RES50": _resnet50,
+}
+
+
+def _build(abbr: str, scale: str, seed: int) -> Model:
+    if abbr not in MODEL_INFO:
+        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
+    if scale not in _SCALES[abbr]:
+        raise KeyError(
+            f"unknown scale {scale!r}; choose from {sorted(_SCALES[abbr])}"
+        )
+    sampler = _WeightSampler(seed)
+    model = _BUILDERS[abbr](sampler, **_SCALES[abbr][scale])
+    suffix = "" if scale == "full" else f"-{scale}"
+    model.name = f"{MODEL_INFO[abbr].full_name}{suffix}"
+    return calibrate(model)
+
+
+MODEL_BUILDERS: Dict[str, Callable[..., Model]] = {
+    abbr: (lambda a: lambda scale="full", seed=0: _build(a, scale, seed))(abbr)
+    for abbr in MODEL_INFO
+}
+
+MODEL_ORDER = ["SHAL", "LCS", "LCL", "VGG16", "RES18", "RES50"]
+
+
+def build_model(abbr: str, scale: str = "full", seed: int = 0) -> Model:
+    """Build one of the paper's six networks (``scale`` = "full" | "mini")."""
+    if abbr not in MODEL_INFO:
+        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
+    return _build(abbr, scale, seed)
+
+
+def model_table(scale: str = "full") -> List[dict]:
+    """Rows of Table 4: abbr, layer count, measured #FLOPs, paper #FLOPs."""
+    rows = []
+    for abbr in MODEL_ORDER:
+        model = build_model(abbr, scale=scale)
+        info = MODEL_INFO[abbr]
+        rows.append(
+            {
+                "abbr": abbr,
+                "network": info.full_name,
+                "dataset": info.dataset,
+                "layers": model.num_layers(),
+                "flops_k": model.total_flops() // 1000,
+                "paper_flops_k": info.paper_flops_k,
+                "paper_accuracy": info.paper_accuracy,
+                "params": model.num_params(),
+            }
+        )
+    return rows

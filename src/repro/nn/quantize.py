@@ -1,0 +1,88 @@
+"""zkSNARK-friendly quantization.
+
+Design constraints (why this differs from e.g. gemmlowp):
+
+* every value the circuit touches must be an *exact integer* — the circuit
+  proves integer identities, never float rounding;
+* requantization (int32 accumulator -> uint8 activation) must be provable
+  with cheap gadgets, so we restrict it to a **right shift by a public
+  power of two**: ``out = acc >> shift``.  The zk gadget for this is a
+  remainder bit-decomposition (see :mod:`repro.core.circuit.gadgets`);
+* clipping must never bind: shifts are calibrated on synthetic data so the
+  shifted accumulator always fits uint8, and every forward pass asserts it.
+  (ZEN [25] carries the same style of bit-width-aware constraints; folding
+  the rare clip would add range-check gadgets without changing any of the
+  paper's measured effects.)
+
+Weights are symmetric int8 (zero-point 0), activations uint8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+UINT8_MAX = 255
+INT8_MAX = 127
+ACTIVATION_BITS = 8
+WEIGHT_BITS = 8
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters for one tensor."""
+
+    scale: float
+    zero_point: int = 0
+    bits: int = 8
+
+    def quantize(self, real: np.ndarray) -> np.ndarray:
+        q = np.round(real / self.scale) + self.zero_point
+        lo, hi = 0, 2**self.bits - 1
+        if self.zero_point == 0:  # symmetric/signed convention for weights
+            lo, hi = -(2 ** (self.bits - 1) - 1), 2 ** (self.bits - 1) - 1
+        return np.clip(q, lo, hi).astype(np.int64)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return (q.astype(np.float64) - self.zero_point) * self.scale
+
+
+def quantize_weights(real: np.ndarray) -> np.ndarray:
+    """Symmetric int8 quantization of a float weight tensor."""
+    max_abs = float(np.max(np.abs(real))) or 1.0
+    params = QuantParams(scale=max_abs / INT8_MAX, zero_point=0)
+    return params.quantize(real)
+
+
+def requant_shift(max_abs_acc: int) -> int:
+    """Smallest right shift mapping ``[0, max_abs_acc]`` into uint8 range.
+
+    ``acc >> shift <= 255`` for all observed accumulators.  Returns 0 when
+    the accumulator already fits.
+    """
+    shift = 0
+    acc = int(max_abs_acc)
+    while (acc >> shift) > UINT8_MAX:
+        shift += 1
+    return shift
+
+
+def apply_requant(acc: np.ndarray, shift: int) -> np.ndarray:
+    """Exact power-of-two requantization (negative inputs floor toward -inf).
+
+    The zk gadget proves ``acc = out * 2^shift + rem`` with
+    ``0 <= rem < 2^shift``; numpy's ``>>`` on int64 implements exactly that
+    floor semantics.
+    """
+    return acc >> shift
+
+
+def assert_uint8(x: np.ndarray, context: str = "") -> np.ndarray:
+    """Check the calibrated no-clipping invariant (see module docstring)."""
+    if x.size and (int(x.min()) < 0 or int(x.max()) > UINT8_MAX):
+        raise ValueError(
+            f"activation escaped uint8 range in {context or 'layer'}: "
+            f"[{int(x.min())}, {int(x.max())}] — recalibrate requant shifts"
+        )
+    return x

@@ -1,0 +1,32 @@
+"""Rank-1 Constraint System (R1CS) substrate.
+
+This is the "constraints" format of the paper's Eq. 1:
+
+    (sum_i a_{j,i} X_i) * (sum_i b_{j,i} X_i) = Wire_j,   j in 1..m
+
+generalized to the standard R1CS triple ``<A_j, z> * <B_j, z> = <C_j, z>``
+over the assignment vector ``z = (1, public..., private...)``.
+
+Key properties the paper's optimizations rely on live here:
+
+* additions are "free" — any number of terms folds into one
+  :class:`LinearCombination` without adding a constraint;
+* multiplying a *public* coefficient into an LC is free, while multiplying
+  two *private* values costs one constraint (§4.1).
+"""
+
+from repro.r1cs.lc import ONE, LinearCombination
+from repro.r1cs.constraint import Constraint
+from repro.r1cs.system import ConstraintSystem
+from repro.r1cs.export import export_system, import_system
+from repro.r1cs.optimize import optimize
+
+__all__ = [
+    "ONE",
+    "LinearCombination",
+    "Constraint",
+    "ConstraintSystem",
+    "export_system",
+    "import_system",
+    "optimize",
+]

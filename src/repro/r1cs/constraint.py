@@ -1,0 +1,41 @@
+"""A single R1CS constraint ``<A, z> * <B, z> = <C, z>``."""
+
+from __future__ import annotations
+
+from repro.r1cs.lc import Assignment, LinearCombination
+
+
+class Constraint:
+    """One rank-1 constraint over three linear combinations.
+
+    The paper's Eq. 1 writes the right-hand side as a single ``Wire_j``;
+    allowing a full LC on the C side is the standard generalization (a
+    single wire is the LC ``1 * Wire_j``) and changes nothing downstream.
+    """
+
+    __slots__ = ("a", "b", "c", "tag")
+
+    def __init__(
+        self,
+        a: LinearCombination,
+        b: LinearCombination,
+        c: LinearCombination,
+        tag: str = "",
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.c = c
+        self.tag = tag  # provenance label, e.g. "conv1/dot" — aids debugging
+
+    def is_satisfied(self, assignment: Assignment) -> bool:
+        field = self.a.field
+        lhs = field.mul(self.a.evaluate(assignment), self.b.evaluate(assignment))
+        return lhs == self.c.evaluate(assignment)
+
+    def num_terms(self) -> int:
+        """Total LC terms — the unit of circuit-computation work."""
+        return len(self.a) + len(self.b) + len(self.c)
+
+    def __repr__(self) -> str:
+        label = f" [{self.tag}]" if self.tag else ""
+        return f"Constraint({self.a!r} * {self.b!r} = {self.c!r}){label}"

@@ -1,0 +1,186 @@
+"""Sparse linear combinations over constraint-system variables.
+
+Variables are identified by signed integer indices:
+
+* ``0``          — the constant-ONE variable,
+* negative       — public (instance) variables, allocated as -1, -2, ...
+* positive       — private (witness) variables, allocated as 1, 2, ...
+
+This two-namespace scheme lets the compiler allocate public reference
+outputs and private wires in any interleaving while the QAP layer still
+produces the contiguous ``[1 | public | private]`` ordering Groth16 needs.
+
+An LC is a sparse ``{variable index: coefficient}`` map.  Building LCs is
+the paper's "free addition": combining ``k`` terms costs ``O(k)`` coefficient
+arithmetic but zero constraints (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.field.counters import global_counter
+from repro.field.fp import Field
+
+ONE = 0  # index of the constant-one variable
+
+
+class LinearCombination:
+    """A sparse linear combination ``sum coeff_i * var_i`` over a field."""
+
+    __slots__ = ("field", "terms")
+
+    def __init__(
+        self,
+        field: Field,
+        terms: Dict[int, int] = None,
+    ) -> None:
+        self.field = field
+        self.terms: Dict[int, int] = terms if terms is not None else {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def constant(cls, field: Field, value: int) -> "LinearCombination":
+        value %= field.modulus
+        return cls(field, {ONE: value} if value else {})
+
+    @classmethod
+    def variable(
+        cls, field: Field, index: int, coeff: int = 1
+    ) -> "LinearCombination":
+        coeff %= field.modulus
+        return cls(field, {index: coeff} if coeff else {})
+
+    def copy(self) -> "LinearCombination":
+        return LinearCombination(self.field, dict(self.terms))
+
+    # -- mutation (used by hot circuit-computation loops) -------------------------
+
+    def add_term(self, index: int, coeff: int) -> None:
+        """Fold ``coeff * var`` into this LC in place ("free addition")."""
+        counter = global_counter()
+        counter.lc_term += 1
+        current = self.terms.get(index)
+        if current is None:
+            self.terms[index] = coeff % self.field.modulus
+        else:
+            counter.field_add += 1
+            new = (current + coeff) % self.field.modulus
+            if new:
+                self.terms[index] = new
+            else:
+                del self.terms[index]
+
+    def add_lc(self, other: "LinearCombination", scale: int = 1) -> None:
+        """Fold ``scale * other`` into this LC in place.
+
+        This is exactly the operation whose repetition makes the baseline
+        arithmetic circuit's recursive expansion O(n^2) (§5.1): each call
+        touches every term of ``other``.
+        """
+        terms = self.terms
+        p = self.field.modulus
+        n = len(other.terms)
+        counter = global_counter()
+        counter.lc_term += n
+        counter.field_add += n
+        if scale == 1:
+            for index, coeff in other.terms.items():
+                merged = (terms.get(index, 0) + coeff) % p
+                if merged:
+                    terms[index] = merged
+                else:
+                    terms.pop(index, None)
+        else:
+            counter.field_mul += n
+            for index, coeff in other.terms.items():
+                merged = (terms.get(index, 0) + coeff * scale) % p
+                if merged:
+                    terms[index] = merged
+                else:
+                    terms.pop(index, None)
+
+    # -- functional operators (for readable non-hot code) --------------------------
+
+    def __add__(self, other: "LinearCombination") -> "LinearCombination":
+        out = self.copy()
+        out.add_lc(other)
+        return out
+
+    def __sub__(self, other: "LinearCombination") -> "LinearCombination":
+        out = self.copy()
+        out.add_lc(other, scale=self.field.modulus - 1)
+        return out
+
+    def __mul__(self, scalar: int) -> "LinearCombination":
+        scalar %= self.field.modulus
+        if scalar == 0:
+            return LinearCombination(self.field)
+        global_counter().field_mul += len(self.terms)
+        return LinearCombination(
+            self.field,
+            {i: (c * scalar) % self.field.modulus for i, c in self.terms.items()},
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearCombination":
+        return self * (self.field.modulus - 1)
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def evaluate(self, assignment: "Assignment") -> int:
+        """Value of this LC under a variable assignment (raw int mod p)."""
+        acc = 0
+        for index, coeff in self.terms.items():
+            acc += coeff * assignment[index]
+        global_counter().field_mul += len(self.terms)
+        return acc % self.field.modulus
+
+    # -- introspection -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.terms.items())
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def indices(self) -> Iterable[int]:
+        return self.terms.keys()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearCombination):
+            return NotImplemented
+        return self.field == other.field and self.terms == other.terms
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "LC(0)"
+        parts = []
+        for index, coeff in sorted(self.terms.items()):
+            name = "1" if index == ONE else (
+                f"pub{-index}" if index < 0 else f"w{index}"
+            )
+            parts.append(f"{coeff}*{name}")
+        return "LC(" + " + ".join(parts) + ")"
+
+
+class Assignment:
+    """Values for all variables, indexed by the signed-index scheme."""
+
+    __slots__ = ("public", "private")
+
+    def __init__(self, public: list, private: list) -> None:
+        self.public = public  # public[i] is the value of variable -(i+1)
+        self.private = private  # private[i] is the value of variable i+1
+
+    def __getitem__(self, index: int) -> int:
+        if index == ONE:
+            return 1
+        if index < 0:
+            return self.public[-index - 1]
+        return self.private[index - 1]

@@ -1,0 +1,140 @@
+"""Constraint-system optimizer passes.
+
+Security-computation latency is proportional to the witness size ``n`` and
+constraint count ``m`` (§2.1), so post-compilation cleanup translates
+directly into proving time:
+
+* :func:`eliminate_unconstrained` — drops private variables that appear in
+  **no** constraint.  The compiler legitimately produces some (committed
+  weight entries whose value is zero never get referenced by Eq. 2
+  products; ReLU sign bits at exactly-zero inputs are referenced but
+  slack — only the former are *unreferenced* and removable).  Each dropped
+  variable removes one witness MSM term and one CRS element.
+* :func:`deduplicate_constraints` — removes exact duplicate constraints
+  (identical A/B/C term maps).  Duplicates prove nothing extra; each
+  removal shrinks the QAP domain contribution.
+* :func:`optimize` — both passes, returning a report.
+
+Passes rebuild a fresh :class:`ConstraintSystem` with remapped indices and
+witness values; the original is never mutated.  Satisfiability and public
+values are preserved (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.r1cs.constraint import Constraint
+from repro.r1cs.lc import ONE, LinearCombination
+from repro.r1cs.system import ConstraintSystem
+
+
+@dataclass(frozen=True)
+class OptimizeReport:
+    """What the passes removed."""
+
+    variables_before: int
+    variables_after: int
+    constraints_before: int
+    constraints_after: int
+
+    @property
+    def variables_removed(self) -> int:
+        return self.variables_before - self.variables_after
+
+    @property
+    def constraints_removed(self) -> int:
+        return self.constraints_before - self.constraints_after
+
+
+def referenced_private_variables(cs: ConstraintSystem) -> Set[int]:
+    """Private variable indices appearing in at least one constraint."""
+    used: Set[int] = set()
+    for constraint in cs.constraints:
+        for lc in (constraint.a, constraint.b, constraint.c):
+            for index in lc.indices():
+                if index > 0:
+                    used.add(index)
+    return used
+
+
+def _remap_lc(
+    lc: LinearCombination, mapping: Dict[int, int], field
+) -> LinearCombination:
+    terms = {}
+    for index, coeff in lc:
+        new_index = mapping[index] if index > 0 else index
+        terms[new_index] = coeff
+    return LinearCombination(field, terms)
+
+
+def eliminate_unconstrained(
+    cs: ConstraintSystem,
+) -> Tuple[ConstraintSystem, int]:
+    """Drop unreferenced private variables; returns (new system, #dropped).
+
+    Public variables are never dropped — they are the instance the
+    verifier binds to, referenced or not.
+    """
+    used = referenced_private_variables(cs)
+    mapping: Dict[int, int] = {}
+    out = ConstraintSystem(field=cs.field, name=cs.name)
+    for i in range(cs.num_public):
+        out.new_public(cs._public_values[i])
+    for old in range(1, cs.num_private + 1):
+        if old in used:
+            mapping[old] = out.new_private(cs._private_values[old - 1])
+    for constraint in cs.constraints:
+        out.constraints.append(
+            Constraint(
+                _remap_lc(constraint.a, mapping, cs.field),
+                _remap_lc(constraint.b, mapping, cs.field),
+                _remap_lc(constraint.c, mapping, cs.field),
+                tag=constraint.tag,
+            )
+        )
+    out.layer_ranges = dict(cs.layer_ranges)
+    return out, cs.num_private - out.num_private
+
+
+def _constraint_key(constraint: Constraint) -> tuple:
+    return (
+        tuple(sorted(constraint.a.terms.items())),
+        tuple(sorted(constraint.b.terms.items())),
+        tuple(sorted(constraint.c.terms.items())),
+    )
+
+
+def deduplicate_constraints(
+    cs: ConstraintSystem,
+) -> Tuple[ConstraintSystem, int]:
+    """Remove constraints with identical (A, B, C) term maps.
+
+    Layer provenance ranges are invalidated by the removal and dropped.
+    """
+    out = ConstraintSystem(field=cs.field, name=cs.name)
+    for i in range(cs.num_public):
+        out.new_public(cs._public_values[i])
+    for i in range(cs.num_private):
+        out.new_private(cs._private_values[i])
+    seen = set()
+    for constraint in cs.constraints:
+        key = _constraint_key(constraint)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.constraints.append(constraint)
+    return out, cs.num_constraints - out.num_constraints
+
+
+def optimize(cs: ConstraintSystem) -> Tuple[ConstraintSystem, OptimizeReport]:
+    """Run both passes; returns (optimized system, report)."""
+    deduped, _ = deduplicate_constraints(cs)
+    slim, _ = eliminate_unconstrained(deduped)
+    return slim, OptimizeReport(
+        variables_before=cs.num_variables,
+        variables_after=slim.num_variables,
+        constraints_before=cs.num_constraints,
+        constraints_after=slim.num_constraints,
+    )

@@ -1,0 +1,184 @@
+"""The constraint system: variables, constraints, and witness assignment."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.field.fp import BN254_FR, Field
+from repro.r1cs.constraint import Constraint
+from repro.r1cs.lc import ONE, Assignment, LinearCombination
+
+
+class ConstraintSystem:
+    """Accumulates variables and constraints during circuit computation.
+
+    Two variable namespaces (see :mod:`repro.r1cs.lc`):
+
+    * *public* (instance) variables — the reference outputs ``ref`` the
+      verifier learns (e.g. the NN prediction);
+    * *private* (witness) variables — the paper's ``X_i`` and ``Wire_j``.
+
+    Values may be assigned eagerly at allocation (the common path — the
+    prover knows everything) or later via :meth:`assign`; the latter is what
+    batch-specialized constraint-system sharing (§6.1) uses to re-prove the
+    same system on a new image without regenerating constraints.
+    """
+
+    def __init__(self, field: Field = BN254_FR, name: str = "cs") -> None:
+        self.field = field
+        self.name = name
+        self.constraints: List[Constraint] = []
+        self._public_values: List[Optional[int]] = []
+        self._private_values: List[Optional[int]] = []
+        # Layer provenance: constraint index ranges per compiler-layer tag.
+        self.layer_ranges: Dict[str, range] = {}
+
+    # -- allocation ----------------------------------------------------------
+
+    def new_public(self, value: Optional[int] = None) -> int:
+        """Allocate a public (instance) variable; returns its signed index."""
+        if value is not None:
+            value %= self.field.modulus
+        self._public_values.append(value)
+        return -len(self._public_values)
+
+    def new_private(self, value: Optional[int] = None) -> int:
+        """Allocate a private (witness) variable; returns its signed index."""
+        if value is not None:
+            value %= self.field.modulus
+        self._private_values.append(value)
+        return len(self._private_values)
+
+    def assign(self, index: int, value: int) -> None:
+        """(Re)assign a variable — used when sharing a system across images."""
+        value %= self.field.modulus
+        if index == ONE:
+            raise ValueError("cannot assign the constant-one variable")
+        if index < 0:
+            self._public_values[-index - 1] = value
+        else:
+            self._private_values[index - 1] = value
+
+    # -- LC helpers -----------------------------------------------------------
+
+    def lc(self) -> LinearCombination:
+        return LinearCombination(self.field)
+
+    def lc_constant(self, value: int) -> LinearCombination:
+        return LinearCombination.constant(self.field, value)
+
+    def lc_variable(self, index: int, coeff: int = 1) -> LinearCombination:
+        return LinearCombination.variable(self.field, index, coeff)
+
+    # -- constraints -------------------------------------------------------------
+
+    def enforce(
+        self,
+        a: LinearCombination,
+        b: LinearCombination,
+        c: LinearCombination,
+        tag: str = "",
+    ) -> None:
+        """Add the constraint ``a * b = c``."""
+        self.constraints.append(Constraint(a, b, c, tag=tag))
+
+    def enforce_equal(
+        self, lc: LinearCombination, ref: LinearCombination, tag: str = ""
+    ) -> None:
+        """Add the equality check ``(lc - ref) * 1 = 0`` (Eq. 2/3 pattern)."""
+        diff = lc - ref
+        one = self.lc_constant(1)
+        zero = self.lc()
+        self.enforce(diff, one, zero, tag=tag)
+
+    def mul_private(
+        self, x_index: int, w_index: int, tag: str = ""
+    ) -> int:
+        """Multiply two private variables; costs exactly one constraint.
+
+        Returns the wire holding the product (the paper's
+        ``(1*w_i) * (1*x_i) = Wire_i`` from Eq. 2).  Values propagate if both
+        operands are assigned.
+        """
+        x_val = self.value_of(x_index)
+        w_val = self.value_of(w_index)
+        product = (
+            self.field.mul(x_val, w_val)
+            if x_val is not None and w_val is not None
+            else None
+        )
+        wire = self.new_private(product)
+        self.enforce(
+            self.lc_variable(w_index),
+            self.lc_variable(x_index),
+            self.lc_variable(wire),
+            tag=tag,
+        )
+        return wire
+
+    # -- layer provenance ----------------------------------------------------------
+
+    def mark_layer(self, tag: str, start: int) -> None:
+        """Record that constraints ``[start, len)`` belong to layer ``tag``."""
+        self.layer_ranges[tag] = range(start, len(self.constraints))
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_public(self) -> int:
+        return len(self._public_values)
+
+    @property
+    def num_private(self) -> int:
+        return len(self._private_values)
+
+    @property
+    def num_variables(self) -> int:
+        """Total variables including the constant one."""
+        return 1 + self.num_public + self.num_private
+
+    def value_of(self, index: int) -> Optional[int]:
+        if index == ONE:
+            return 1
+        if index < 0:
+            return self._public_values[-index - 1]
+        return self._private_values[index - 1]
+
+    def assignment(self) -> Assignment:
+        """Full assignment; raises if any variable is unassigned."""
+        for i, v in enumerate(self._public_values):
+            if v is None:
+                raise ValueError(f"public variable -{i + 1} unassigned")
+        for i, v in enumerate(self._private_values):
+            if v is None:
+                raise ValueError(f"private variable {i + 1} unassigned")
+        return Assignment(list(self._public_values), list(self._private_values))
+
+    def public_values(self) -> List[int]:
+        return [v if v is not None else 0 for v in self._public_values]
+
+    def is_satisfied(self) -> bool:
+        assignment = self.assignment()
+        return all(c.is_satisfied(assignment) for c in self.constraints)
+
+    def first_unsatisfied(self) -> Optional[Constraint]:
+        """The first violated constraint, for debugging compiler passes."""
+        assignment = self.assignment()
+        for constraint in self.constraints:
+            if not constraint.is_satisfied(assignment):
+                return constraint
+        return None
+
+    def total_lc_terms(self) -> int:
+        """Total materialized LC terms — proxy for circuit-computation cost."""
+        return sum(c.num_terms() for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstraintSystem({self.name}: m={self.num_constraints}, "
+            f"pub={self.num_public}, priv={self.num_private})"
+        )

@@ -1,0 +1,272 @@
+"""Groth16 setup / prove / verify over a pluggable group backend.
+
+This is the textbook Groth16 [30 in the paper: Groth, EUROCRYPT'16]
+construction:
+
+* **setup** samples toxic waste ``(tau, alpha, beta, gamma, delta)``,
+  evaluates the QAP polynomials at ``tau`` and publishes everything in the
+  exponent.  (A production deployment replaces this with an MPC ceremony;
+  evaluating at a known ``tau`` is the standard shortcut every reference
+  implementation takes and changes nothing downstream.)
+* **prove** costs three witness-sized MSMs plus one quotient-sized MSM —
+  this is the paper's claim that security-computation latency is
+  proportional to the number of private values ``n`` and constraints ``m``.
+* **verify** is one product of four pairings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ec.backend import GroupBackend, SimulatedBackend
+from repro.r1cs.system import ConstraintSystem
+from repro.snark.keys import ProvingKey, SetupResult, VerifyingKey
+from repro.snark.proof import Proof
+from repro.snark.qap import (
+    Domain,
+    qap_evaluations_at,
+    quotient_coefficients,
+    variable_order,
+)
+
+
+def setup(
+    cs: ConstraintSystem,
+    backend: Optional[GroupBackend] = None,
+    rng: Optional[random.Random] = None,
+) -> SetupResult:
+    """Run the (simulated-ceremony) trusted setup for ``cs``."""
+    backend = backend or SimulatedBackend()
+    rng = rng or random.Random(0x5E70)  # deterministic by default: reproducibility
+    field = backend.scalar_field
+    p = field.modulus
+
+    tau = rng.randrange(1, p)
+    alpha = rng.randrange(1, p)
+    beta = rng.randrange(1, p)
+    gamma = rng.randrange(1, p)
+    delta = rng.randrange(1, p)
+    gamma_inv = pow(gamma, -1, p)
+    delta_inv = pow(delta, -1, p)
+
+    domain = Domain(max(cs.num_constraints, 2), field)
+    # Re-draw tau in the (probability ~d/p) event it hits the domain.
+    while domain.vanishing_at(tau) == 0:
+        tau = rng.randrange(1, p)
+
+    a_at, b_at, c_at = qap_evaluations_at(cs, domain, tau)
+    num_vars = len(a_at)
+    num_instance = 1 + cs.num_public  # ONE + publics
+
+    g1 = backend.g1_generator()
+    g2 = backend.g2_generator()
+
+    a_query = [backend.scalar_mul(g1, v) for v in a_at]
+    b_query_g1 = [backend.scalar_mul(g1, v) for v in b_at]
+    b_query_g2 = [backend.scalar_mul(g2, v) for v in b_at]
+
+    ic: List = []
+    l_query: List = []
+    for i in range(num_vars):
+        combined = (beta * a_at[i] + alpha * b_at[i] + c_at[i]) % p
+        if i < num_instance:
+            ic.append(backend.scalar_mul(g1, (combined * gamma_inv) % p))
+        else:
+            l_query.append(backend.scalar_mul(g1, (combined * delta_inv) % p))
+
+    z_tau = domain.vanishing_at(tau)
+    h_query: List = []
+    power = 1
+    for _ in range(domain.size - 1):
+        h_query.append(
+            backend.scalar_mul(g1, (power * z_tau % p) * delta_inv % p)
+        )
+        power = (power * tau) % p
+
+    pk = ProvingKey(
+        alpha_g1=backend.scalar_mul(g1, alpha),
+        beta_g1=backend.scalar_mul(g1, beta),
+        beta_g2=backend.scalar_mul(g2, beta),
+        delta_g1=backend.scalar_mul(g1, delta),
+        delta_g2=backend.scalar_mul(g2, delta),
+        a_query_g1=a_query,
+        b_query_g1=b_query_g1,
+        b_query_g2=b_query_g2,
+        l_query_g1=l_query,
+        h_query_g1=h_query,
+        domain_size=domain.size,
+        num_public=cs.num_public,
+    )
+    vk = VerifyingKey(
+        alpha_g1=pk.alpha_g1,
+        beta_g2=pk.beta_g2,
+        gamma_g2=backend.scalar_mul(g2, gamma),
+        delta_g2=pk.delta_g2,
+        ic_g1=ic,
+        backend_name=backend.name,
+    )
+    stats = {
+        "num_constraints": cs.num_constraints,
+        "num_variables": num_vars,
+        "domain_size": domain.size,
+        "num_public": cs.num_public,
+    }
+    return SetupResult(proving_key=pk, verifying_key=vk, stats=stats)
+
+
+def prove(
+    pk: ProvingKey,
+    cs: ConstraintSystem,
+    backend: Optional[GroupBackend] = None,
+    rng: Optional[random.Random] = None,
+) -> Proof:
+    """Generate a proof for the (fully assigned) constraint system."""
+    backend = backend or SimulatedBackend()
+    rng = rng or random.Random()
+    field = backend.scalar_field
+    p = field.modulus
+
+    assignment = cs.assignment()
+    order = variable_order(cs)
+    z = [assignment[i] for i in order]
+    if len(z) != pk.num_variables():
+        raise ValueError(
+            f"witness has {len(z)} variables but key expects "
+            f"{pk.num_variables()} — was the system modified after setup?"
+        )
+
+    domain = Domain(max(cs.num_constraints, 2), field)
+    if domain.size != pk.domain_size:
+        raise ValueError("constraint count changed since setup")
+    h_coeffs = quotient_coefficients(cs, domain)
+
+    r = rng.randrange(p)
+    s = rng.randrange(p)
+
+    # A = alpha + sum z_i A_i(tau) + r * delta        (in G1)
+    a_acc = backend.msm(pk.a_query_g1, z)
+    proof_a = backend.add(
+        backend.add(pk.alpha_g1, a_acc), backend.scalar_mul(pk.delta_g1, r)
+    )
+
+    # B = beta + sum z_i B_i(tau) + s * delta         (in G2, mirrored in G1)
+    b_acc_g2 = backend.msm(pk.b_query_g2, z)
+    proof_b = backend.add(
+        backend.add(pk.beta_g2, b_acc_g2), backend.scalar_mul(pk.delta_g2, s)
+    )
+    b_acc_g1 = backend.msm(pk.b_query_g1, z)
+    b_g1 = backend.add(
+        backend.add(pk.beta_g1, b_acc_g1), backend.scalar_mul(pk.delta_g1, s)
+    )
+
+    # C = sum_priv z_i L_i + sum h_k [tau^k Z/delta] + s*A + r*B1 - rs*delta
+    num_instance = 1 + pk.num_public
+    private_z = z[num_instance:]
+    c_acc = (
+        backend.msm(pk.l_query_g1, private_z)
+        if private_z
+        else backend.g1_zero()
+    )
+    if h_coeffs and any(h_coeffs):
+        h_acc = backend.msm(pk.h_query_g1[: len(h_coeffs)], h_coeffs)
+        c_acc = backend.add(c_acc, h_acc)
+    c_acc = backend.add(c_acc, backend.scalar_mul(proof_a, s))
+    c_acc = backend.add(c_acc, backend.scalar_mul(b_g1, r))
+    c_acc = backend.sub(c_acc, backend.scalar_mul(pk.delta_g1, (r * s) % p))
+
+    return Proof(a=proof_a, b=proof_b, c=c_acc)
+
+
+def verify(
+    vk: VerifyingKey,
+    public_inputs: Sequence[int],
+    proof: Proof,
+    backend: Optional[GroupBackend] = None,
+) -> bool:
+    """Check ``e(A,B) == e(alpha,beta) * e(IC(pub),gamma) * e(C,delta)``."""
+    backend = backend or SimulatedBackend()
+    if len(public_inputs) != vk.num_public:
+        raise ValueError(
+            f"expected {vk.num_public} public inputs, got {len(public_inputs)}"
+        )
+    acc = vk.ic_g1[0]
+    if public_inputs:
+        acc = backend.add(
+            acc, backend.msm(vk.ic_g1[1:], [v for v in public_inputs])
+        )
+    return backend.pairing_product_is_one(
+        [
+            (backend.neg(proof.a), proof.b),
+            (vk.alpha_g1, vk.beta_g2),
+            (acc, vk.gamma_g2),
+            (proof.c, vk.delta_g2),
+        ]
+    )
+
+
+def batch_verify(
+    vk: VerifyingKey,
+    claims: Sequence[Tuple[Sequence[int], Proof]],
+    backend: Optional[GroupBackend] = None,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Verify many proofs under one key with a random linear combination.
+
+    The standard Groth16 batching trick (an extension beyond the paper —
+    natural for its n=100 batch workload, Fig. 14): sample random
+    ``t_i``, scale each proof's pairing equation by ``t_i``, and check the
+    *sum* of equations.  Per proof this costs one pairing (``e(t_i A_i,
+    B_i)``) plus scalar muls, and the three right-hand pairings are shared
+    across the whole batch — ``k + 3`` pairings instead of ``4k``.
+
+    Sound up to a ``k / r`` soundness loss: a batch containing any invalid
+    proof passes only if the random ``t_i`` hit a cancellation, probability
+    ``~1/r`` per trial.
+    """
+    backend = backend or SimulatedBackend()
+    rng = rng or random.Random()
+    if not claims:
+        return True
+    p = backend.scalar_field.modulus
+    pairs = []
+    t_sum = 0
+    acc_sum = backend.g1_zero()
+    c_sum = backend.g1_zero()
+    for public_inputs, proof in claims:
+        if len(public_inputs) != vk.num_public:
+            raise ValueError(
+                f"expected {vk.num_public} public inputs, got {len(public_inputs)}"
+            )
+        t = rng.randrange(1, p)
+        t_sum = (t_sum + t) % p
+        # e(-t*A, B) term — per-proof pairing.
+        pairs.append((backend.scalar_mul(backend.neg(proof.a), t), proof.b))
+        # Accumulate the shared right-hand sides, scaled by t.
+        acc = vk.ic_g1[0]
+        if public_inputs:
+            acc = backend.add(
+                acc, backend.msm(vk.ic_g1[1:], list(public_inputs))
+            )
+        acc_sum = backend.add(acc_sum, backend.scalar_mul(acc, t))
+        c_sum = backend.add(c_sum, backend.scalar_mul(proof.c, t))
+    pairs.append((backend.scalar_mul(vk.alpha_g1, t_sum), vk.beta_g2))
+    pairs.append((acc_sum, vk.gamma_g2))
+    pairs.append((c_sum, vk.delta_g2))
+    return backend.pairing_product_is_one(pairs)
+
+
+class Groth16:
+    """Object-style façade bundling a backend with setup/prove/verify."""
+
+    def __init__(self, backend: Optional[GroupBackend] = None) -> None:
+        self.backend = backend or SimulatedBackend()
+
+    def setup(self, cs: ConstraintSystem, rng=None) -> SetupResult:
+        return setup(cs, self.backend, rng)
+
+    def prove(self, pk: ProvingKey, cs: ConstraintSystem, rng=None) -> Proof:
+        return prove(pk, cs, self.backend, rng)
+
+    def verify(self, vk: VerifyingKey, public_inputs, proof: Proof) -> bool:
+        return verify(vk, public_inputs, proof, self.backend)

@@ -1,0 +1,57 @@
+"""Proving and verifying key containers for Groth16."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List
+
+GroupElement = Any
+
+
+@dataclass
+class ProvingKey:
+    """CRS elements the prover consumes.
+
+    Element lists are in QAP variable order ``[ONE, publics..., privates...]``
+    (see :func:`repro.snark.qap.variable_order`).
+    """
+
+    alpha_g1: GroupElement
+    beta_g1: GroupElement
+    beta_g2: GroupElement
+    delta_g1: GroupElement
+    delta_g2: GroupElement
+    a_query_g1: List[GroupElement]  # [A_i(tau)]_1 for every variable
+    b_query_g1: List[GroupElement]  # [B_i(tau)]_1 for every variable
+    b_query_g2: List[GroupElement]  # [B_i(tau)]_2 for every variable
+    l_query_g1: List[GroupElement]  # [(beta A_i + alpha B_i + C_i)/delta]_1, private vars
+    h_query_g1: List[GroupElement]  # [tau^k Z(tau)/delta]_1, k in 0..d-2
+    domain_size: int
+    num_public: int = 0
+
+    def num_variables(self) -> int:
+        return len(self.a_query_g1)
+
+
+@dataclass
+class VerifyingKey:
+    """CRS elements the verifier consumes."""
+
+    alpha_g1: GroupElement
+    beta_g2: GroupElement
+    gamma_g2: GroupElement
+    delta_g2: GroupElement
+    ic_g1: List[GroupElement]  # [(beta A_i + alpha B_i + C_i)/gamma]_1, ONE + publics
+    backend_name: str = ""
+
+    @property
+    def num_public(self) -> int:
+        return len(self.ic_g1) - 1
+
+
+@dataclass
+class SetupResult:
+    proving_key: ProvingKey
+    verifying_key: VerifyingKey
+    # Sizes recorded for the cost model / EXPERIMENTS.md bookkeeping.
+    stats: dict = field(default_factory=dict)

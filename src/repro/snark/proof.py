@@ -1,0 +1,30 @@
+"""The Groth16 proof object: exactly three group elements.
+
+The paper's "fixed-size proof (e.g., 192 bytes)" (§2.1) is this object:
+A in G1, B in G2, C in G1 — 2 G1 points + 1 G2 point = 192 bytes compressed
+on BN254.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+GroupElement = Any
+
+# Compressed sizes on BN254: G1 = 32 bytes, G2 = 64 bytes.
+G1_COMPRESSED_BYTES = 32
+G2_COMPRESSED_BYTES = 64
+PROOF_BYTES = 2 * G1_COMPRESSED_BYTES + G2_COMPRESSED_BYTES  # 128 on BN254
+# (the paper's 192-byte figure is BLS12-381's 48/96-byte points)
+
+
+@dataclass
+class Proof:
+    a: GroupElement
+    b: GroupElement
+    c: GroupElement
+
+    def size_bytes(self) -> int:
+        """Nominal compressed wire size on BN254."""
+        return PROOF_BYTES

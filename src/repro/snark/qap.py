@@ -1,0 +1,232 @@
+"""Quadratic Arithmetic Program machinery: NTT domains and QAP evaluation.
+
+Groth16 reduces an R1CS with ``m`` constraints to a QAP over an evaluation
+domain of size ``d = next_pow2(m)`` with vanishing polynomial
+``Z(x) = x^d - 1``.  BN254's scalar field has 2-adicity 28, so radix-2
+domains up to ``2^28`` exist; roots of unity are derived from the
+multiplicative generator 5 (the arkworks/bellman convention).
+
+Two jobs live here:
+
+* **setup side** — evaluate the Lagrange basis at the toxic-waste point
+  ``tau`` to obtain per-variable ``A_i(tau), B_i(tau), C_i(tau)``;
+* **prover side** — compute the quotient ``h(x) = (A_w B_w - C_w) / Z`` via
+  the standard coset-NTT trick: on the coset ``g * H`` the vanishing
+  polynomial is the constant ``g^d - 1``, so the division is pointwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.field.fp import BN254_FR, Field
+from repro.field.vector import batch_inverse
+from repro.r1cs.lc import ONE
+from repro.r1cs.system import ConstraintSystem
+
+# Multiplicative generator of BN254 Fr (smallest generator, used by arkworks).
+FR_GENERATOR = 5
+FR_TWO_ADICITY = 28
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+class Domain:
+    """A radix-2 evaluation domain ``H = {w^0, ..., w^(d-1)}`` in Fr."""
+
+    def __init__(self, size: int, field: Field = BN254_FR) -> None:
+        d = _next_pow2(max(size, 2))
+        if d.bit_length() - 1 > FR_TWO_ADICITY:
+            raise ValueError(f"domain size {d} exceeds Fr 2-adicity")
+        self.field = field
+        self.size = d
+        exponent = (field.modulus - 1) >> (d.bit_length() - 1)
+        self.omega = pow(FR_GENERATOR, exponent, field.modulus)
+        self.omega_inv = pow(self.omega, -1, field.modulus)
+        self.size_inv = pow(d, -1, field.modulus)
+        self.coset_shift = FR_GENERATOR
+        self.coset_shift_inv = pow(FR_GENERATOR, -1, field.modulus)
+
+    # -- NTT core ----------------------------------------------------------------
+
+    def _ntt(self, values: List[int], omega: int) -> List[int]:
+        """In-place iterative Cooley-Tukey NTT (values copied first)."""
+        field = self.field
+        p = field.modulus
+        d = self.size
+        if len(values) != d:
+            raise ValueError(f"expected {d} values, got {len(values)}")
+        out = list(values)
+        # bit-reversal permutation
+        j = 0
+        for i in range(1, d):
+            bit = d >> 1
+            while j & bit:
+                j ^= bit
+                bit >>= 1
+            j |= bit
+            if i < j:
+                out[i], out[j] = out[j], out[i]
+        length = 2
+        while length <= d:
+            step = pow(omega, d // length, p)
+            for start in range(0, d, length):
+                w = 1
+                half = length >> 1
+                for k in range(start, start + half):
+                    u = out[k]
+                    v = (out[k + half] * w) % p
+                    out[k] = (u + v) % p
+                    out[k + half] = (u - v) % p
+                    w = (w * step) % p
+            length <<= 1
+        from repro.field.counters import global_counter
+
+        counter = global_counter()
+        counter.field_mul += d * (d.bit_length() - 1)
+        return out
+
+    def ntt(self, coeffs: Sequence[int]) -> List[int]:
+        """Coefficients -> evaluations over H (zero-padded to domain size)."""
+        padded = list(coeffs) + [0] * (self.size - len(coeffs))
+        return self._ntt(padded, self.omega)
+
+    def intt(self, evals: Sequence[int]) -> List[int]:
+        """Evaluations over H -> coefficients."""
+        p = self.field.modulus
+        out = self._ntt(list(evals), self.omega_inv)
+        return [(v * self.size_inv) % p for v in out]
+
+    def coset_ntt(self, coeffs: Sequence[int]) -> List[int]:
+        """Coefficients -> evaluations over the coset ``g * H``."""
+        p = self.field.modulus
+        shifted = []
+        power = 1
+        for c in list(coeffs) + [0] * (self.size - len(coeffs)):
+            shifted.append((c * power) % p)
+            power = (power * self.coset_shift) % p
+        return self._ntt(shifted, self.omega)
+
+    def coset_intt(self, evals: Sequence[int]) -> List[int]:
+        """Evaluations over ``g * H`` -> coefficients."""
+        p = self.field.modulus
+        coeffs = self.intt(evals)
+        out = []
+        power = 1
+        for c in coeffs:
+            out.append((c * power) % p)
+            power = (power * self.coset_shift_inv) % p
+        return out
+
+    # -- vanishing polynomial -------------------------------------------------------
+
+    def vanishing_at(self, x: int) -> int:
+        return (pow(x, self.size, self.field.modulus) - 1) % self.field.modulus
+
+    def coset_vanishing_constant(self) -> int:
+        """``Z(g * w^j) = g^d - 1`` — constant over the whole coset."""
+        return self.vanishing_at(self.coset_shift)
+
+    # -- Lagrange basis at a point ------------------------------------------------------
+
+    def lagrange_at(self, tau: int) -> List[int]:
+        """``[L_0(tau), ..., L_{d-1}(tau)]`` in O(d) with batch inversion.
+
+        ``L_j(tau) = Z(tau) * w^j / (d * (tau - w^j))``.
+        """
+        field = self.field
+        p = field.modulus
+        z_tau = self.vanishing_at(tau)
+        if z_tau == 0:
+            raise ValueError("tau lies inside the evaluation domain")
+        omegas = [1] * self.size
+        for j in range(1, self.size):
+            omegas[j] = (omegas[j - 1] * self.omega) % p
+        denominators = [(tau - w) % p for w in omegas]
+        inverses = batch_inverse(field, denominators)
+        scale = (z_tau * self.size_inv) % p
+        return [(scale * w * inv) % p for w, inv in zip(omegas, inverses)]
+
+
+# -- QAP over a constraint system --------------------------------------------------------
+
+
+def variable_order(cs: ConstraintSystem) -> List[int]:
+    """Groth16 variable ordering: ``[ONE, publics..., privates...]``."""
+    publics = [-(i + 1) for i in range(cs.num_public)]
+    privates = [i + 1 for i in range(cs.num_private)]
+    return [ONE] + publics + privates
+
+
+def qap_evaluations_at(
+    cs: ConstraintSystem, domain: Domain, tau: int
+) -> Tuple[List[int], List[int], List[int]]:
+    """Per-variable ``(A_i(tau), B_i(tau), C_i(tau))`` in variable order.
+
+    Used by the (trapdoor-simulated) trusted setup: iterate the sparse
+    constraint matrices once, accumulating ``a_{j,i} * L_j(tau)``.
+    """
+    p = domain.field.modulus
+    lagrange = domain.lagrange_at(tau)
+    order = variable_order(cs)
+    position: Dict[int, int] = {v: k for k, v in enumerate(order)}
+    n = len(order)
+    a_at = [0] * n
+    b_at = [0] * n
+    c_at = [0] * n
+    for j, constraint in enumerate(cs.constraints):
+        lj = lagrange[j]
+        for index, coeff in constraint.a:
+            a_at[position[index]] = (a_at[position[index]] + coeff * lj) % p
+        for index, coeff in constraint.b:
+            b_at[position[index]] = (b_at[position[index]] + coeff * lj) % p
+        for index, coeff in constraint.c:
+            c_at[position[index]] = (c_at[position[index]] + coeff * lj) % p
+    return a_at, b_at, c_at
+
+
+def witness_polynomial_evals(
+    cs: ConstraintSystem, domain: Domain
+) -> Tuple[List[int], List[int], List[int]]:
+    """Evaluations of ``A_w, B_w, C_w`` over H (one value per constraint row)."""
+    assignment = cs.assignment()
+    a_evals = [0] * domain.size
+    b_evals = [0] * domain.size
+    c_evals = [0] * domain.size
+    for j, constraint in enumerate(cs.constraints):
+        a_evals[j] = constraint.a.evaluate(assignment)
+        b_evals[j] = constraint.b.evaluate(assignment)
+        c_evals[j] = constraint.c.evaluate(assignment)
+    return a_evals, b_evals, c_evals
+
+
+def quotient_coefficients(
+    cs: ConstraintSystem, domain: Domain
+) -> List[int]:
+    """Coefficients of ``h(x) = (A_w(x) B_w(x) - C_w(x)) / Z(x)``.
+
+    Standard coset trick: interpolate A_w/B_w/C_w from their H-evaluations,
+    re-evaluate on the coset ``g*H`` where Z is the nonzero constant
+    ``g^d - 1``, divide pointwise, and interpolate back.  Raises if the
+    witness does not satisfy the R1CS (remainder nonzero).
+    """
+    p = domain.field.modulus
+    a_evals, b_evals, c_evals = witness_polynomial_evals(cs, domain)
+    a_coeffs = domain.intt(a_evals)
+    b_coeffs = domain.intt(b_evals)
+    c_coeffs = domain.intt(c_evals)
+    a_coset = domain.coset_ntt(a_coeffs)
+    b_coset = domain.coset_ntt(b_coeffs)
+    c_coset = domain.coset_ntt(c_coeffs)
+    z_inv = pow(domain.coset_vanishing_constant(), -1, p)
+    h_coset = [
+        ((a * b - c) % p) * z_inv % p
+        for a, b, c in zip(a_coset, b_coset, c_coset)
+    ]
+    h_coeffs = domain.coset_intt(h_coset)
+    # deg(h) <= d - 2: the top coefficient must vanish for a valid witness.
+    if h_coeffs[-1] != 0:
+        raise ValueError("witness does not satisfy the constraint system")
+    return h_coeffs[:-1]

@@ -1,0 +1,47 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.nn.data import synthetic_images
+from repro.nn.graph import Model
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+from repro.nn.models import calibrate
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xA11CE)
+
+
+@pytest.fixture
+def nprng() -> np.random.Generator:
+    return np.random.default_rng(7)
+
+
+def tiny_image(shape=(1, 6, 6), seed: int = 1) -> np.ndarray:
+    """A small deterministic uint8 image."""
+    return synthetic_images(shape, n=1, seed=seed)[0]
+
+
+def tiny_conv_model(seed: int = 0) -> Model:
+    """Conv -> ReLU -> FC on a 6x6 grayscale input: exercises every gadget."""
+    gen = np.random.default_rng(seed)
+    model = Model("tiny", (1, 6, 6))
+    weight = gen.integers(-7, 8, (2, 1, 3, 3)).astype(np.int64)
+    model.add("conv", Conv2d(weight, gen.integers(-4, 5, 2).astype(np.int64)))
+    model.add("relu", ReLU())
+    model.add("flatten", Flatten())
+    flat = model.shape_of("flatten")[0]
+    fc_w = gen.integers(-7, 8, (3, flat)).astype(np.int64)
+    model.add("fc", Linear(fc_w, gen.integers(-4, 5, 3).astype(np.int64)))
+    return calibrate(model)
+
+
+@pytest.fixture
+def tiny_model() -> Model:
+    return tiny_conv_model()

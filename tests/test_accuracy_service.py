@@ -1,0 +1,113 @@
+"""Tests for the accuracy-proof service (ZEN's n-image scheme, §6.1)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyProver,
+    AccuracyVerifier,
+    _argmax_signed,
+)
+from repro.field.fp import BN254_FR
+from repro.nn.data import synthetic_images
+from tests.conftest import tiny_conv_model
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = tiny_conv_model()
+    images = synthetic_images((1, 6, 6), n=5, seed=21)
+    labels = [model.predict(img) for img in images]  # ground truth = model
+    prover = AccuracyProver(model, images[0])
+    certificate = prover.prove_images(images)
+    return model, images, labels, prover, certificate
+
+
+class TestArgmaxSigned:
+    def test_positive(self):
+        assert _argmax_signed([5, 9, 1], BN254_FR.modulus) == 1
+
+    def test_negative_residues(self):
+        p = BN254_FR.modulus
+        # [-3, -1, -10] as residues: index 1 wins.
+        assert _argmax_signed([p - 3, p - 1, p - 10], p) == 1
+
+
+class TestProver:
+    def test_certificate_covers_all_images(self, setup):
+        _, images, _, _, certificate = setup
+        assert len(certificate.claims) == len(images)
+        assert certificate.num_classes == 3
+        assert certificate.prove_seconds > 0
+
+    def test_predictions_match_plaintext(self, setup):
+        model, images, _, _, certificate = setup
+        for claim, image in zip(certificate.claims, images):
+            assert claim.predicted_class == model.predict(image)
+
+    def test_claimed_accuracy(self, setup):
+        _, _, labels, _, certificate = setup
+        assert certificate.claimed_accuracy(labels) == 1.0
+        wrong = [(l + 1) % 3 for l in labels]
+        assert certificate.claimed_accuracy(wrong) == 0.0
+
+    def test_label_count_validated(self, setup):
+        _, _, _, _, certificate = setup
+        with pytest.raises(ValueError):
+            certificate.claimed_accuracy([0])
+
+
+class TestVerifier:
+    def test_honest_certificate_accepted(self, setup):
+        _, _, labels, _, certificate = setup
+        verifier = AccuracyVerifier()
+        ok, accuracy = verifier.verify(
+            certificate, labels, claimed_accuracy=1.0, rng=random.Random(1)
+        )
+        assert ok and accuracy == 1.0
+
+    def test_unbatched_verification(self, setup):
+        _, _, labels, _, certificate = setup
+        ok, _ = AccuracyVerifier().verify(certificate, labels, batched=False)
+        assert ok
+
+    def test_inflated_accuracy_claim_rejected(self, setup):
+        _, _, labels, _, certificate = setup
+        wrong_labels = [(l + 1) % 3 for l in labels]
+        ok, accuracy = AccuracyVerifier().verify(
+            certificate, wrong_labels, claimed_accuracy=1.0
+        )
+        assert not ok
+        assert accuracy == 0.0  # the recomputed truth
+
+    def test_forged_class_claim_rejected(self, setup):
+        _, _, labels, _, certificate = setup
+        certificate.claims[0].predicted_class = (
+            certificate.claims[0].predicted_class + 1
+        ) % 3
+        ok, _ = AccuracyVerifier().verify(certificate, labels)
+        assert not ok
+        # restore for other tests (module-scoped fixture)
+        certificate.claims[0].predicted_class = (
+            certificate.claims[0].predicted_class - 1
+        ) % 3
+
+    def test_forged_logits_rejected(self, setup):
+        model, images, labels, prover, _ = setup
+        certificate = prover.prove_images(images[:2])
+        claim = certificate.claims[0]
+        # Swap the top two logits (and fix the class claim to match) — the
+        # proof no longer matches the public inputs.
+        publics = list(claim.public_inputs)
+        publics[0], publics[1] = publics[1], publics[0]
+        claim.public_inputs = publics
+        claim.predicted_class = _argmax_signed(publics, BN254_FR.modulus)
+        ok, _ = AccuracyVerifier().verify(certificate, labels[:2])
+        assert not ok
+
+    def test_label_length_mismatch_rejected(self, setup):
+        _, _, labels, _, certificate = setup
+        ok, _ = AccuracyVerifier().verify(certificate, labels[:-1])
+        assert not ok

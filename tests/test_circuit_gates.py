@@ -1,0 +1,105 @@
+"""Tests for circuit IR containers and Table 3's analytic gate counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit.gates import (
+    baseline_gate_counts,
+    generate_baseline,
+    generate_zeno,
+    zeno_gate_counts,
+)
+from repro.core.lang.program import program_from_model
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+@pytest.fixture
+def conv_op():
+    model = tiny_conv_model()
+    return program_from_model(model, tiny_image()).ops[0]
+
+
+class TestGenerate:
+    def test_baseline_materializes_per_scalar_gates(self, conv_op):
+        circuit = generate_baseline(conv_op)
+        assert circuit.x_pos.shape == (conv_op.num_dots, conv_op.dot_length)
+        assert circuit.coeff.shape == circuit.x_pos.shape
+        # Gate counts follow Table 3's arithmetic-circuit row.
+        n, dots = conv_op.dot_length, conv_op.num_dots
+        assert circuit.num_mul_gates == dots * n
+        assert circuit.num_add_gates == dots * (n - 1)
+        assert circuit.critical_path == n
+
+    def test_baseline_arrays_match_op_geometry(self, conv_op):
+        circuit = generate_baseline(conv_op)
+        d = 5
+        expected_pos = conv_op.input_cols[:, conv_op.col_of_dot[d]]
+        expected_coeff = conv_op.weight_rows[conv_op.row_of_dot[d]]
+        assert np.array_equal(circuit.x_pos[d], expected_pos)
+        assert np.array_equal(circuit.coeff[d], expected_coeff)
+
+    def test_zeno_keeps_tensor_structure(self, conv_op):
+        circuit = generate_zeno(conv_op)
+        assert circuit.op is conv_op
+        n, dots = conv_op.dot_length, conv_op.num_dots
+        assert circuit.num_mul_gates == dots * n
+        assert circuit.num_add_gates == dots  # one multi-child gate per dot
+        assert circuit.critical_path == 2
+
+    def test_zeno_fewer_gates_than_baseline(self, conv_op):
+        baseline = generate_baseline(conv_op)
+        zeno = generate_zeno(conv_op)
+        assert zeno.num_gates < baseline.num_gates
+        # Table 3: (n+1) vs (2n-1) per dot.
+        n, dots = conv_op.dot_length, conv_op.num_dots
+        assert zeno.num_gates == dots * (n + 1)
+        assert baseline.num_gates == dots * (2 * n - 1)
+
+
+class TestTable3:
+    """The analytic rows of Table 3, checked symbolically."""
+
+    def test_dot_product_row(self):
+        base = baseline_gate_counts("dot", 0, 128)
+        zeno = zeno_gate_counts("dot", 0, 128)
+        assert base["gates"] == 2 * 128 - 1
+        assert zeno["gates"] == 128 + 1
+        assert base["critical_path"] == 128
+        assert zeno["critical_path"] == 2
+        assert base["computation"] == 128 * 128
+        assert zeno["computation"] == 128
+        assert base["wires"] == zeno["wires"] == 128
+
+    def test_fc_row(self):
+        m, n = 16, 64
+        base = baseline_gate_counts("fc", m, n)
+        zeno = zeno_gate_counts("fc", m, n)
+        assert base["gates"] == m * (2 * n - 1)
+        assert zeno["gates"] == m * (n + 1)
+        assert base["lcs"] == m * (n - 1)
+        assert zeno["lcs"] == m
+
+    def test_conv_row(self):
+        m, n, k = 8, 27, 16
+        base = baseline_gate_counts("conv", m, n, k)
+        zeno = zeno_gate_counts("conv", m, n, k)
+        assert base["gates"] == m * k * (2 * n - 1)
+        assert zeno["gates"] == m * k * (n + 1)
+        assert base["computation"] == m * k * n * n
+        assert zeno["computation"] == m * k * n
+
+    def test_pool_row(self):
+        m, n, s = 8, 16, 2
+        base = baseline_gate_counts("pool", m, n, s=s)
+        zeno = zeno_gate_counts("pool", m, n, s=s)
+        grids = m * n // (s * s)
+        assert base["gates"] == grids * (s * s - 1)
+        assert zeno["gates"] == grids
+        assert base["wires"] == zeno["wires"] == 0
+        assert zeno["critical_path"] == 1
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_gate_counts("softmax", 1, 1)
+        with pytest.raises(ValueError):
+            zeno_gate_counts("softmax", 1, 1)

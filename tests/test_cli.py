@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_all_networks(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("SHAL", "LCS", "LCL", "VGG16", "RES18", "RES50"):
+            assert abbr in out
+
+
+class TestCompile:
+    def test_prints_phase_summary(self, capsys):
+        assert main(["compile", "--model", "SHAL", "--scale", "mini"]) == 0
+        out = capsys.readouterr().out
+        assert "generate" in out
+        assert "circuit_computation" in out
+        assert "security_computation" in out
+        assert "knit packing" in out
+
+    def test_both_private(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "--model",
+                    "SHAL",
+                    "--scale",
+                    "micro",
+                    "--privacy",
+                    "both-private",
+                ]
+            )
+            == 0
+        )
+        assert "knit packing" not in capsys.readouterr().out
+
+
+class TestProveVerify:
+    def test_roundtrip(self, tmp_path, capsys):
+        proof_path = tmp_path / "proof.bin"
+        assert (
+            main(
+                [
+                    "prove",
+                    "--model",
+                    "SHAL",
+                    "--scale",
+                    "mini",
+                    "--out",
+                    str(proof_path),
+                ]
+            )
+            == 0
+        )
+        assert proof_path.exists()
+        claim_path = tmp_path / "proof.bin.claim.json"
+        assert claim_path.exists()
+
+        assert (
+            main(
+                ["verify", "--proof", str(proof_path), "--claim", str(claim_path)]
+            )
+            == 0
+        )
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_tampered_claim_rejected(self, tmp_path, capsys):
+        proof_path = tmp_path / "proof.bin"
+        main(["prove", "--model", "SHAL", "--scale", "mini", "--out",
+              str(proof_path)])
+        claim_path = tmp_path / "proof.bin.claim.json"
+        claim = json.loads(claim_path.read_text())
+        claim["public_inputs"][0] = str(int(claim["public_inputs"][0]) + 1)
+        claim_path.write_text(json.dumps(claim))
+
+        assert (
+            main(
+                ["verify", "--proof", str(proof_path), "--claim", str(claim_path)]
+            )
+            == 1
+        )
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_strict_gadgets(self, tmp_path):
+        proof_path = tmp_path / "proof.bin"
+        assert (
+            main(
+                [
+                    "prove",
+                    "--model",
+                    "SHAL",
+                    "--scale",
+                    "micro",
+                    "--gadgets",
+                    "strict",
+                    "--out",
+                    str(proof_path),
+                ]
+            )
+            == 0
+        )
+        claim = json.loads((tmp_path / "proof.bin.claim.json").read_text())
+        assert claim["gadgets"] == "strict"
+        assert (
+            main(
+                [
+                    "verify",
+                    "--proof",
+                    str(proof_path),
+                    "--claim",
+                    str(tmp_path / "proof.bin.claim.json"),
+                ]
+            )
+            == 0
+        )
+
+
+class TestCompare:
+    def test_reports_speedup(self, capsys):
+        assert main(["compare", "--model", "SHAL", "--scale", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "arkworks" in out and "zeno" in out
+        assert "speedup" in out
+
+
+class TestArgValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--model", "ALEXNET"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,91 @@
+"""Tests for generic curve arithmetic on BN254 G1 and G2."""
+
+import pytest
+
+from repro.ec.bn254 import BN254_G1, BN254_G2
+from repro.ec.tower import FQ2
+from repro.field.fp import BN254_FQ
+
+R = BN254_G1.order
+
+
+class TestG1:
+    def test_generator_on_curve(self):
+        assert BN254_G1.is_on_curve(BN254_G1.generator)
+
+    def test_point_constructor_validates(self):
+        with pytest.raises(ValueError):
+            BN254_G1.point(BN254_FQ(1), BN254_FQ(3))
+
+    def test_identity_laws(self):
+        g = BN254_G1.generator
+        inf = BN254_G1.infinity()
+        assert g + inf == g
+        assert inf + g == g
+        assert inf + inf == inf
+        assert (-inf) == inf
+
+    def test_inverse_law(self):
+        g = BN254_G1.generator
+        assert (g + (-g)).is_infinity()
+
+    def test_double_equals_add_self(self):
+        g = BN254_G1.generator
+        assert BN254_G1.double(g) == g + g
+
+    def test_associativity_sample(self):
+        g = BN254_G1.generator
+        a, b, c = 2 * g, 3 * g, 5 * g
+        assert (a + b) + c == a + (b + c)
+
+    def test_scalar_mul_matches_repeated_add(self):
+        g = BN254_G1.generator
+        acc = BN254_G1.infinity()
+        for _ in range(7):
+            acc = acc + g
+        assert 7 * g == acc
+
+    def test_group_order(self):
+        g = BN254_G1.generator
+        assert (R * g).is_infinity()
+        assert ((R + 1) * g) == g
+
+    def test_scalar_reduced_mod_order(self):
+        g = BN254_G1.generator
+        assert (R + 5) * g == 5 * g
+
+    def test_zero_scalar(self):
+        assert (0 * BN254_G1.generator).is_infinity()
+
+    def test_sub(self):
+        g = BN254_G1.generator
+        assert (5 * g) - (2 * g) == 3 * g
+
+    def test_result_points_stay_on_curve(self):
+        g = BN254_G1.generator
+        p = 123456789 * g
+        assert BN254_G1.is_on_curve(p)
+
+    def test_repr_and_hash(self):
+        g = BN254_G1.generator
+        assert "G1" in repr(g)
+        assert hash(g) == hash(BN254_G1.point(g.x, g.y))
+        assert hash(BN254_G1.infinity()) == hash(BN254_G1.infinity())
+
+
+class TestG2:
+    def test_generator_on_curve(self):
+        assert BN254_G2.is_on_curve(BN254_G2.generator)
+
+    def test_group_order(self):
+        g2 = BN254_G2.generator
+        assert (R * g2).is_infinity()
+
+    def test_cofactor_free_arithmetic(self):
+        g2 = BN254_G2.generator
+        assert 2 * g2 + 3 * g2 == 5 * g2
+
+    def test_coordinates_in_fq2(self):
+        g2 = BN254_G2.generator
+        assert isinstance(g2.x, FQ2)
+        assert BN254_G2.is_on_curve(7 * g2)

@@ -1,0 +1,162 @@
+"""Tests for the Jacobian fast path, cross-checked against affine G1."""
+
+import random
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.bn254 import BN254_G1
+from repro.ec.jacobian import (
+    J_INFINITY,
+    j_add,
+    j_add_mixed,
+    j_double,
+    j_neg,
+    j_scalar_mul,
+    msm_jacobian,
+    to_affine,
+    to_jacobian,
+)
+from repro.ec.msm import msm, msm_naive
+
+R = BN254_G1.order
+G = BN254_G1.generator
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        p = 12345 * G
+        assert to_affine(to_jacobian(p)) == p
+
+    def test_infinity(self):
+        assert to_affine(J_INFINITY).is_infinity()
+        assert to_jacobian(BN254_G1.infinity()) == J_INFINITY
+
+    def test_unnormalized_z(self):
+        """Scaling (X, Y, Z) by (l^2, l^3, l) represents the same point."""
+        x, y, z = to_jacobian(7 * G)
+        q = BN254_G1.order  # any scalar; use field ops on base prime
+        from repro.field.fp import BN254_FQ_MODULUS as Q
+
+        lam = 987654321
+        scaled = (
+            (x * lam * lam) % Q,
+            (y * lam * lam * lam) % Q,
+            (z * lam) % Q,
+        )
+        assert to_affine(scaled) == 7 * G
+
+
+class TestGroupLaw:
+    def test_double_matches_affine(self):
+        for k in (1, 2, 17, 9999):
+            p = k * G
+            assert to_affine(j_double(to_jacobian(p))) == BN254_G1.double(p)
+
+    def test_double_infinity_and_order2(self):
+        assert j_double(J_INFINITY) == J_INFINITY
+
+    def test_add_matches_affine(self):
+        a, b = 3 * G, 11 * G
+        assert to_affine(j_add(to_jacobian(a), to_jacobian(b))) == a + b
+
+    def test_add_equal_points_doubles(self):
+        p = to_jacobian(5 * G)
+        assert to_affine(j_add(p, p)) == 10 * G
+
+    def test_add_inverse_gives_infinity(self):
+        p = to_jacobian(5 * G)
+        assert to_affine(j_add(p, j_neg(p))).is_infinity()
+
+    def test_add_identity(self):
+        p = to_jacobian(5 * G)
+        assert to_affine(j_add(p, J_INFINITY)) == 5 * G
+        assert to_affine(j_add(J_INFINITY, p)) == 5 * G
+
+    def test_mixed_add_matches_full(self):
+        p = to_jacobian(9 * G)
+        q = 4 * G
+        mixed = j_add_mixed(p, (q.x.value, q.y.value))
+        assert to_affine(mixed) == 13 * G
+
+    def test_mixed_add_to_infinity(self):
+        q = 4 * G
+        assert to_affine(j_add_mixed(J_INFINITY, (q.x.value, q.y.value))) == q
+
+    def test_mixed_add_doubling_case(self):
+        q = 4 * G
+        p = to_jacobian(q)
+        assert to_affine(j_add_mixed(p, (q.x.value, q.y.value))) == 8 * G
+
+    def test_mixed_add_cancellation(self):
+        q = 4 * G
+        p = to_jacobian(-q)
+        assert to_affine(j_add_mixed(p, (q.x.value, q.y.value))).is_infinity()
+
+    @given(
+        a=st.integers(min_value=1, max_value=10**9),
+        b=st.integers(min_value=1, max_value=10**9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_add_matches_scalar_arithmetic(self, a, b):
+        lhs = to_affine(j_add(to_jacobian(a * G), to_jacobian(b * G)))
+        assert lhs == (a + b) * G
+
+
+class TestScalarMul:
+    def test_matches_affine(self):
+        for k in (0, 1, 2, R - 1, 123456789012345678901234567890):
+            assert to_affine(j_scalar_mul(to_jacobian(G), k)) == k * G
+
+    def test_order_annihilates(self):
+        assert to_affine(j_scalar_mul(to_jacobian(G), R)).is_infinity()
+
+
+class TestMSMJacobian:
+    def _fixture(self, count, seed=0):
+        rng = random.Random(seed)
+        points = [rng.randrange(1, 10_000) * G for _ in range(count)]
+        scalars = [rng.randrange(R) for _ in range(count)]
+        return points, scalars
+
+    def test_matches_affine_pippenger(self):
+        points, scalars = self._fixture(20)
+        assert msm_jacobian(points, scalars) == msm(points, scalars)
+
+    def test_matches_naive(self):
+        points, scalars = self._fixture(7, seed=2)
+        assert msm_jacobian(points, scalars) == msm_naive(points, scalars)
+
+    def test_handles_infinity_points(self):
+        points, scalars = self._fixture(4, seed=3)
+        points[1] = BN254_G1.infinity()
+        assert msm_jacobian(points, scalars) == msm_naive(points, scalars)
+
+    def test_zero_scalars(self):
+        points, _ = self._fixture(4)
+        assert msm_jacobian(points, [0, 0, 0, 0]).is_infinity()
+
+    def test_window_sizes_agree(self):
+        points, scalars = self._fixture(9, seed=4)
+        expected = msm_naive(points, scalars)
+        for window in (2, 5, 11):
+            assert msm_jacobian(points, scalars, window=window) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            msm_jacobian([G], [])
+        with pytest.raises(ValueError):
+            msm_jacobian([], [])
+
+    def test_faster_than_affine_pippenger(self):
+        """The reason this module exists: no per-add inversion."""
+        points, scalars = self._fixture(48, seed=5)
+        start = time.perf_counter()
+        msm_jacobian(points, scalars)
+        jac = time.perf_counter() - start
+        start = time.perf_counter()
+        msm(points, scalars)
+        aff = time.perf_counter() - start
+        assert jac < aff

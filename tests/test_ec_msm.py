@@ -1,0 +1,77 @@
+"""Tests for Pippenger multi-scalar multiplication."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.bn254 import BN254_G1
+from repro.ec.msm import msm, msm_naive
+
+R = BN254_G1.order
+
+
+def _points(count, seed=0):
+    rng = random.Random(seed)
+    g = BN254_G1.generator
+    return [rng.randrange(1, 10_000) * g for _ in range(count)]
+
+
+class TestMSM:
+    def test_matches_naive(self):
+        points = _points(15)
+        rng = random.Random(1)
+        scalars = [rng.randrange(R) for _ in points]
+        assert msm(points, scalars) == msm_naive(points, scalars)
+
+    def test_single_point(self):
+        g = BN254_G1.generator
+        assert msm([g], [5]) == 5 * g
+
+    def test_zero_scalars(self):
+        points = _points(4)
+        assert msm(points, [0, 0, 0, 0]).is_infinity()
+
+    def test_scalars_reduced(self):
+        g = BN254_G1.generator
+        assert msm([g], [R + 3]) == 3 * g
+
+    def test_explicit_window_sizes_agree(self):
+        points = _points(9, seed=2)
+        scalars = [i * 1234567 + 1 for i in range(9)]
+        expected = msm_naive(points, scalars)
+        for window in (2, 4, 8, 13):
+            assert msm(points, scalars, window=window) == expected
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            msm(_points(2), [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            msm([], [])
+        with pytest.raises(ValueError):
+            msm_naive([], [])
+
+    def test_mixed_small_and_large_scalars(self):
+        points = _points(6, seed=3)
+        scalars = [1, R - 1, 2**200, 7, 0, 2**100 + 17]
+        assert msm(points, scalars) == msm_naive(points, scalars)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500),
+                st.integers(min_value=0, max_value=R - 1),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_naive(self, pairs):
+        g = BN254_G1.generator
+        points = [k * g for k, _ in pairs]
+        scalars = [s for _, s in pairs]
+        assert msm(points, scalars) == msm_naive(points, scalars)

@@ -1,0 +1,77 @@
+"""Tests for the BN254 optimal-ate pairing.
+
+Pairings are the most expensive primitive in the repo (~0.3 s each in
+CPython), so the suite keeps the pairing count small while still covering
+bilinearity, non-degeneracy, and the product-check used by Groth16.
+"""
+
+import pytest
+
+from repro.ec.bn254 import (
+    ATE_LOOP_COUNT,
+    BN254_G1,
+    BN254_G2,
+    BN_U,
+    bn254_pairing,
+    final_exponentiate,
+    miller_loop,
+    pairing_product_is_one,
+    twist,
+)
+from repro.ec.tower import FQ12
+
+
+class TestParameters:
+    def test_ate_loop_count(self):
+        assert ATE_LOOP_COUNT == 6 * BN_U + 2
+
+    def test_twist_lands_on_g12_curve(self):
+        from repro.ec.bn254 import BN254_G12
+
+        t = twist(BN254_G2.generator)
+        assert BN254_G12.is_on_curve(t)
+
+    def test_twist_of_infinity(self):
+        assert twist(BN254_G2.infinity()).is_infinity()
+
+
+class TestPairing:
+    @pytest.fixture(scope="class")
+    def e_g1_g2(self):
+        return bn254_pairing(BN254_G1.generator, BN254_G2.generator)
+
+    def test_nondegenerate(self, e_g1_g2):
+        assert e_g1_g2 != FQ12.one()
+
+    def test_output_in_rth_roots(self, e_g1_g2):
+        assert e_g1_g2**BN254_G1.order == FQ12.one()
+
+    def test_bilinear_left(self, e_g1_g2):
+        e = bn254_pairing(3 * BN254_G1.generator, BN254_G2.generator)
+        assert e == e_g1_g2**3
+
+    def test_bilinear_right(self, e_g1_g2):
+        e = bn254_pairing(BN254_G1.generator, 5 * BN254_G2.generator)
+        assert e == e_g1_g2**5
+
+    def test_argument_order_enforced(self):
+        with pytest.raises(ValueError):
+            bn254_pairing(BN254_G2.generator, BN254_G1.generator)
+
+    def test_miller_loop_infinity_short_circuits(self):
+        assert miller_loop(BN254_G2.infinity(), BN254_G1.generator) == FQ12.one()
+        assert miller_loop(BN254_G2.generator, BN254_G1.infinity()) == FQ12.one()
+
+    def test_product_check_accepts_cancelling_pairs(self):
+        # e(2G1, G2) * e(-G1, 2G2) = e(G1,G2)^2 * e(G1,G2)^-2 = 1
+        g1, g2 = BN254_G1.generator, BN254_G2.generator
+        assert pairing_product_is_one(
+            ((2 * g1, g2), (-g1, 2 * g2))
+        )
+
+    def test_product_check_rejects_unbalanced_pairs(self):
+        g1, g2 = BN254_G1.generator, BN254_G2.generator
+        assert not pairing_product_is_one(((2 * g1, g2), (-g1, g2)))
+
+    def test_final_exponentiation_idempotent_on_one(self):
+        assert final_exponentiate(FQ12.one()) == FQ12.one()

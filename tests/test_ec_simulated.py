@@ -1,0 +1,93 @@
+"""Tests for the exponent-tracking simulated bilinear group."""
+
+import pytest
+
+from repro.ec.simulated import (
+    G1_TAG,
+    G2_TAG,
+    GT_TAG,
+    SimPoint,
+    sim_generator,
+    sim_msm,
+    sim_pairing,
+)
+from repro.field.counters import count_ops
+from repro.field.fp import BN254_FR_MODULUS as R
+
+
+class TestGroupLaws:
+    def test_generator_log_is_one(self):
+        assert sim_generator(G1_TAG).log == 1
+
+    def test_add_and_neg(self):
+        g = sim_generator(G1_TAG)
+        assert (g + g).log == 2
+        assert (g - g).is_infinity()
+        assert (-g).log == R - 1
+
+    def test_scalar_mul(self):
+        g = sim_generator(G1_TAG)
+        assert (5 * g).log == 5
+        assert (g * (R + 2)).log == 2
+
+    def test_mixed_tags_rejected(self):
+        with pytest.raises(ValueError):
+            sim_generator(G1_TAG) + sim_generator(G2_TAG)
+
+    def test_equality_and_hash(self):
+        assert SimPoint(G1_TAG, 5) == SimPoint(G1_TAG, 5)
+        assert SimPoint(G1_TAG, 5) != SimPoint(G2_TAG, 5)
+        assert hash(SimPoint(G1_TAG, R + 5)) == hash(SimPoint(G1_TAG, 5))
+
+
+class TestPairing:
+    def test_bilinearity_exact(self):
+        g1, g2 = sim_generator(G1_TAG), sim_generator(G2_TAG)
+        assert sim_pairing(3 * g1, 5 * g2).log == 15
+        assert sim_pairing(3 * g1, 5 * g2).tag == GT_TAG
+
+    def test_argument_tags_enforced(self):
+        g1, g2 = sim_generator(G1_TAG), sim_generator(G2_TAG)
+        with pytest.raises(ValueError):
+            sim_pairing(g2, g1)
+
+    def test_pairing_counter(self):
+        g1, g2 = sim_generator(G1_TAG), sim_generator(G2_TAG)
+        with count_ops() as ops:
+            sim_pairing(g1, g2)
+        assert ops.pairing == 1
+
+
+class TestMSM:
+    def test_matches_dot_product(self):
+        g = sim_generator(G1_TAG)
+        points = [2 * g, 3 * g, 5 * g]
+        assert sim_msm(points, [1, 10, 100]).log == 2 + 30 + 500
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sim_msm([sim_generator(G1_TAG)], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sim_msm([], [])
+
+    def test_mixed_tags_rejected(self):
+        with pytest.raises(ValueError):
+            sim_msm([sim_generator(G1_TAG), sim_generator(G2_TAG)], [1, 1])
+
+    def test_cost_counted_like_pippenger(self):
+        g = sim_generator(G1_TAG)
+        points = [g] * 64
+        with count_ops() as ops:
+            sim_msm(points, list(range(64)))
+        # Bucketed MSM cost, not 1-per-point: strictly more adds than points.
+        assert ops.group_add > 64
+
+    def test_g2_costs_double(self):
+        g1, g2 = sim_generator(G1_TAG), sim_generator(G2_TAG)
+        with count_ops() as ops1:
+            _ = g1 + g1
+        with count_ops() as ops2:
+            _ = g2 + g2
+        assert ops2.group_add == 2 * ops1.group_add

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    ("quickstart.py", []),
+    ("face_id_access_control.py", []),
+    ("model_accuracy_proof.py", ["--images", "4"]),
+    ("leela_move_proof.py", []),
+    ("custom_circuit_primitives.py", []),
+    ("port_constraints.py", []),
+    ("accuracy_certificate.py", ["--images", "6"]),
+]
+
+
+@pytest.mark.parametrize("script,args", SCRIPTS, ids=[s for s, _ in SCRIPTS])
+def test_example_runs(script, args, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,  # examples must not depend on the repo CWD
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example on disk is exercised by this test module."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {s for s, _ in SCRIPTS}
+    assert on_disk == tested, on_disk ^ tested

@@ -1,0 +1,73 @@
+"""Tests for the operation counters used in cost attribution."""
+
+import threading
+
+from repro.field.counters import OpCounter, count_ops, global_counter
+from repro.field.fp import BN254_FR
+
+
+class TestOpCounter:
+    def test_snapshot_and_reset(self):
+        counter = OpCounter()
+        counter.field_mul = 3
+        counter.bump("custom", 2)
+        snap = counter.snapshot()
+        assert snap["field_mul"] == 3
+        assert snap["custom"] == 2
+        counter.reset()
+        assert counter.field_mul == 0
+        assert counter.extra == {}
+
+    def test_merge(self):
+        a = OpCounter(field_mul=1, group_add=2)
+        a.bump("x")
+        b = OpCounter(field_mul=4)
+        b.bump("x", 5)
+        a.merge(b)
+        assert a.field_mul == 5
+        assert a.group_add == 2
+        assert a.extra["x"] == 6
+
+    def test_weighted_total(self):
+        counter = OpCounter(field_mul=100, field_add=40, field_inv=1)
+        assert counter.total_field_ops() == 100 + 10 + 256
+
+
+class TestScoping:
+    def test_count_ops_isolates(self):
+        BN254_FR.mul(2, 3)  # outside: goes to the ambient counter
+        with count_ops() as ops:
+            BN254_FR.mul(2, 3)
+            BN254_FR.mul(2, 3)
+        assert ops.field_mul == 2
+        with count_ops() as ops2:
+            pass
+        assert ops2.field_mul == 0
+
+    def test_nested_scopes_restore(self):
+        with count_ops() as outer:
+            BN254_FR.mul(1, 1)
+            with count_ops() as inner:
+                BN254_FR.mul(1, 1)
+                BN254_FR.mul(1, 1)
+            BN254_FR.mul(1, 1)
+        assert inner.field_mul == 2
+        assert outer.field_mul == 2  # inner ops not double counted
+
+    def test_thread_local_counters(self):
+        results = {}
+
+        def worker():
+            with count_ops() as ops:
+                BN254_FR.mul(5, 5)
+            results["thread"] = ops.field_mul
+
+        with count_ops() as main_ops:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert results["thread"] == 1
+        assert main_ops.field_mul == 0
+
+    def test_global_counter_returns_counter(self):
+        assert isinstance(global_counter(), OpCounter)

@@ -1,0 +1,113 @@
+"""Unit and property tests for prime-field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.fp import BN254_FQ, BN254_FR, Field, FieldElement
+
+P = BN254_FR.modulus
+
+elements = st.integers(min_value=0, max_value=P - 1)
+nonzero = st.integers(min_value=1, max_value=P - 1)
+
+
+class TestFieldRaw:
+    def test_modulus_is_prime_scale(self):
+        assert BN254_FR.bits == 254
+        assert BN254_FQ.bits == 254
+        assert BN254_FR.modulus != BN254_FQ.modulus
+
+    def test_add_wraps(self):
+        assert BN254_FR.add(P - 1, 1) == 0
+
+    def test_sub_wraps(self):
+        assert BN254_FR.sub(0, 1) == P - 1
+
+    def test_neg(self):
+        assert BN254_FR.neg(0) == 0
+        assert BN254_FR.neg(5) == P - 5
+
+    def test_mul_reduces(self):
+        assert BN254_FR.mul(P - 1, P - 1) == 1  # (-1)^2
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            BN254_FR.inv(0)
+
+    def test_div(self):
+        assert BN254_FR.div(10, 2) == 5
+
+    def test_exp_negative_exponent(self):
+        x = 12345
+        assert BN254_FR.exp(x, -1) == BN254_FR.inv(x)
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            Field(1)
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=50)
+    def test_add_commutative(self, a, b):
+        assert BN254_FR.add(a, b) == BN254_FR.add(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=50)
+    def test_mul_distributes(self, a, b, c):
+        lhs = BN254_FR.mul(a, BN254_FR.add(b, c))
+        rhs = BN254_FR.add(BN254_FR.mul(a, b), BN254_FR.mul(a, c))
+        assert lhs == rhs
+
+    @given(a=nonzero)
+    @settings(max_examples=50)
+    def test_inverse_roundtrip(self, a):
+        assert BN254_FR.mul(a, BN254_FR.inv(a)) == 1
+
+
+class TestFieldElement:
+    def test_operator_suite(self):
+        a = BN254_FR(7)
+        b = BN254_FR(3)
+        assert int(a + b) == 10
+        assert int(a - b) == 4
+        assert int(a * b) == 21
+        assert (a / b) * b == a
+        assert int(-a) == P - 7
+        assert int(a**3) == 343
+
+    def test_mixed_int_operands(self):
+        a = BN254_FR(7)
+        assert a + 1 == BN254_FR(8)
+        assert 1 + a == BN254_FR(8)
+        assert 10 - a == BN254_FR(3)
+        assert 2 * a == BN254_FR(14)
+        assert (21 / a) == BN254_FR(3)
+
+    def test_cross_field_mixing_rejected(self):
+        with pytest.raises(ValueError):
+            BN254_FR(1) + BN254_FQ(1)
+
+    def test_equality_with_int(self):
+        assert BN254_FR(5) == 5
+        assert BN254_FR(P + 5) == 5
+
+    def test_signed_interpretation(self):
+        assert BN254_FR(P - 3).signed() == -3
+        assert BN254_FR(3).signed() == 3
+
+    def test_bool_and_hash(self):
+        assert not BN254_FR(0)
+        assert BN254_FR(1)
+        assert hash(BN254_FR(5)) == hash(BN254_FR(P + 5))
+
+    def test_inverse_method(self):
+        a = BN254_FR(999)
+        assert a * a.inverse() == 1
+
+    def test_random_in_range(self, rng):
+        for _ in range(10):
+            assert 0 <= int(BN254_FR.random(rng)) < P
+
+    def test_elements_builder(self):
+        xs = BN254_FR.elements([1, 2, 3])
+        assert [int(x) for x in xs] == [1, 2, 3]

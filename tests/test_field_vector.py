@@ -1,0 +1,60 @@
+"""Tests for batch field utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field.fp import BN254_FR
+from repro.field.vector import batch_inverse, field_dot, powers
+
+P = BN254_FR.modulus
+
+
+class TestBatchInverse:
+    def test_empty(self):
+        assert batch_inverse(BN254_FR, []) == []
+
+    def test_single(self):
+        assert batch_inverse(BN254_FR, [7]) == [BN254_FR.inv(7)]
+
+    def test_matches_individual_inverses(self):
+        values = [3, 1, P - 2, 123456789, 42]
+        expected = [pow(v, -1, P) for v in values]
+        assert batch_inverse(BN254_FR, values) == expected
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            batch_inverse(BN254_FR, [1, 0, 2])
+
+    @given(st.lists(st.integers(min_value=1, max_value=P - 1), min_size=1, max_size=20))
+    @settings(max_examples=25)
+    def test_property_all_inverted(self, values):
+        out = batch_inverse(BN254_FR, values)
+        assert all((v * i) % P == 1 for v, i in zip(values, out))
+
+
+class TestFieldDot:
+    def test_basic(self):
+        assert field_dot(BN254_FR, [1, 2, 3], [4, 5, 6]) == 32
+
+    def test_reduction(self):
+        assert field_dot(BN254_FR, [P - 1], [P - 1]) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            field_dot(BN254_FR, [1], [1, 2])
+
+    def test_empty(self):
+        assert field_dot(BN254_FR, [], []) == 0
+
+
+class TestPowers:
+    def test_basic(self):
+        assert powers(BN254_FR, 3, 4) == [1, 3, 9, 27]
+
+    def test_zero_count(self):
+        assert powers(BN254_FR, 3, 0) == []
+
+    def test_reduction(self):
+        out = powers(BN254_FR, P - 1, 3)  # (-1)^k
+        assert out == [1, P - 1, 1]

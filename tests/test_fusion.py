@@ -1,0 +1,125 @@
+"""Tests for zkSNARK-aware NN fusion (§6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.core.fusion.fuse import fuse_model, fusion_summary
+from repro.core.fusion.rules import fusible_pairs, is_fusible
+from repro.nn.data import synthetic_images
+from repro.nn.graph import Model
+from repro.nn.layers import AvgPool2d, BatchNorm, Conv2d, Linear, ReLU
+from repro.nn.models import build_model
+
+
+def bn_model(seed=0):
+    """conv -> BN -> ReLU -> flatten -> FC, BN fusible into conv."""
+    gen = np.random.default_rng(seed)
+    m = Model("bn-demo", (1, 6, 6))
+    m.add("conv", Conv2d(gen.integers(-4, 5, (2, 1, 3, 3)).astype(np.int64)))
+    m.add(
+        "bn",
+        BatchNorm(
+            gen.integers(1, 4, 2).astype(np.int64),
+            gen.integers(-8, 9, 2).astype(np.int64),
+            requant=6,
+        ),
+    )
+    m.add("relu", ReLU())
+    from repro.nn.layers import Flatten
+
+    m.add("flatten", Flatten())
+    flat = m.shape_of("flatten")[0]
+    m.add("fc", Linear(gen.integers(-3, 4, (3, flat)).astype(np.int64)))
+    return m
+
+
+class TestRules:
+    def test_bn_into_conv_fusible(self):
+        conv = Conv2d(np.zeros((1, 1, 3, 3), dtype=np.int64))
+        bn = BatchNorm(np.ones(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        assert is_fusible(conv, bn)
+
+    def test_bn_into_linear_fusible(self):
+        fc = Linear(np.zeros((2, 4), dtype=np.int64))
+        bn = BatchNorm(np.ones(2, dtype=np.int64), np.zeros(2, dtype=np.int64))
+        assert is_fusible(fc, bn)
+
+    def test_relu_never_fusible(self):
+        """The zkSNARK-specific rule: ReLU comparisons can't be folded."""
+        conv = Conv2d(np.zeros((1, 1, 3, 3), dtype=np.int64))
+        assert not is_fusible(conv, ReLU())
+
+    def test_pool_not_a_fusion_producer(self):
+        bn = BatchNorm(np.ones(1, dtype=np.int64), np.zeros(1, dtype=np.int64))
+        assert not is_fusible(AvgPool2d(2), bn)
+
+    def test_fusible_pairs_found(self):
+        pairs = fusible_pairs(bn_model())
+        assert pairs == [("conv", "bn")]
+
+    def test_multi_reader_producer_not_fused(self):
+        gen = np.random.default_rng(0)
+        m = Model("m", (1, 4, 4))
+        m.add("conv", Conv2d(gen.integers(-2, 3, (1, 1, 1, 1)).astype(np.int64)))
+        m.add(
+            "bn",
+            BatchNorm(np.ones(1, dtype=np.int64), np.zeros(1, dtype=np.int64)),
+        )
+        from repro.nn.layers import Add
+
+        m.add("res", Add(requant=0), inputs=("bn", "conv"))  # conv read twice
+        assert fusible_pairs(m) == []
+
+
+class TestFuseModel:
+    def test_outputs_identical(self):
+        model = bn_model()
+        fused = fuse_model(model)
+        image = synthetic_images((1, 6, 6), n=1, seed=3)[0]
+        assert np.array_equal(model.forward(image), fused.forward(image))
+
+    def test_layer_removed(self):
+        model = bn_model()
+        fused = fuse_model(model)
+        assert fused.num_layers() == model.num_layers() - 1
+        assert all(not isinstance(n.layer, BatchNorm) for n in fused.nodes)
+
+    def test_requant_moved_onto_conv(self):
+        fused = fuse_model(bn_model())
+        assert fused.node("conv").layer.requant == 6
+
+    def test_nonzero_producer_requant_skipped(self):
+        model = bn_model()
+        model.node("conv").layer.requant = 1  # BN no longer exact to fold
+        fused = fuse_model(model)
+        assert any(isinstance(n.layer, BatchNorm) for n in fused.nodes)
+
+    def test_resnet_fusion_preserves_semantics(self):
+        model = build_model("RES18", scale="mini")
+        fused = fuse_model(model)
+        image = synthetic_images(model.input_shape, n=1, seed=2)[0]
+        assert np.array_equal(model.forward(image), fused.forward(image))
+        summary = fusion_summary(model)
+        assert summary["fused_layers"] > 0
+        assert fused.num_layers() == model.num_layers() - summary["fused_layers"]
+
+    def test_fusion_reduces_constraints(self):
+        """Fewer layers -> fewer equality checks and committed wires."""
+        model = build_model("RES18", scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=2)[0]
+        with_fusion = ZenoCompiler(zeno_options()).compile_model(model, image)
+        without = ZenoCompiler(zeno_options(fusion=False)).compile_model(
+            model, image
+        )
+        assert with_fusion.num_constraints < without.num_constraints
+        assert with_fusion.num_variables < without.num_variables
+        assert with_fusion.cs.is_satisfied()
+
+    def test_fusion_summary_counts_bn(self):
+        summary = fusion_summary(bn_model())
+        assert summary == {
+            "fusible_pairs": 1,
+            "fused_layers": 1,
+            "total_bn_layers": 1,
+        }

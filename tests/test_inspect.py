@@ -1,0 +1,88 @@
+"""Tests for circuit inspection and violation diagnosis."""
+
+import pytest
+
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.core.inspect import (
+    diagnose,
+    format_layer_table,
+    layer_statistics,
+)
+from repro.r1cs.system import ConstraintSystem
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return ZenoCompiler(zeno_options()).compile_model(
+        tiny_conv_model(), tiny_image()
+    )
+
+
+class TestLayerStatistics:
+    def test_covers_constraint_layers(self, artifact):
+        stats = layer_statistics(artifact)
+        assert [s.name for s in stats] == ["conv", "relu", "fc"]
+        assert sum(s.constraints for s in stats) == artifact.num_constraints
+
+    def test_per_unit_math(self, artifact):
+        stats = {s.name: s for s in layer_statistics(artifact)}
+        relu = stats["relu"]
+        assert relu.constraints_per_unit == pytest.approx(
+            relu.constraints / relu.num_units
+        )
+
+    def test_table_format(self, artifact):
+        table = format_layer_table(artifact)
+        assert "conv" in table and "relu" in table and "total" in table
+        assert str(artifact.num_constraints) in table
+
+
+class TestDiagnose:
+    def test_satisfied_system(self, artifact):
+        assert diagnose(artifact.cs) == "satisfied"
+
+    def test_incomplete_witness(self):
+        cs = ConstraintSystem()
+        cs.new_private()  # never assigned
+        assert "incomplete witness" in diagnose(cs)
+
+    def test_violation_report_contents(self):
+        cs = ConstraintSystem(name="demo")
+        x = cs.new_private(6)
+        w = cs.new_private(7)
+        start = cs.num_constraints
+        wire = cs.mul_private(x, w, tag="demo/mul")
+        cs.mark_layer("layer-one", start)
+        cs.assign(wire, 41)
+        report = diagnose(cs)
+        assert "VIOLATED" in report
+        assert "demo/mul" in report
+        assert "layer-one" in report
+        assert "42" in report and "41" in report  # A*B vs C values
+
+    def test_violation_limit(self):
+        cs = ConstraintSystem()
+        for _ in range(5):
+            wire = cs.mul_private(cs.new_private(2), cs.new_private(2))
+            cs.assign(wire, 5)
+        report = diagnose(cs, max_violations=2)
+        assert report.count("VIOLATED") == 2
+        assert report.startswith("5 violated")
+
+    def test_long_lc_truncated(self):
+        cs = ConstraintSystem()
+        lc = cs.lc()
+        for i in range(10):
+            lc.add_term(cs.new_private(1), 1)
+        cs.enforce(lc, cs.lc_constant(1), cs.lc_constant(99))
+        report = diagnose(cs)
+        assert "+4 terms" in report
+
+    def test_negative_coefficients_shown_signed(self):
+        cs = ConstraintSystem()
+        x = cs.new_private(5)
+        lc = cs.lc_variable(x, cs.field.modulus - 3)  # -3
+        cs.enforce(lc, cs.lc_constant(1), cs.lc_constant(0))
+        report = diagnose(cs)
+        assert "-3*w1" in report

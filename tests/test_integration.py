@@ -1,0 +1,127 @@
+"""Cross-module integration tests: the full story, end to end."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import (
+    PrivacySetting,
+    ZenoCompiler,
+    arkworks_options,
+    zeno_options,
+)
+from repro.core.lang.primitives import ProgramBuilder
+from repro.core.reuse.batch import BatchProver
+from repro.ec.backend import RealBN254Backend, SimulatedBackend
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from repro.snark import groth16
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+class TestFullPipelineEquivalence:
+    """Baseline and ZENO pipelines agree on outputs and verdicts."""
+
+    def test_same_logits_all_profiles(self):
+        model = build_model("LCS", scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=11)[0]
+        outputs = []
+        for opts in (arkworks_options(), zeno_options(), zeno_options(fusion=False)):
+            artifact = ZenoCompiler(opts).compile_model(model, image)
+            outputs.append(tuple(artifact.public_outputs_signed()))
+        assert len(set(outputs)) == 1
+        assert list(outputs[0]) == [int(v) for v in model.forward(image)]
+
+    def test_proof_rejects_wrong_prediction_claim(self):
+        """The headline security property: claiming a different class fails."""
+        model = tiny_conv_model()
+        image = tiny_image()
+        compiler = ZenoCompiler(zeno_options())
+        artifact = compiler.compile_model(model, image)
+        backend = SimulatedBackend()
+        setup = groth16.setup(artifact.cs, backend, random.Random(1))
+        proof = groth16.prove(setup.proving_key, artifact.cs, backend)
+        honest = artifact.public_inputs()
+        assert groth16.verify(setup.verifying_key, honest, proof, backend)
+        forged = list(honest)
+        forged[0] = (forged[0] + 1) % artifact.cs.field.modulus
+        assert not groth16.verify(setup.verifying_key, forged, proof, backend)
+
+    def test_strict_gadgets_end_to_end(self):
+        model = tiny_conv_model()
+        compiler = ZenoCompiler(zeno_options(gadget_mode="strict"))
+        artifact = compiler.compile_model(model, tiny_image())
+        report = compiler.prove(artifact)
+        assert report.verified
+
+
+class TestWorldIDScenario:
+    """The paper's killer app: prove identity without revealing the image."""
+
+    def test_two_users_two_proofs_one_circuit(self):
+        model = tiny_conv_model()
+        alice, bob = tiny_image(seed=100), tiny_image(seed=200)
+        prover = BatchProver(model, alice)
+        backend = SimulatedBackend()
+        setup = groth16.setup(prover.cs, backend, random.Random(3))
+
+        prover.assign_image(alice)
+        alice_claim = list(prover.cs.public_values())
+        alice_proof = groth16.prove(setup.proving_key, prover.cs, backend)
+
+        prover.assign_image(bob)
+        bob_claim = list(prover.cs.public_values())
+        bob_proof = groth16.prove(setup.proving_key, prover.cs, backend)
+
+        assert groth16.verify(setup.verifying_key, alice_claim, alice_proof, backend)
+        assert groth16.verify(setup.verifying_key, bob_claim, bob_proof, backend)
+        # Cross-verification fails: proofs are bound to their own claims.
+        if alice_claim != bob_claim:
+            assert not groth16.verify(
+                setup.verifying_key, bob_claim, alice_proof, backend
+            )
+
+
+class TestModelPrivacyScenario:
+    """Leela-vs-the-world style: private weights, prove the move/logits."""
+
+    def test_private_weights_proof(self):
+        model = tiny_conv_model()
+        compiler = ZenoCompiler(
+            zeno_options(PrivacySetting.PRIVATE_IMAGE_PRIVATE_WEIGHTS)
+        )
+        artifact = compiler.compile_model(model, tiny_image())
+        report = compiler.prove(artifact)
+        assert report.verified
+        # No weight value appears among the public inputs.
+        weights = set(
+            int(v) for v in model.node("conv").layer.weight.reshape(-1)
+        )
+        publics = set(artifact.public_outputs_signed())
+        assert publics == set(int(v) for v in model.forward(tiny_image()))
+        assert not (weights - publics) <= publics  # sanity: sets differ
+
+
+class TestPrimitivesToRealCurve:
+    def test_builder_program_real_groth16(self):
+        """§3 primitives -> §4/§5 circuit -> real BN254 Groth16."""
+        builder = ProgramBuilder("id-check", np.array([17, 3, 250, 9]))
+        builder.dot_product(np.array([2, -3, 1, 5]))
+        compiler = ZenoCompiler(zeno_options(fusion=False))
+        artifact = compiler.compile_program(builder.build())
+        report = compiler.prove(artifact, backend=RealBN254Backend())
+        assert report.verified
+        assert artifact.public_outputs_signed() == [17 * 2 - 9 + 250 + 45]
+
+
+class TestScaleSanity:
+    @pytest.mark.parametrize("abbr", ["SHAL", "LCS"])
+    def test_mini_models_prove_end_to_end(self, abbr):
+        model = build_model(abbr, scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+        compiler = ZenoCompiler(zeno_options())
+        artifact = compiler.compile_model(model, image)
+        report = compiler.prove(artifact)
+        assert report.verified
+        assert artifact.num_constraints > 0

@@ -1,0 +1,150 @@
+"""Tests for the ZENO language construct: types, zkTensor, programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.lang.program import (
+    AddOp,
+    DotLayerOp,
+    EwiseAffineOp,
+    FlattenOp,
+    ReluOp,
+    program_from_model,
+)
+from repro.core.lang.types import Privacy, ScalarKind, infer_scalar_kind
+from repro.core.lang.zktensor import ZkTensor
+from repro.nn.models import build_model
+from repro.nn.data import synthetic_images
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+class TestTypes:
+    def test_privacy_enum(self):
+        assert Privacy.PRIVATE.is_private
+        assert not Privacy.PUBLIC.is_private
+        assert str(Privacy.PRIVATE) == "private"
+
+    def test_scalar_kind_privacy(self):
+        assert not ScalarKind.CONST.is_private
+        assert ScalarKind.WIRE.is_private
+
+    def test_inference_table(self):
+        """Table 1: public -> Const; private maps by pipeline stage."""
+        assert infer_scalar_kind(Privacy.PUBLIC, "input") is ScalarKind.CONST
+        assert infer_scalar_kind(Privacy.PRIVATE, "input") is ScalarKind.VARIABLE
+        assert infer_scalar_kind(Privacy.PRIVATE, "intermediate") is ScalarKind.GATE
+        assert infer_scalar_kind(Privacy.PRIVATE, "constraint") is ScalarKind.WIRE
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            infer_scalar_kind(Privacy.PRIVATE, "nowhere")
+
+
+class TestZkTensor:
+    def test_public_tensor_has_no_variables(self):
+        t = ZkTensor.public(np.ones((2, 2)))
+        assert t.scalar_kind is ScalarKind.CONST
+        assert not t.is_allocated()
+        with pytest.raises(ValueError):
+            t.flat_vars()
+
+    def test_public_with_vars_rejected(self):
+        with pytest.raises(ValueError):
+            ZkTensor(np.ones(2), Privacy.PUBLIC, var_indices=np.array([1, 2]))
+
+    def test_var_shape_validated(self):
+        with pytest.raises(ValueError):
+            ZkTensor(
+                np.ones((2, 2)),
+                Privacy.PRIVATE,
+                var_indices=np.array([1, 2, 3]),
+            )
+
+    def test_reshape_carries_vars(self):
+        t = ZkTensor(
+            np.arange(4),
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.array([5, 6, 7, 8]),
+        )
+        r = t.reshaped((2, 2))
+        assert r.var_indices.shape == (2, 2)
+        assert r.scalar_kind is ScalarKind.WIRE
+
+
+class TestProgramFromModel:
+    def test_op_kinds(self, tiny_model):
+        program = program_from_model(tiny_model, tiny_image())
+        kinds = [type(op).__name__ for op in program.ops]
+        assert kinds == ["DotLayerOp", "ReluOp", "FlattenOp", "DotLayerOp"]
+        assert program.output_name == "fc"
+
+    def test_dot_geometry_matches_layer(self, tiny_model):
+        program = program_from_model(tiny_model, tiny_image())
+        conv_op = program.ops[0]
+        assert isinstance(conv_op, DotLayerOp)
+        assert conv_op.dot_length == 9  # 1 channel * 3x3 kernel
+        assert conv_op.num_dots == 2 * 4 * 4
+        assert conv_op.macs() == tiny_model.node("conv").layer.macs((1, 6, 6))
+
+    def test_index_cols_reconstruct_accumulators(self, tiny_model):
+        """The 1-based index matrix must reproduce the traced accumulator."""
+        image = tiny_image()
+        program = program_from_model(tiny_model, image)
+        op = program.ops[0]
+        flat_in = image.reshape(-1)
+        for d in range(op.num_dots):
+            row = op.weight_rows[op.row_of_dot[d]]
+            positions = op.input_cols[:, op.col_of_dot[d]]
+            acc = op.bias[op.row_of_dot[d]]
+            for pos, w in zip(positions, row):
+                if pos:
+                    acc += w * flat_in[pos - 1]
+            assert acc == op.acc_values[d], f"dot {d}"
+
+    def test_padding_uses_zero_sentinel(self):
+        model = build_model("VGG16", scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+        program = program_from_model(model, image)
+        conv1 = program.ops[0]
+        assert isinstance(conv1, DotLayerOp)
+        assert conv1.input_cols.min() == 0  # padded taps present
+
+    def test_pool_op_is_public_ones_dot(self):
+        model = build_model("LCS", scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+        program = program_from_model(model, image)
+        pool_ops = [
+            op
+            for op in program.ops
+            if isinstance(op, DotLayerOp) and op.layer_kind == "pool"
+        ]
+        assert pool_ops
+        op = pool_ops[0]
+        assert np.all(op.weight_rows == 1)
+        assert not op.weights_private  # structural, even in private-W mode
+
+    def test_resnet_ops_cover_bn_and_add(self):
+        model = build_model("RES18", scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=1)[0]
+        program = program_from_model(model, image)
+        kinds = {type(op) for op in program.ops}
+        assert {DotLayerOp, ReluOp, EwiseAffineOp, AddOp, FlattenOp} <= kinds
+
+    def test_privacy_propagates_to_dot_ops(self, tiny_model):
+        program = program_from_model(
+            tiny_model,
+            tiny_image(),
+            weights_privacy=Privacy.PRIVATE,
+        )
+        assert program.ops[0].weights_private
+        assert program.weights_privacy is Privacy.PRIVATE
+
+    def test_final_logits(self, tiny_model):
+        image = tiny_image()
+        program = program_from_model(tiny_model, image)
+        assert np.array_equal(program.final_logits(), tiny_model.forward(image))
+
+    def test_total_macs(self, tiny_model):
+        program = program_from_model(tiny_model, tiny_image())
+        assert program.total_macs() == tiny_model.total_macs()

@@ -1,0 +1,119 @@
+"""Tests for the §3 tensor compute primitives (ProgramBuilder API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.core.lang.primitives import ProgramBuilder
+from repro.core.lang.types import Privacy
+
+
+class TestProgramBuilder:
+    def test_dot_product_values(self):
+        builder = ProgramBuilder("p", np.array([1, 2, 3]))
+        builder.dot_product(np.array([4, 5, 6]))
+        program = builder.build()
+        assert program.final_logits()[0] == 32
+
+    def test_fully_connected(self):
+        x = np.array([1, 2], dtype=np.int64)
+        w = np.array([[1, 0], [0, 1], [2, 2]], dtype=np.int64)
+        b = np.array([10, 10, 10], dtype=np.int64)
+        builder = ProgramBuilder("p", x)
+        builder.fully_connected(w, b)
+        assert np.array_equal(builder.build().final_logits(), [11, 12, 16])
+
+    def test_convolution_and_pool(self):
+        x = np.ones((1, 4, 4), dtype=np.int64)
+        builder = ProgramBuilder("p", x)
+        builder.convolution(np.ones((1, 1, 3, 3), dtype=np.int64), padding=1)
+        builder.pool(2)
+        program = builder.build()
+        assert program.final_logits().shape == (1, 2, 2)
+
+    def test_relu(self):
+        builder = ProgramBuilder("p", np.array([5, 10]))
+        builder.fully_connected(np.array([[1, -1], [-1, 1]], dtype=np.int64))
+        builder.relu()
+        assert np.array_equal(builder.build().final_logits(), [0, 5])
+
+    def test_add_tensor_residual(self):
+        x = np.array([1, 2], dtype=np.int64)
+        builder = ProgramBuilder("p", x)
+        a = builder.fully_connected(np.eye(2, dtype=np.int64))
+        b = builder.fully_connected(2 * np.eye(2, dtype=np.int64), src=a)
+        builder.add_tensor(a, b)
+        assert np.array_equal(builder.build().final_logits(), [3, 6])
+
+    def test_mul_tensor_affine(self):
+        builder = ProgramBuilder("p", np.array([4, 8]))
+        builder.mul_tensor(np.array([3, 3]), shift=np.array([1, 1]))
+        assert np.array_equal(builder.build().final_logits(), [13, 25])
+
+    def test_flatten(self):
+        builder = ProgramBuilder("p", np.ones((2, 2, 2), dtype=np.int64))
+        builder.flatten()
+        assert builder.build().final_logits().shape == (8,)
+
+    def test_unknown_source_rejected(self):
+        builder = ProgramBuilder("p", np.array([1]))
+        with pytest.raises(KeyError):
+            builder.relu(src="ghost")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder("p", np.array([1])).build()
+
+    def test_dot_product_requires_vector(self):
+        builder = ProgramBuilder("p", np.array([1, 2]))
+        with pytest.raises(ValueError):
+            builder.dot_product(np.ones((2, 2), dtype=np.int64))
+
+    def test_add_tensor_shape_mismatch(self):
+        builder = ProgramBuilder("p", np.array([1, 2]))
+        a = builder.fully_connected(np.eye(2, dtype=np.int64))
+        b = builder.fully_connected(np.ones((3, 2), dtype=np.int64), src="__input__")
+        with pytest.raises(ValueError):
+            builder.add_tensor(a, b)
+
+    def test_privacy_recorded(self):
+        builder = ProgramBuilder(
+            "p",
+            np.array([1, 2]),
+            image_privacy=Privacy.PRIVATE,
+            weights_privacy=Privacy.PRIVATE,
+        )
+        builder.fully_connected(np.eye(2, dtype=np.int64))
+        program = builder.build()
+        assert program.ops[0].weights_private
+
+
+class TestBuilderProgramsProve:
+    """Programs from primitives flow through the full compiler + SNARK."""
+
+    def test_one_private_dot_product_proves(self):
+        builder = ProgramBuilder("demo", np.array([3, 1, 4, 1, 5]))
+        builder.dot_product(np.array([2, 7, 1, 8, 2]))
+        program = builder.build()
+        compiler = ZenoCompiler(zeno_options(fusion=False))
+        artifact = compiler.compile_program(program)
+        assert artifact.cs.is_satisfied()
+        report = compiler.prove(artifact)
+        assert report.verified
+
+    def test_multilayer_program_proves(self):
+        gen = np.random.default_rng(0)
+        builder = ProgramBuilder("mlp", gen.integers(0, 8, 6))
+        builder.fully_connected(
+            gen.integers(-3, 4, (4, 6)).astype(np.int64), requant=2
+        )
+        builder.relu()
+        builder.fully_connected(gen.integers(-3, 4, (2, 4)).astype(np.int64))
+        program = builder.build()
+        compiler = ZenoCompiler(zeno_options(fusion=False))
+        artifact = compiler.compile_program(program)
+        report = compiler.prove(artifact)
+        assert report.verified
+        assert artifact.public_outputs_signed() == [
+            int(v) for v in program.final_logits()
+        ]

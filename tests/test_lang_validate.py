@@ -1,0 +1,115 @@
+"""Tests for ZkProgram validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.lang.program import program_from_model
+from repro.core.lang.validate import ProgramValidationError, validate_program
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from tests.conftest import tiny_conv_model, tiny_image
+from tests.test_maxpool import maxpool_model
+
+
+class TestValidPrograms:
+    def test_tiny_model_validates(self):
+        program = program_from_model(tiny_conv_model(), tiny_image())
+        notes = validate_program(program)
+        assert isinstance(notes, list)
+
+    def test_maxpool_program_validates(self):
+        program = program_from_model(maxpool_model(), tiny_image())
+        validate_program(program)
+
+    def test_resnet_mini_validates(self):
+        model = build_model("RES18", scale="micro")
+        image = synthetic_images(model.input_shape, n=1, seed=3)[0]
+        validate_program(program_from_model(model, image))
+
+    def test_zero_weight_note(self):
+        program = program_from_model(tiny_conv_model(), tiny_image())
+        # Force some zero weights to trigger the advisory note.
+        program.dot_ops()[0].weight_rows[0, 0] = 0
+        # (acc values now stale — shallow validation only)
+        notes = validate_program(program, deep=False)
+        assert any("zero weight" in note for note in notes)
+
+    def test_shallow_skips_accumulator_check(self):
+        program = program_from_model(tiny_conv_model(), tiny_image())
+        program.dot_ops()[0].acc_values[0] += 1
+        validate_program(program, deep=False)  # passes structurally
+        with pytest.raises(ProgramValidationError, match="accumulator"):
+            validate_program(program, deep=True)
+
+
+class TestBuilderIntegration:
+    def test_build_with_validation(self):
+        from repro.core.lang.primitives import ProgramBuilder
+
+        builder = ProgramBuilder("v", np.arange(4, dtype=np.int64))
+        builder.fully_connected(np.ones((2, 4), dtype=np.int64))
+        program = builder.build(validate=True)
+        assert program.output_name == "fc1"
+
+
+class TestViolations:
+    def _program(self):
+        return program_from_model(tiny_conv_model(), tiny_image())
+
+    def test_empty_program(self):
+        program = self._program()
+        program.ops = []
+        with pytest.raises(ProgramValidationError, match="no operations"):
+            validate_program(program)
+
+    def test_dangling_input(self):
+        program = self._program()
+        program.ops[1].inputs = ("ghost",)
+        with pytest.raises(ProgramValidationError, match="before it is produced"):
+            validate_program(program)
+
+    def test_redefined_output(self):
+        program = self._program()
+        program.ops[1].output = program.ops[0].output
+        with pytest.raises(ProgramValidationError, match="redefines"):
+            validate_program(program)
+
+    def test_wrong_output_name(self):
+        program = self._program()
+        program.output_name = program.ops[0].name
+        with pytest.raises(ProgramValidationError, match="last op"):
+            validate_program(program)
+
+    def test_tap_out_of_range(self):
+        program = self._program()
+        program.dot_ops()[0].input_cols[0, 0] = 10**6
+        with pytest.raises(ProgramValidationError, match="outside the input"):
+            validate_program(program, deep=False)
+
+    def test_duplicate_taps(self):
+        program = self._program()
+        op = program.dot_ops()[0]
+        op.input_cols[1, 0] = op.input_cols[0, 0]
+        with pytest.raises(ProgramValidationError, match="duplicate taps"):
+            validate_program(program, deep=False)
+
+    def test_relu_out_mismatch(self):
+        program = self._program()
+        relu_op = program.ops[1]
+        relu_op.out_values = relu_op.out_values + 1
+        with pytest.raises(ProgramValidationError, match="relu"):
+            validate_program(program, deep=False)
+
+    def test_relu_range_overflow(self):
+        program = self._program()
+        relu_op = program.ops[1]
+        relu_op.bits = 4  # conv accumulators exceed 4-bit signed range
+        with pytest.raises(ProgramValidationError, match="sign-gadget"):
+            validate_program(program, deep=False)
+
+    def test_maxpool_window_mismatch(self):
+        program = program_from_model(maxpool_model(), tiny_image())
+        pool_op = program.ops[1]
+        pool_op.out_values = pool_op.out_values + 1
+        with pytest.raises(ProgramValidationError, match="maximum mismatch"):
+            validate_program(program)

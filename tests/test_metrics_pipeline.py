@@ -1,0 +1,89 @@
+"""Tests for the cost model and phase-report plumbing."""
+
+import pytest
+
+from repro.core.metrics import DEFAULT_G1_ADD_SECONDS, CostModel
+from repro.core.pipeline import PhaseReport, ProveReport
+from repro.snark.backends import SECURITY_BACKENDS
+
+
+class TestCostModel:
+    def test_default_constant(self):
+        assert CostModel().g1_add_seconds == DEFAULT_G1_ADD_SECONDS
+
+    def test_security_scales_with_m(self):
+        cost = CostModel()
+        assert cost.security_seconds(1000, 100) < cost.security_seconds(1000, 10000)
+
+    def test_security_scales_with_n(self):
+        cost = CostModel()
+        assert cost.security_seconds(100, 1000) < cost.security_seconds(100000, 1000)
+
+    def test_constraints_weighted_over_witness(self):
+        """The paper's §4.2 cost statement: m dominates."""
+        cost = CostModel()
+        m_heavy = cost.security_seconds(1000, 50_000)
+        n_heavy = cost.security_seconds(50_000, 1000)
+        assert m_heavy > n_heavy
+
+    def test_profiles_change_cost(self):
+        cost = CostModel()
+        zeno = cost.security_seconds(1000, 1000, SECURITY_BACKENDS["zeno"])
+        ginger = cost.security_seconds(1000, 1000, SECURITY_BACKENDS["ginger"])
+        assert ginger > zeno
+
+    def test_gpu_projection(self):
+        cost = CostModel()
+        cpu = cost.security_seconds(10_000, 10_000)
+        gpu = cost.gpu_security_seconds(10_000, 10_000)
+        assert gpu == pytest.approx(cpu / CostModel.GPU_MSM_SPEEDUP)
+        assert gpu < cpu
+
+    def test_calibration_measures_this_machine(self):
+        calibrated = CostModel.calibrate_python(samples=100)
+        # Pure-Python curve adds are orders slower than the Rust constant.
+        assert calibrated.g1_add_seconds > DEFAULT_G1_ADD_SECONDS
+
+
+class TestPhaseReport:
+    def test_latency_prefers_model(self):
+        measured = PhaseReport("p", wall_time=2.0)
+        modeled = PhaseReport("p", wall_time=2.0, modeled_time=5.0)
+        assert measured.latency == 2.0
+        assert modeled.latency == 5.0
+
+
+class TestProveReport:
+    def _report(self, gen, cc, sec):
+        report = ProveReport("m", "one-private", "zeno")
+        report.phases["generate"] = PhaseReport("generate", wall_time=gen)
+        report.phases["circuit_computation"] = PhaseReport(
+            "circuit_computation", wall_time=cc
+        )
+        report.phases["security_computation"] = PhaseReport(
+            "security_computation", modeled_time=sec
+        )
+        return report
+
+    def test_total_is_sequential_sum(self):
+        report = self._report(1.0, 2.0, 3.0)
+        assert report.total_latency == pytest.approx(6.0)
+
+    def test_speedup_over(self):
+        fast = self._report(0.5, 0.5, 1.0)
+        slow = self._report(1.0, 2.0, 3.0)
+        assert fast.speedup_over(slow) == pytest.approx(3.0)
+        assert fast.phase_speedup_over(slow, "circuit_computation") == (
+            pytest.approx(4.0)
+        )
+
+    def test_summary_mentions_sources(self):
+        report = self._report(1.0, 2.0, 3.0)
+        text = report.summary()
+        assert "measured" in text and "modeled" in text
+
+    def test_phase_lookup(self):
+        report = self._report(1.0, 2.0, 3.0)
+        assert report.phase("generate").wall_time == 1.0
+        with pytest.raises(KeyError):
+            report.phase("nonexistent")

@@ -1,0 +1,159 @@
+"""Tests for the model DAG, the six paper networks, and synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import synthetic_cifar10, synthetic_images, synthetic_mnist
+from repro.nn.graph import INPUT, Model
+from repro.nn.layers import Add, Conv2d, Flatten, Linear, ReLU
+from repro.nn.models import (
+    MODEL_INFO,
+    MODEL_ORDER,
+    build_model,
+    calibrate,
+    model_table,
+)
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+class TestModelGraph:
+    def test_sequential_default_wiring(self, tiny_model):
+        assert tiny_model.nodes[1].inputs == ("conv",)
+        assert tiny_model.nodes[0].inputs == (INPUT,)
+
+    def test_duplicate_name_rejected(self):
+        m = Model("m", (4,))
+        m.add("fc", Linear(np.ones((2, 4), dtype=np.int64)))
+        with pytest.raises(ValueError):
+            m.add("fc", ReLU())
+
+    def test_unknown_input_rejected(self):
+        m = Model("m", (4,))
+        with pytest.raises(ValueError):
+            m.add("fc", Linear(np.ones((2, 4), dtype=np.int64)), inputs=("ghost",))
+
+    def test_residual_wiring(self):
+        m = Model("res", (2, 4, 4))
+        w = np.ones((2, 2, 1, 1), dtype=np.int64)
+        m.add("conv", Conv2d(w))
+        m.add("add", Add(requant=0), inputs=("conv", INPUT))
+        x = np.ones((2, 4, 4), dtype=np.int64)
+        out = m.forward(x)
+        assert np.all(out == 3)  # conv sums 2 channels (=2) + identity (=1)
+
+    def test_trace_records_all_layers(self, tiny_model):
+        traces = tiny_model.trace(tiny_image())
+        assert [t.name for t in traces] == [n.name for n in tiny_model.nodes]
+        assert traces[-1].out.shape == (3,)
+
+    def test_input_shape_validated(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.forward(np.zeros((1, 5, 5), dtype=np.int64))
+
+    def test_predict_argmax(self, tiny_model):
+        image = tiny_image()
+        logits = tiny_model.forward(image)
+        assert tiny_model.predict(image) == int(np.argmax(logits))
+
+    def test_totals_positive(self, tiny_model):
+        assert tiny_model.total_macs() > 0
+        assert tiny_model.total_flops() >= tiny_model.total_macs()
+        assert tiny_model.num_params() > 0
+
+
+class TestPaperModels:
+    @pytest.mark.parametrize("abbr", MODEL_ORDER)
+    def test_mini_models_run(self, abbr):
+        model = build_model(abbr, scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=5)[0]
+        logits = model.forward(image)
+        assert logits.shape == (10,)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("NOPE")
+
+    def test_flops_ordering_matches_table4(self):
+        """Table 4's size ordering: SHAL < LCS < LCL < VGG16 < RES50."""
+        flops = {a: build_model(a).total_flops() for a in MODEL_ORDER}
+        assert flops["SHAL"] < flops["LCS"] < flops["LCL"] < flops["VGG16"]
+        assert flops["VGG16"] < flops["RES18"]
+        assert flops["RES18"] < 2 * flops["RES50"]  # same order of magnitude
+
+    def test_flops_near_paper_values(self):
+        """Measured #FLOPs within 2x of every Table 4 entry."""
+        for row in model_table():
+            ratio = row["flops_k"] / row["paper_flops_k"]
+            assert 0.5 < ratio < 2.0, row
+
+    def test_layer_counts(self):
+        assert build_model("SHAL").num_layers() == 4
+        assert build_model("VGG16", scale="mini").num_layers() > 30
+        assert build_model("RES50", scale="mini").num_layers() > 150
+
+    def test_calibration_keeps_uint8(self):
+        """Requant shifts must keep every traced activation in range."""
+        model = build_model("LCS", scale="mini")
+        for seed in range(3):
+            image = synthetic_images(model.input_shape, n=1, seed=seed)[0]
+            for trace in model.trace(image):
+                assert int(np.abs(trace.out).max()) <= 255, trace.name
+
+    def test_deterministic_weights(self):
+        a = build_model("SHAL", seed=3)
+        b = build_model("SHAL", seed=3)
+        assert np.array_equal(a.node("fc1").layer.weight, b.node("fc1").layer.weight)
+        c = build_model("SHAL", seed=4)
+        assert not np.array_equal(
+            a.node("fc1").layer.weight, c.node("fc1").layer.weight
+        )
+
+    def test_model_info_complete(self):
+        assert set(MODEL_INFO) == set(MODEL_ORDER)
+        for info in MODEL_INFO.values():
+            assert info.paper_flops_k > 0
+            assert 0 < info.paper_accuracy < 100
+
+
+class TestCalibrate:
+    def test_conv_feeding_bn_keeps_raw_accumulator(self):
+        model = build_model("RES18", scale="mini")
+        assert model.node("conv0").layer.requant == 0
+        assert model.node("bn0").layer.requant >= 0
+
+    def test_recalibration_idempotent(self):
+        model = tiny_conv_model()
+        shifts = [getattr(n.layer, "requant", None) for n in model.nodes]
+        calibrate(model)
+        assert shifts == [getattr(n.layer, "requant", None) for n in model.nodes]
+
+
+class TestSyntheticData:
+    def test_mnist_shape_and_range(self):
+        ds = synthetic_mnist(4, seed=1)
+        assert ds.images.shape == (4, 1, 28, 28)
+        assert ds.images.min() >= 0 and ds.images.max() <= 255
+        assert ds.labels.shape == (4,)
+        assert np.all((0 <= ds.labels) & (ds.labels < 10))
+
+    def test_cifar_shape(self):
+        ds = synthetic_cifar10(3, seed=2)
+        assert ds.images.shape == (3, 3, 32, 32)
+
+    def test_determinism(self):
+        a = synthetic_cifar10(2, seed=5)
+        b = synthetic_cifar10(2, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seeds_differ(self):
+        a = synthetic_cifar10(2, seed=5)
+        b = synthetic_cifar10(2, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_images_are_smooth_not_white_noise(self):
+        """Box-blurred images: neighbour correlation far above iid noise."""
+        ds = synthetic_cifar10(4, seed=0)
+        img = ds.images[0, 0].astype(np.float64)
+        diffs = np.abs(np.diff(img, axis=1)).mean()
+        assert diffs < 30  # iid uniform noise would be ~85

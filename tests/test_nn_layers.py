@@ -1,0 +1,167 @@
+"""Tests for the integer NN layers (against naive reference loops)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    Linear,
+    ReLU,
+)
+
+
+def naive_conv(x, weight, bias, stride=1, padding=0):
+    """Direct-loop convolution used as ground truth."""
+    c_out, c_in, kh, kw = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    _, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    out = np.zeros((c_out, oh, ow), dtype=np.int64)
+    for oc in range(c_out):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[:, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                out[oc, i, j] = np.sum(patch * weight[oc]) + bias[oc]
+    return out
+
+
+class TestConv2d:
+    def setup_method(self):
+        gen = np.random.default_rng(0)
+        self.x = gen.integers(0, 8, (3, 7, 7)).astype(np.int64)
+        self.weight = gen.integers(-4, 5, (5, 3, 3, 3)).astype(np.int64)
+        self.bias = gen.integers(-10, 10, 5).astype(np.int64)
+
+    def test_matches_naive(self):
+        layer = Conv2d(self.weight, self.bias)
+        assert np.array_equal(
+            layer.forward(self.x).acc, naive_conv(self.x, self.weight, self.bias)
+        )
+
+    def test_stride(self):
+        layer = Conv2d(self.weight, self.bias, stride=2)
+        expected = naive_conv(self.x, self.weight, self.bias, stride=2)
+        assert np.array_equal(layer.forward(self.x).acc, expected)
+
+    def test_padding(self):
+        layer = Conv2d(self.weight, self.bias, padding=1)
+        expected = naive_conv(self.x, self.weight, self.bias, padding=1)
+        assert np.array_equal(layer.forward(self.x).acc, expected)
+
+    def test_requant_applied_to_out(self):
+        layer = Conv2d(self.weight, self.bias, requant=3)
+        result = layer.forward(self.x)
+        assert np.array_equal(result.out, result.acc >> 3)
+
+    def test_shape_validation(self):
+        layer = Conv2d(self.weight)
+        with pytest.raises(ValueError):
+            layer.out_shape((4, 7, 7))  # wrong channel count
+        with pytest.raises(ValueError):
+            Conv2d(np.zeros((2, 3, 3)))  # not 4-D
+
+    def test_counts(self):
+        layer = Conv2d(self.weight, self.bias)
+        num_dots, n = layer.dot_geometry((3, 7, 7))
+        assert n == 3 * 3 * 3
+        assert num_dots == 5 * 5 * 5
+        assert layer.macs((3, 7, 7)) == num_dots * n
+        assert layer.adds((3, 7, 7)) == num_dots * (n - 1)
+        assert layer.num_params() == self.weight.size + 5
+
+    def test_default_bias_zero(self):
+        layer = Conv2d(self.weight)
+        assert np.array_equal(layer.bias, np.zeros(5, dtype=np.int64))
+
+
+class TestLinear:
+    def test_matches_matmul(self):
+        gen = np.random.default_rng(1)
+        w = gen.integers(-5, 6, (4, 10)).astype(np.int64)
+        b = gen.integers(-3, 4, 4).astype(np.int64)
+        x = gen.integers(0, 16, 10).astype(np.int64)
+        layer = Linear(w, b)
+        assert np.array_equal(layer.forward(x).acc, w @ x + b)
+
+    def test_shape_validation(self):
+        layer = Linear(np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            layer.out_shape((4,))
+        with pytest.raises(ValueError):
+            Linear(np.zeros(3, dtype=np.int64))
+
+    def test_counts(self):
+        layer = Linear(np.ones((4, 10), dtype=np.int64))
+        assert layer.macs((10,)) == 40
+        assert layer.adds((10,)) == 4 * 9
+        assert layer.dot_geometry((10,)) == (4, 10)
+
+
+class TestAvgPool2d:
+    def test_sum_and_shift(self):
+        x = np.arange(16, dtype=np.int64).reshape(1, 4, 4)
+        layer = AvgPool2d(2)
+        result = layer.forward(x)
+        assert result.acc[0, 0, 0] == 0 + 1 + 4 + 5
+        assert result.out[0, 0, 0] == 10 >> 2
+        assert layer.out_shape((1, 4, 4)) == (1, 2, 2)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(3)
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(4).out_shape((1, 6, 6))
+
+    def test_counts(self):
+        layer = AvgPool2d(2)
+        assert layer.macs((2, 4, 4)) == 0  # ones-vector is public
+        assert layer.adds((2, 4, 4)) == 8 * 3
+        assert layer.dot_geometry((2, 4, 4)) == (8, 4)
+
+
+class TestElementwise:
+    def test_relu(self):
+        x = np.array([-5, 0, 7], dtype=np.int64)
+        result = ReLU().forward(x)
+        assert np.array_equal(result.out, [0, 0, 7])
+        assert np.array_equal(result.acc, x)
+
+    def test_relu_range_check(self):
+        with pytest.raises(ValueError):
+            ReLU().forward(np.array([300], dtype=np.int64))
+
+    def test_batchnorm_3d_broadcast(self):
+        x = np.ones((2, 2, 2), dtype=np.int64) * 10
+        layer = BatchNorm(np.array([2, 3]), np.array([1, -1]), requant=1)
+        result = layer.forward(x)
+        assert result.acc[0, 0, 0] == 21
+        assert result.acc[1, 0, 0] == 29
+        assert np.array_equal(result.out, result.acc >> 1)
+
+    def test_batchnorm_1d(self):
+        x = np.array([10, 20], dtype=np.int64)
+        layer = BatchNorm(np.array([1, 2]), np.array([5, 5]))
+        assert np.array_equal(layer.forward(x).acc, [15, 45])
+
+    def test_add_shapes_and_shift(self):
+        a = np.full((2, 2), 100, dtype=np.int64)
+        b = np.full((2, 2), 50, dtype=np.int64)
+        result = Add(requant=1).forward(a, b)
+        assert np.all(result.acc == 150)
+        assert np.all(result.out == 75)
+        with pytest.raises(ValueError):
+            Add().forward(a, np.zeros((3, 3), dtype=np.int64))
+
+    def test_flatten(self):
+        x = np.arange(8, dtype=np.int64).reshape(2, 2, 2)
+        result = Flatten().forward(x)
+        assert result.out.shape == (8,)
+        assert Flatten().out_shape((2, 2, 2)) == (8,)

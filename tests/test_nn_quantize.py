@@ -1,0 +1,92 @@
+"""Tests for zkSNARK-friendly quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    QuantParams,
+    apply_requant,
+    assert_uint8,
+    quantize_weights,
+    requant_shift,
+)
+
+
+class TestRequantShift:
+    def test_already_fits(self):
+        assert requant_shift(255) == 0
+        assert requant_shift(0) == 0
+
+    def test_exact_boundaries(self):
+        assert requant_shift(256) == 1
+        assert requant_shift(511) == 1
+        assert requant_shift(512) == 2
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=50)
+    def test_property_minimal_shift(self, value):
+        s = requant_shift(value)
+        assert (value >> s) <= 255
+        if s:
+            assert (value >> (s - 1)) > 255
+
+
+class TestApplyRequant:
+    def test_floor_semantics_positive(self):
+        acc = np.array([7, 8, 9], dtype=np.int64)
+        assert np.array_equal(apply_requant(acc, 3), [0, 1, 1])
+
+    def test_floor_semantics_negative(self):
+        """Negative values floor toward -inf, matching the zk gadget."""
+        acc = np.array([-1, -8, -9], dtype=np.int64)
+        out = apply_requant(acc, 3)
+        assert np.array_equal(out, [-1, -1, -2])
+        # gadget identity: acc = out * 2^s + rem with 0 <= rem < 2^s
+        rem = acc - (out << 3)
+        assert np.all((0 <= rem) & (rem < 8))
+
+    def test_zero_shift_identity(self):
+        acc = np.array([5, -5], dtype=np.int64)
+        assert np.array_equal(apply_requant(acc, 0), acc)
+
+
+class TestAssertUint8:
+    def test_passes_in_range(self):
+        x = np.array([0, 255], dtype=np.int64)
+        assert assert_uint8(x) is x
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="escaped uint8"):
+            assert_uint8(np.array([256], dtype=np.int64), "conv1")
+        with pytest.raises(ValueError):
+            assert_uint8(np.array([-1], dtype=np.int64))
+
+    def test_empty_ok(self):
+        assert_uint8(np.array([], dtype=np.int64))
+
+
+class TestQuantParams:
+    def test_symmetric_weight_quantization(self):
+        real = np.array([-1.0, 0.0, 0.5, 1.0])
+        q = quantize_weights(real)
+        assert q.dtype == np.int64
+        assert q.max() == 127 and q.min() == -127
+
+    def test_quantize_clips(self):
+        params = QuantParams(scale=1.0, zero_point=0)
+        q = params.quantize(np.array([1000.0, -1000.0]))
+        assert q[0] == 127 and q[1] == -127
+
+    def test_unsigned_quantization(self):
+        params = QuantParams(scale=0.5, zero_point=10)
+        q = params.quantize(np.array([0.0, 1.0]))
+        assert np.array_equal(q, [10, 12])
+
+    def test_dequantize_roundtrip_error_bounded(self):
+        params = QuantParams(scale=0.1, zero_point=0)
+        real = np.array([-1.05, 0.33, 0.87])
+        # Clip range for signed 8-bit is +/-12.7, so these roundtrip.
+        back = params.dequantize(params.quantize(real))
+        assert np.all(np.abs(back - real) <= 0.05 + 1e-9)

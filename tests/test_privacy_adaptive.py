@@ -1,0 +1,88 @@
+"""Tests for privacy-adaptive circuit generation (§4.1, Eq. 2 / Eq. 3)."""
+
+import pytest
+
+from repro.core.lang.types import Privacy
+from repro.core.privacy.adaptive import constraints_for_dot, emit_dot_product
+from repro.r1cs.system import ConstraintSystem
+
+PRIV, PUB = Privacy.PRIVATE, Privacy.PUBLIC
+
+
+class TestAnalyticModel:
+    def test_eq2_both_private(self):
+        model = constraints_for_dot(100, w_private=True, x_private=True)
+        assert model.constraints == 101  # n + 1
+        assert model.wires == 100
+
+    def test_eq3_one_private(self):
+        for w, x in ((True, False), (False, True)):
+            model = constraints_for_dot(100, w_private=w, x_private=x)
+            assert model.constraints == 1
+            assert model.wires == 0
+
+    def test_fully_public_free(self):
+        model = constraints_for_dot(100, w_private=False, x_private=False)
+        assert model.constraints == 0
+
+    def test_knit_amortizes_equality(self):
+        model = constraints_for_dot(100, False, True, knit_batch=8)
+        assert model.constraints == 0  # charged at the packer instead
+
+    def test_knit_rejected_when_both_private(self):
+        with pytest.raises(ValueError):
+            constraints_for_dot(100, True, True, knit_batch=8)
+
+
+class TestEmitDotProduct:
+    W = [3, -1, 4, 1, -5]
+    X = [9, 2, 6, 5, 3]
+    REF = sum(w * x for w, x in zip(W, X))
+
+    def test_both_private_counts_and_satisfaction(self):
+        cs = ConstraintSystem()
+        emit_dot_product(cs, self.W, self.X, PRIV, PRIV)
+        assert cs.num_constraints == len(self.W) + 1  # Eq. 2
+        assert cs.is_satisfied()
+        assert cs.public_values() == [self.REF % cs.field.modulus]
+
+    def test_one_private_single_constraint(self):
+        for w_p, x_p in ((PUB, PRIV), (PRIV, PUB)):
+            cs = ConstraintSystem()
+            emit_dot_product(cs, self.W, self.X, w_p, x_p)
+            assert cs.num_constraints == 1  # Eq. 3
+            assert cs.is_satisfied()
+
+    def test_public_weights_allocate_no_weight_wires(self):
+        cs = ConstraintSystem()
+        emit_dot_product(cs, self.W, self.X, PUB, PRIV)
+        assert cs.num_private == len(self.X)  # only the features
+
+    def test_wrong_reference_caught(self):
+        cs = ConstraintSystem()
+        ref = cs.new_public(self.REF + 1)
+        emit_dot_product(cs, self.W, self.X, PUB, PRIV, ref_index=ref)
+        assert not cs.is_satisfied()
+
+    def test_forged_feature_caught_both_private(self):
+        cs = ConstraintSystem()
+        emit_dot_product(cs, self.W, self.X, PRIV, PRIV)
+        cs.assign(2, 99)  # corrupt x_0 without fixing its product wire
+        assert not cs.is_satisfied()
+
+    def test_fully_public_trivial_identity(self):
+        cs = ConstraintSystem()
+        emit_dot_product(cs, self.W, self.X, PUB, PUB)
+        assert cs.num_constraints == 1
+        assert cs.num_private == 0
+        assert cs.is_satisfied()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            emit_dot_product(ConstraintSystem(), [1, 2], [1], PUB, PRIV)
+
+    def test_negative_weights_canonicalized(self):
+        cs = ConstraintSystem()
+        emit_dot_product(cs, [-7], [3], PUB, PRIV)
+        assert cs.is_satisfied()
+        assert cs.public_values() == [(-21) % cs.field.modulus]

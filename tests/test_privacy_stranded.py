@@ -1,0 +1,108 @@
+"""Tests for the stranded-encoding (ZEN) baseline used in Table 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.privacy.stranded import (
+    StrandedEncoding,
+    StrandedParams,
+    max_batch_size,
+)
+from repro.r1cs.system import ConstraintSystem
+
+
+def run_stranded(s, n, seed=0):
+    gen = np.random.default_rng(seed)
+    weights = gen.integers(-127, 128, n).astype(np.int64)
+    features = gen.integers(-127, 128, n).astype(np.int64)
+    cs = ConstraintSystem()
+    enc = StrandedEncoding(StrandedParams(s=s, n=n))
+    ref = enc.emit(cs, weights, features)
+    return cs, enc, ref, weights, features
+
+
+class TestParams:
+    def test_max_batch_size_for_uint8(self):
+        """Table 2: ~4x max saving for 8-bit data in a 254-bit field."""
+        assert 3 <= max_batch_size(1024) <= 5
+
+    def test_reversed_packing_needs_2s_minus_1_segments(self):
+        p = StrandedParams(s=4, n=64)
+        assert p.num_product_segments == 7
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            StrandedEncoding(StrandedParams(s=100, n=1024))
+
+    def test_segment_bits_cover_full_accumulation(self):
+        p = StrandedParams(s=2, n=1024)
+        assert p.segment_bits == 2 * 8 + 11 + 1
+        assert p.delta == 1 << p.segment_bits
+
+
+class TestFunctional:
+    def test_decoded_dot_is_correct(self):
+        cs, enc, ref, weights, features = run_stranded(2, 16)
+        expected = int(weights @ features)
+        assert cs.value_of(ref) == expected % cs.field.modulus
+
+    def test_system_satisfied(self):
+        cs, *_ = run_stranded(2, 16)
+        assert cs.is_satisfied()
+
+    def test_s4_packing_satisfied(self):
+        cs, enc, ref, weights, features = run_stranded(4, 32, seed=3)
+        assert cs.is_satisfied()
+        assert cs.value_of(ref) == int(weights @ features) % cs.field.modulus
+
+    def test_ragged_final_chunk(self):
+        cs, enc, ref, weights, features = run_stranded(4, 30, seed=5)
+        assert cs.is_satisfied()
+        assert cs.value_of(ref) == int(weights @ features) % cs.field.modulus
+
+    def test_multiplications_reduced_s_times(self):
+        """n taps -> ceil(n/s) product constraints (the headline saving)."""
+        _, enc, *_ = run_stranded(4, 32)
+        assert enc.product_constraints_emitted == 8
+
+    def test_decoding_overhead_hundreds_of_constraints(self):
+        """Table 2: stranded pays a large decode cost (vs 0 for knit)."""
+        _, enc, *_ = run_stranded(4, 1024)
+        assert enc.decoding_overhead() > 150
+
+    def test_beats_naive_for_long_dots(self):
+        _, enc, *_ = run_stranded(4, 2048)
+        assert enc.total_constraints() < StrandedEncoding.naive_constraints(2048)
+
+    def test_loses_to_naive_for_short_dots(self):
+        """Decoding overhead swamps the saving on tiny dots — the reason
+        Table 2 highlights knit's zero decoding cost."""
+        _, enc, *_ = run_stranded(2, 8)
+        assert enc.total_constraints() > StrandedEncoding.naive_constraints(8)
+
+    def test_operand_shape_validated(self):
+        cs = ConstraintSystem()
+        enc = StrandedEncoding(StrandedParams(s=2, n=8))
+        with pytest.raises(ValueError):
+            enc.emit(cs, np.zeros(9, dtype=np.int64), np.zeros(8, dtype=np.int64))
+
+    def test_out_of_range_operands_rejected(self):
+        cs = ConstraintSystem()
+        enc = StrandedEncoding(StrandedParams(s=2, n=4))
+        with pytest.raises(ValueError):
+            enc.emit(
+                cs,
+                np.array([-500, 0, 0, 0], dtype=np.int64),
+                np.zeros(4, dtype=np.int64),
+            )
+
+    def test_forged_reference_caught(self):
+        cs, enc, ref, *_ = run_stranded(2, 16)
+        cs.assign(ref, cs.value_of(ref) + 1)
+        assert not cs.is_satisfied()
+
+    def test_forged_packed_wire_caught(self):
+        cs, enc, ref, *_ = run_stranded(2, 16)
+        # Wires allocated after the 2n digit commitments; corrupt the first.
+        cs.assign(2 * 16 + 1, 12345)
+        assert not cs.is_satisfied()

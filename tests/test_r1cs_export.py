@@ -1,0 +1,107 @@
+"""Tests for the R1CS interchange format (the Fig. 15 porting path)."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.field.fp import BN254_FQ
+from repro.r1cs.export import (
+    ImportError_,
+    export_system,
+    export_to_file,
+    import_from_file,
+    import_system,
+)
+from repro.snark import groth16
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+@pytest.fixture(scope="module")
+def compiled_cs():
+    artifact = ZenoCompiler(zeno_options()).compile_model(
+        tiny_conv_model(), tiny_image()
+    )
+    return artifact.cs
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, compiled_cs):
+        restored = import_system(export_system(compiled_cs))
+        assert restored.num_constraints == compiled_cs.num_constraints
+        assert restored.num_public == compiled_cs.num_public
+        assert restored.num_private == compiled_cs.num_private
+        for a, b in zip(compiled_cs.constraints, restored.constraints):
+            assert a.a.terms == b.a.terms
+            assert a.b.terms == b.b.terms
+            assert a.c.terms == b.c.terms
+            assert a.tag == b.tag
+
+    def test_witness_preserved_and_satisfiable(self, compiled_cs):
+        restored = import_system(export_system(compiled_cs))
+        assert restored.is_satisfied()
+        assert restored.public_values() == compiled_cs.public_values()
+
+    def test_layer_ranges_preserved(self, compiled_cs):
+        restored = import_system(export_system(compiled_cs))
+        assert {t: list(r) for t, r in restored.layer_ranges.items()} == {
+            t: list(r) for t, r in compiled_cs.layer_ranges.items()
+        }
+
+    def test_without_witness(self, compiled_cs):
+        doc = export_system(compiled_cs, include_witness=False)
+        restored = import_system(doc)
+        with pytest.raises(ValueError):
+            restored.assignment()  # unassigned, as exported
+
+    def test_file_roundtrip(self, compiled_cs, tmp_path):
+        path = tmp_path / "system.r1cs.json"
+        export_to_file(compiled_cs, path)
+        restored = import_from_file(path)
+        assert restored.is_satisfied()
+
+
+class TestPortedProving:
+    def test_ported_constraints_prove_elsewhere(self, compiled_cs):
+        """The Fig. 15 flow: export from ZENO, prove on another stack."""
+        restored = import_system(export_system(compiled_cs))
+        setup = groth16.setup(restored, rng=random.Random(1))
+        proof = groth16.prove(setup.proving_key, restored, rng=random.Random(2))
+        assert groth16.verify(
+            setup.verifying_key, restored.public_values(), proof
+        )
+
+
+class TestValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(ImportError_):
+            import_system("not json at all {")
+
+    def test_wrong_format_rejected(self, compiled_cs):
+        doc = json.loads(export_system(compiled_cs))
+        doc["format"] = "other"
+        with pytest.raises(ImportError_):
+            import_system(json.dumps(doc))
+
+    def test_wrong_version_rejected(self, compiled_cs):
+        doc = json.loads(export_system(compiled_cs))
+        doc["version"] = 99
+        with pytest.raises(ImportError_):
+            import_system(json.dumps(doc))
+
+    def test_field_mismatch_rejected(self, compiled_cs):
+        with pytest.raises(ImportError_, match="field"):
+            import_system(export_system(compiled_cs), field=BN254_FQ)
+
+    def test_dangling_variable_rejected(self, compiled_cs):
+        doc = json.loads(export_system(compiled_cs))
+        doc["constraints"][0]["a"].append([10**6, "1"])
+        with pytest.raises(ImportError_, match="unknown variable"):
+            import_system(json.dumps(doc))
+
+    def test_malformed_term_rejected(self, compiled_cs):
+        doc = json.loads(export_system(compiled_cs))
+        doc["constraints"][0]["a"].append([1, "2", "extra"])
+        with pytest.raises(ImportError_):
+            import_system(json.dumps(doc))

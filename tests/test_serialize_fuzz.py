@@ -1,0 +1,53 @@
+"""Property-based fuzzing of the point/proof wire formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec.bn254 import BN254_G1, BN254_G2
+from repro.snark.serialize import (
+    SerializationError,
+    deserialize_g1,
+    deserialize_g2,
+    deserialize_proof,
+    serialize_g1,
+    serialize_g2,
+)
+
+R = BN254_G1.order
+
+scalars = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestPointRoundtripFuzz:
+    @given(k=scalars)
+    @settings(max_examples=30, deadline=None)
+    def test_g1_roundtrip(self, k):
+        p = k * BN254_G1.generator
+        assert deserialize_g1(serialize_g1(p)) == p
+
+    @given(k=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_g2_roundtrip(self, k):
+        p = k * BN254_G2.generator
+        assert deserialize_g2(serialize_g2(p)) == p
+
+
+class TestMalformedInputFuzz:
+    @given(data=st.binary(min_size=33, max_size=33))
+    @settings(max_examples=50, deadline=None)
+    def test_g1_never_returns_off_curve(self, data):
+        """Arbitrary 33-byte strings either decode to a curve point or
+        raise — never a bogus point."""
+        try:
+            p = deserialize_g1(data)
+        except SerializationError:
+            return
+        assert BN254_G1.is_on_curve(p)
+
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_proof_decoder_never_crashes_unhandled(self, data):
+        try:
+            deserialize_proof(data)
+        except SerializationError:
+            pass  # the only acceptable failure mode

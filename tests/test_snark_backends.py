@@ -1,0 +1,47 @@
+"""Tests for the named security-computation profiles (Fig. 15 model)."""
+
+from repro.snark.backends import SECURITY_BACKENDS, SecurityBackendProfile
+
+
+class TestProfiles:
+    def test_registry_contents(self):
+        assert set(SECURITY_BACKENDS) == {"zeno", "arkworks", "bellman", "ginger"}
+
+    def test_zeno_and_arkworks_identical_per_op(self):
+        zeno = SECURITY_BACKENDS["zeno"]
+        ark = SECURITY_BACKENDS["arkworks"]
+        assert zeno.msm_group_adds(1000) == ark.msm_group_adds(1000)
+
+    def test_pippenger_beats_naive(self):
+        zeno = SECURITY_BACKENDS["zeno"]
+        bellman = SECURITY_BACKENDS["bellman"]
+        for n in (100, 1_000, 100_000):
+            assert zeno.msm_group_adds(n) < bellman.msm_group_adds(n)
+
+    def test_ginger_slower_than_bellman(self):
+        assert (
+            SECURITY_BACKENDS["ginger"].msm_group_adds(5000)
+            > SECURITY_BACKENDS["bellman"].msm_group_adds(5000)
+        )
+
+    def test_cost_monotone_in_size(self):
+        profile = SECURITY_BACKENDS["zeno"]
+        costs = [profile.security_cost(n, n // 2) for n in (10, 100, 1000, 10000)]
+        assert costs == sorted(costs)
+        assert all(c > 0 for c in costs)
+
+    def test_empty_msm_is_free(self):
+        assert SECURITY_BACKENDS["zeno"].msm_group_adds(0) == 0.0
+
+    def test_custom_profile(self):
+        p = SecurityBackendProfile("custom", "naive", 2.0)
+        assert p.msm_group_adds(10) == 2.0 * SecurityBackendProfile(
+            "base", "naive", 1.0
+        ).msm_group_adds(10)
+
+    def test_fewer_constraints_cost_less(self):
+        """The knit-encoding benefit: m drops -> security cost drops."""
+        profile = SECURITY_BACKENDS["zeno"]
+        full = profile.security_cost(10_000, 8_000)
+        knit = profile.security_cost(10_000, 1_000)
+        assert knit < full

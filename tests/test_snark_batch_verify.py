@@ -1,0 +1,95 @@
+"""Tests for Groth16 batch verification (random-linear-combination trick)."""
+
+import random
+
+import pytest
+
+from repro.ec.backend import RealBN254Backend, SimulatedBackend
+from repro.snark.groth16 import batch_verify, prove, setup, verify
+from tests.test_snark_groth16 import dot_product_cs
+
+
+def _make_batch(backend, count, seed=0):
+    """One circuit, ``count`` proofs over different witnesses."""
+    claims = []
+    setup_result = None
+    for i in range(count):
+        weights = [1 + i, 2, 3]
+        features = [4, 5 + i, 6]
+        cs, ref = dot_product_cs(weights, features)
+        if setup_result is None:
+            setup_result = setup(cs, backend, random.Random(seed))
+        proof = prove(setup_result.proving_key, cs, backend, random.Random(i))
+        claims.append(([ref], proof))
+    return setup_result.verifying_key, claims
+
+
+class TestBatchVerifySimulated:
+    backend = SimulatedBackend()
+
+    def test_valid_batch_accepted(self):
+        vk, claims = _make_batch(self.backend, 5)
+        assert batch_verify(vk, claims, self.backend, random.Random(7))
+
+    def test_empty_batch_trivially_true(self):
+        vk, _ = _make_batch(self.backend, 1)
+        assert batch_verify(vk, [], self.backend)
+
+    def test_single_proof_matches_plain_verify(self):
+        vk, claims = _make_batch(self.backend, 1)
+        assert verify(vk, *claims[0], self.backend)
+        assert batch_verify(vk, claims, self.backend, random.Random(1))
+
+    def test_one_bad_claim_poisons_the_batch(self):
+        vk, claims = _make_batch(self.backend, 4)
+        publics, proof = claims[2]
+        claims[2] = ([publics[0] + 1], proof)
+        assert not batch_verify(vk, claims, self.backend, random.Random(3))
+
+    def test_one_tampered_proof_poisons_the_batch(self):
+        vk, claims = _make_batch(self.backend, 4)
+        publics, proof = claims[1]
+        proof.c = self.backend.scalar_mul(proof.c, 2)
+        assert not batch_verify(vk, claims, self.backend, random.Random(3))
+
+    def test_swapped_claims_rejected(self):
+        """Proof i against claim j fails (claims differ across the batch)."""
+        vk, claims = _make_batch(self.backend, 3)
+        swapped = [
+            (claims[1][0], claims[0][1]),
+            (claims[0][0], claims[1][1]),
+            claims[2],
+        ]
+        assert not batch_verify(vk, swapped, self.backend, random.Random(3))
+
+    def test_public_input_count_validated(self):
+        vk, claims = _make_batch(self.backend, 1)
+        with pytest.raises(ValueError):
+            batch_verify(vk, [([], claims[0][1])], self.backend)
+
+    def test_different_randomness_same_verdict(self):
+        vk, claims = _make_batch(self.backend, 3)
+        for seed in (1, 2, 3, 99):
+            assert batch_verify(vk, claims, self.backend, random.Random(seed))
+
+    def test_pairing_count_scales_as_k_plus_3(self):
+        """The whole point: k+3 pairings instead of 4k."""
+        from repro.field.counters import count_ops
+
+        vk, claims = _make_batch(self.backend, 6)
+        with count_ops() as batched:
+            batch_verify(vk, claims, self.backend, random.Random(1))
+        with count_ops() as individual:
+            for publics, proof in claims:
+                verify(vk, publics, proof, self.backend)
+        assert batched.pairing == 6 + 3
+        assert individual.pairing == 4 * 6
+
+
+class TestBatchVerifyRealCurve:
+    def test_real_curve_batch(self):
+        backend = RealBN254Backend()
+        vk, claims = _make_batch(backend, 2)
+        assert batch_verify(vk, claims, backend, random.Random(5))
+        claims[0] = ([claims[0][0][0] + 1], claims[0][1])
+        assert not batch_verify(vk, claims, backend, random.Random(5))

@@ -1,0 +1,56 @@
+"""§2.1's asymmetry: verification is orders faster than proving.
+
+"Proof verification takes only a few milliseconds which are several orders
+of magnitudes faster than proof generation" — the property that makes
+zkSNARK NNs deployable (the door lock verifies in real time while the
+phone spent seconds proving).
+"""
+
+import random
+import time
+
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from repro.snark import groth16
+
+
+def test_verify_is_orders_faster_than_prove():
+    model = build_model("LCS", scale="mini")
+    image = synthetic_images(model.input_shape, n=1, seed=2)[0]
+    artifact = ZenoCompiler(zeno_options()).compile_model(model, image)
+    setup = groth16.setup(artifact.cs, rng=random.Random(1))
+
+    start = time.perf_counter()
+    proof = groth16.prove(setup.proving_key, artifact.cs, rng=random.Random(2))
+    prove_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    runs = 20
+    for _ in range(runs):
+        assert groth16.verify(
+            setup.verifying_key, artifact.public_inputs(), proof
+        )
+    verify_time = (time.perf_counter() - start) / runs
+
+    # On the simulated group verification is a handful of bigint muls; the
+    # prover runs witness-sized MSMs.  Two orders of magnitude minimum.
+    assert verify_time < prove_time / 100, (verify_time, prove_time)
+
+
+def test_verify_cost_independent_of_circuit_size():
+    """Succinctness: verification scales with |publics|, not with m or n."""
+    times = {}
+    for abbr in ("SHAL", "LCS"):
+        model = build_model(abbr, scale="mini")
+        image = synthetic_images(model.input_shape, n=1, seed=2)[0]
+        artifact = ZenoCompiler(zeno_options()).compile_model(model, image)
+        setup = groth16.setup(artifact.cs, rng=random.Random(1))
+        proof = groth16.prove(setup.proving_key, artifact.cs)
+        start = time.perf_counter()
+        for _ in range(30):
+            groth16.verify(setup.verifying_key, artifact.public_inputs(), proof)
+        times[abbr] = (time.perf_counter() - start) / 30
+    # LCS has ~15x more constraints than SHAL; verification time must not
+    # reflect that (allow generous noise).
+    assert times["LCS"] < times["SHAL"] * 5
