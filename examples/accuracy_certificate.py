@@ -19,6 +19,13 @@ import argparse
 import random
 import sys
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # fresh checkout: fall back to <repo>/src
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import AccuracyProver, AccuracyVerifier, build_model
 from repro.field.counters import count_ops
 from repro.nn.data import synthetic_images

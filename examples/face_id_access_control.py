@@ -24,6 +24,13 @@ import sys
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # fresh checkout: fall back to <repo>/src
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import SimulatedBackend, ZenoCompiler, build_model, zeno_options
 from repro.nn.data import synthetic_images
 from repro.snark import groth16

@@ -18,6 +18,13 @@ import sys
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # fresh checkout: fall back to <repo>/src
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import PrivacySetting, ZenoCompiler, arkworks_options, zeno_options
 from repro.core.lang.primitives import ProgramBuilder
 from repro.core.lang.types import Privacy

@@ -20,6 +20,13 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # fresh checkout: fall back to <repo>/src
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import CostModel, ZenoCompiler, zeno_options
 from repro.core.lang.primitives import ProgramBuilder
 from repro.r1cs.export import export_to_file, import_from_file

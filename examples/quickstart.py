@@ -14,6 +14,13 @@ Run:
 import argparse
 import sys
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # fresh checkout: fall back to <repo>/src
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
 from repro import (
     RealBN254Backend,
     SimulatedBackend,

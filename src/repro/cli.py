@@ -1,4 +1,4 @@
-"""Command-line interface: compile, prove, verify, and inspect zkSNARK NNs.
+"""Command-line interface: compile, prove, verify, serve, and inspect.
 
 Usage (after ``pip install -e .``)::
 
@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli prove --model SHAL --scale mini --out proof.bin
     python -m repro.cli verify --proof proof.bin ... (see prove output)
     python -m repro.cli compare --model LCL         # arkworks vs ZENO
+    python -m repro.cli serve --jobs 8 --workers 2  # batched proving service
+    python -m repro.cli submit --input img.npy      # one job via the service
 
 ``prove`` writes the serialized proof plus a JSON claim file; ``verify``
 replays Groth16 verification against them.  The trusted setup is
@@ -34,7 +36,11 @@ from repro.core.compiler import (
 from repro.nn.data import synthetic_images
 from repro.nn.models import MODEL_ORDER, build_model, model_table
 from repro.snark import groth16
-from repro.snark.serialize import deserialize_proof, serialize_proof
+from repro.snark.serialize import (
+    deserialize_proof,
+    deserialize_verifying_key,
+    serialize_proof,
+)
 
 PRIVACY_CHOICES = {
     "one-private": PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS,
@@ -114,6 +120,17 @@ def cmd_verify(args) -> int:
     proof = deserialize_proof(Path(args.proof).read_bytes())
     claim = json.loads(Path(args.claim).read_text())
 
+    if "vk_file" in claim:
+        # Service-produced claim (``submit``): the CRS was generated inside a
+        # worker, so the claim ships the verifying key instead of a CRS seed.
+        vk_path = Path(args.claim).parent / claim["vk_file"]
+        vk = deserialize_verifying_key(vk_path.read_bytes())
+        ok = groth16.verify(
+            vk, [int(v) for v in claim["public_inputs"]], proof
+        )
+        print(f"verification: {'ACCEPTED' if ok else 'REJECTED'}")
+        return 0 if ok else 1
+
     # Rebuild the circuit (the verifier knows the public model) and re-derive
     # the CRS from the recorded seed.
     ns = argparse.Namespace(
@@ -146,6 +163,91 @@ def cmd_compare(args) -> int:
         print()
     speedup = reports["zeno"].speedup_over(reports["arkworks"])
     print(f"end-to-end ZENO speedup: {speedup:.2f}x")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a demo workload through the batched multi-worker proving service."""
+    from repro.serve import ProvingService
+
+    service = ProvingService(
+        max_workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        store_dir=args.store_dir,
+    )
+    print(
+        f"serving {args.jobs} jobs for {args.model}/{args.scale} "
+        f"across {args.workers} workers (max batch {args.max_batch})"
+    )
+    job_ids = [
+        service.submit(
+            args.model,
+            image_seed=args.image_seed + i,
+            scale=args.scale,
+            seed=args.seed,
+            privacy=args.privacy,
+        )
+        for i in range(args.jobs)
+    ]
+    for job_id in job_ids:
+        res = service.result(job_id, timeout=600)
+        print(
+            f"{job_id}: class {int(np.argmax(res.logits))}  "
+            f"verified={res.verified}  worker={res.worker_pid}  "
+            f"batch #{res.batch_id} (size {res.batch_size})  "
+            f"proof {len(res.proof)}B -> {res.store_keys['proof']}"
+        )
+    service.shutdown(drain=True)
+    print(json.dumps(service.stats(), indent=2))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Enqueue one job (from a saved ``.npy`` input) and save its proof."""
+    from repro.serve import ProvingService
+
+    if args.input:
+        image = np.load(args.input)
+    else:
+        from repro.nn.data import synthetic_images
+        from repro.nn.models import build_model
+
+        shape = build_model(
+            args.model, scale=args.scale, seed=args.seed
+        ).input_shape
+        image = synthetic_images(shape, n=1, seed=args.image_seed)[0]
+
+    service = ProvingService(max_workers=1, max_wait=0.0)
+    job_id = service.submit(
+        args.model,
+        image,
+        scale=args.scale,
+        seed=args.seed,
+        privacy=args.privacy,
+    )
+    res = service.result(job_id, timeout=600)
+    service.shutdown(drain=True)
+
+    out = Path(args.out)
+    out.write_bytes(res.proof)
+    vk_path = out.with_suffix(out.suffix + ".vk")
+    vk_path.write_bytes(service.store.get(res.store_keys["vk"]))
+    claim = {
+        "model": args.model,
+        "scale": args.scale,
+        "seed": args.seed,
+        "privacy": args.privacy,
+        "public_inputs": [str(v) for v in res.public_inputs],
+        "logits": res.logits,
+        "vk_file": vk_path.name,
+    }
+    claim_path = out.with_suffix(out.suffix + ".claim.json")
+    claim_path.write_text(json.dumps(claim, indent=2))
+    print(f"prediction: class {int(np.argmax(res.logits))}")
+    print(f"proof:  {out} ({out.stat().st_size} bytes)  verified={res.verified}")
+    print(f"vk:     {vk_path}")
+    print(f"claim:  {claim_path}")
     return 0
 
 
@@ -191,6 +293,27 @@ def main(argv=None) -> int:
     p_compare = sub.add_parser("compare", help="arkworks vs ZENO profiles")
     _common(p_compare)
     p_compare.set_defaults(func=cmd_compare)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a demo workload on the batched proving service"
+    )
+    _common(p_serve)
+    p_serve.add_argument("--jobs", type=int, default=8)
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--max-batch", type=int, default=4)
+    p_serve.add_argument("--max-wait", type=float, default=0.05)
+    p_serve.add_argument("--store-dir", default=None,
+                         help="artifact store directory (default: temp)")
+    p_serve.set_defaults(func=cmd_serve, model="SHAL")
+
+    p_submit = sub.add_parser(
+        "submit", help="prove one saved input through the service"
+    )
+    _common(p_submit)
+    p_submit.add_argument("--input", default=None,
+                          help=".npy image file (default: synthetic)")
+    p_submit.add_argument("--out", default="proof.bin")
+    p_submit.set_defaults(func=cmd_submit, model="SHAL")
 
     args = parser.parse_args(argv)
     return args.func(args)

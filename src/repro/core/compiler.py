@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import enum
 import random
-import time
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -29,7 +28,7 @@ from repro.core.circuit.compute import (
 from repro.core.fusion.fuse import fuse_model
 from repro.core.lang.program import ZkProgram, program_from_model
 from repro.core.lang.types import Privacy
-from repro.core.metrics import CostModel
+from repro.core.metrics import CostModel, PhaseTimer
 from repro.core.pipeline import PhaseReport, ProveReport
 from repro.core.reuse.cache import CacheService
 from repro.core.schedule.scheduler import ParallelSchedule, WorkloadScheduler
@@ -240,18 +239,18 @@ class ZenoCompiler:
         rng = rng or random.Random(0xC0FFEE)
         report = self._base_report(artifact)
 
-        start = time.perf_counter()
-        setup_result = groth16.setup(artifact.cs, backend, rng)
-        setup_time = time.perf_counter() - start
+        with PhaseTimer("setup") as setup_timer:
+            setup_result = groth16.setup(artifact.cs, backend, rng)
 
-        start = time.perf_counter()
-        proof = groth16.prove(setup_result.proving_key, artifact.cs, backend, rng)
-        prove_time = time.perf_counter() - start
+        with PhaseTimer("security_computation") as prove_timer:
+            proof = groth16.prove(
+                setup_result.proving_key, artifact.cs, backend, rng
+            )
 
         report.phases["security_computation"] = PhaseReport(
             name="security_computation",
-            wall_time=prove_time,
-            counts={"setup_time": setup_time},
+            wall_time=prove_timer.elapsed,
+            counts={"setup_time": setup_timer.elapsed},
         )
         if verify:
             report.verified = groth16.verify(

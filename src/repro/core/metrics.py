@@ -17,9 +17,49 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, MutableMapping, Optional, Union
 
 from repro.snark.backends import SECURITY_BACKENDS, SecurityBackendProfile
+
+PhaseSink = Union[Callable[[str, float], None], MutableMapping]
+
+
+class PhaseTimer:
+    """Context manager timing one named phase (generate / circuit / security).
+
+    The compiler driver and the serving telemetry both need the same
+    per-phase wall-clock split (Fig. 4's Generate / Circuit Computation /
+    Security Computation); this measures it in one place instead of ad-hoc
+    ``time.perf_counter()`` pairs.
+
+    ``sink`` may be a callable ``(name, seconds)`` or a mutable mapping —
+    mappings accumulate, so re-entering the same phase sums its time::
+
+        with PhaseTimer("generate", sink=timings):
+            ...
+        timings["generate"]  # seconds
+    """
+
+    def __init__(self, name: str, sink: Optional[PhaseSink] = None) -> None:
+        self.name = name
+        self.sink = sink
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None, "PhaseTimer re-used without __enter__"
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        if self.sink is None:
+            return
+        if callable(self.sink):
+            self.sink(self.name, self.elapsed)
+        else:
+            self.sink[self.name] = self.sink.get(self.name, 0.0) + self.elapsed
 
 # Arkworks-era Rust pays roughly 1.3us per mixed Jacobian G1 addition on the
 # paper's Xeon Gold 5218; used when calibration is skipped.

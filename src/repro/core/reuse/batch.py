@@ -39,6 +39,7 @@ class BatchStats:
 
     generate_time: float = 0.0
     circuit_time: float = 0.0
+    setup_time: float = 0.0  # one-time Groth16 setup (warm_setup)
     assign_times: List[float] = field(default_factory=list)
 
     def shared_total(self) -> float:
@@ -89,10 +90,29 @@ class BatchProver:
             raise RuntimeError("witness recipe was not recorded")
         self.stats.generate_time = generated.wall_time
         self.stats.circuit_time = self.result.wall_time
+        self._setup = None
 
     @property
     def cs(self):
         return self.result.cs
+
+    # -- serving-path hooks -----------------------------------------------------------
+
+    def warm_setup(self, backend=None, rng=None):
+        """Run Groth16 setup once for the shared constraint system.
+
+        The serving worker pool (:mod:`repro.serve.workers`) keeps one
+        ``BatchProver`` warm per (model, profile); the setup — by far the
+        most expensive per-key cost — is cached here so every subsequent
+        job pays only assign + prove.
+        """
+        if self._setup is None:
+            from repro.snark import groth16
+
+            start = time.perf_counter()
+            self._setup = groth16.setup(self.cs, backend, rng)
+            self.stats.setup_time = time.perf_counter() - start
+        return self._setup
 
     # -- per-image witness assignment -------------------------------------------------
 

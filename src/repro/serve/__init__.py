@@ -1,0 +1,33 @@
+"""`repro.serve` — a batched, multi-worker Groth16 proving service.
+
+Turns the one-shot compiler/prover pipeline into a long-running service:
+jobs enter a priority queue (:mod:`repro.serve.jobs`), an adaptive
+micro-batcher groups jobs for the same (model, profile) so the §6.1
+batch-specialized constraint-system sharing is exercised on the serving
+path (:mod:`repro.serve.batcher`), and a process worker pool with warm
+per-worker proving-key caches executes them (:mod:`repro.serve.workers`).
+Artifacts land in a content-addressed store (:mod:`repro.serve.store`) and
+live counters are exported as a JSON snapshot
+(:mod:`repro.serve.telemetry`).
+
+Entry point: :class:`repro.serve.service.ProvingService`.
+"""
+
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.jobs import JobQueue, JobResult, JobState, ProofJob
+from repro.serve.service import ProvingService, ServiceConfig
+from repro.serve.store import ArtifactStore
+from repro.serve.telemetry import ServiceTelemetry
+
+__all__ = [
+    "ArtifactStore",
+    "Batch",
+    "JobQueue",
+    "JobResult",
+    "JobState",
+    "MicroBatcher",
+    "ProofJob",
+    "ProvingService",
+    "ServiceConfig",
+    "ServiceTelemetry",
+]

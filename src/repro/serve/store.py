@@ -1,0 +1,121 @@
+"""On-disk artifact store: proofs and keys, content-addressed, LRU-bounded.
+
+Serving generates a stream of artifacts — serialized proofs per job, one
+verifying key per (model, profile), optionally proving keys.  The store
+names each blob by its content hash (``<kind>-<sha256[:16]>.bin``) so
+identical artifacts dedupe for free (e.g. the verifying key every batch
+of the same key reports), and evicts least-recently-used entries beyond a
+configurable bound so a long-running service cannot fill the disk.
+
+Typed helpers round-trip through :mod:`repro.snark.serialize`, so
+anything read back is a validated on-curve object, not raw bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+class ArtifactStore:
+    """Content-addressed blob store with an LRU entry bound."""
+
+    def __init__(self, root, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        # key -> path, ordered oldest-use first.  Rebuilt from disk mtimes
+        # so a restarted service keeps its hot artifacts.
+        self._entries: "OrderedDict[str, Path]" = OrderedDict()
+        for path in sorted(
+            self.root.glob("*.bin"), key=lambda p: p.stat().st_mtime
+        ):
+            self._entries[path.stem] = path
+        self.evictions = 0
+
+    @staticmethod
+    def key_for(kind: str, data: bytes) -> str:
+        return f"{kind}-{hashlib.sha256(data).hexdigest()[:16]}"
+
+    def put(self, kind: str, data: bytes) -> str:
+        """Store ``data``; returns its content-addressed key (idempotent)."""
+        key = self.key_for(kind, data)
+        with self._lock:
+            path = self._entries.get(key)
+            if path is None:
+                path = self.root / f"{key}.bin"
+                path.write_bytes(data)
+            self._entries[key] = path
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                _, victim = self._entries.popitem(last=False)
+                victim.unlink(missing_ok=True)
+                self.evictions += 1
+        return key
+
+    def get(self, key: str) -> bytes:
+        """Fetch a blob, refreshing its LRU position; KeyError if absent."""
+        with self._lock:
+            path = self._entries.get(key)
+            if path is None:
+                raise KeyError(key)
+            self._entries.move_to_end(key)
+        return path.read_bytes()
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": sum(p.stat().st_size for p in self._entries.values()),
+                "evictions": self.evictions,
+            }
+
+    # -- typed helpers (round-trip through repro.snark.serialize) ------------------
+
+    def put_proof(self, proof) -> str:
+        from repro.snark.serialize import serialize_proof
+
+        return self.put("proof", serialize_proof(proof))
+
+    def get_proof(self, key: str):
+        from repro.snark.serialize import deserialize_proof
+
+        return deserialize_proof(self.get(key))
+
+    def put_verifying_key(self, vk) -> str:
+        from repro.snark.serialize import serialize_verifying_key
+
+        return self.put("vk", serialize_verifying_key(vk))
+
+    def get_verifying_key(self, key: str):
+        from repro.snark.serialize import deserialize_verifying_key
+
+        return deserialize_verifying_key(self.get(key))
+
+    def put_proving_key(self, pk) -> str:
+        from repro.snark.serialize import serialize_proving_key
+
+        return self.put("pk", serialize_proving_key(pk))
+
+    def get_proving_key(self, key: str):
+        from repro.snark.serialize import deserialize_proving_key
+
+        return deserialize_proving_key(self.get(key))

@@ -1,0 +1,154 @@
+"""Live serving metrics, exported as a JSON-safe snapshot.
+
+Tracks what an operator of the paper's imagined deployment ("a service
+that the public can easily access" serving millions of users) would watch:
+
+* queue depth (current / peak) and terminal-state counters;
+* the batch-size histogram — how well the micro-batcher is filling;
+* per-phase latency matching Fig. 4's split: Generate, Circuit
+  Computation, setup, per-image assign, and Security Computation (prove);
+* warm-key-cache hit rate — how often a worker skipped compilation;
+* throughput (completed jobs per second since start).
+
+All mutation goes through one lock; :meth:`snapshot` returns plain dicts
+and floats so callers can ``json.dumps`` it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Exact counting histogram over small integer values (batch sizes)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        self._counts[value] = self._counts.get(value, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        total = sum(self._counts.values())
+        weighted = sum(v * c for v, c in self._counts.items())
+        return {
+            "counts": {str(k): v for k, v in sorted(self._counts.items())},
+            "observations": total,
+            "mean": weighted / total if total else 0.0,
+            "max": max(self._counts) if self._counts else 0,
+        }
+
+
+class PhaseLatency:
+    """Bounded reservoir of per-phase wall times (seconds)."""
+
+    def __init__(self, keep: int = 512) -> None:
+        self.keep = keep
+        self._samples: Dict[str, List[float]] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        bucket = self._samples.setdefault(phase, [])
+        bucket.append(seconds)
+        if len(bucket) > self.keep:
+            del bucket[: len(bucket) - self.keep]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for phase, samples in sorted(self._samples.items()):
+            ordered = sorted(samples)
+            n = len(ordered)
+            out[phase] = {
+                "count": n,
+                "mean": sum(ordered) / n,
+                "p50": ordered[n // 2],
+                "max": ordered[-1],
+            }
+        return out
+
+
+class ServiceTelemetry:
+    """All serving counters behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.retries = 0
+        self.batch_runs = 0
+        self.queue_depth = 0
+        self.queue_peak = 0
+        self.key_cache_hits = 0  # warm batches: worker reused its prover+CRS
+        self.key_cache_misses = 0  # cold batches: paid compile + setup
+        self.batch_sizes = Histogram()
+        self.phases = PhaseLatency()
+
+    def record_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.queue_peak = max(self.queue_peak, depth)
+
+    def record_batch(self, size: int, cold: bool, phases: Dict[str, float]) -> None:
+        with self._lock:
+            self.batch_runs += 1
+            self.batch_sizes.add(size)
+            if cold:
+                self.key_cache_misses += 1
+            else:
+                self.key_cache_hits += 1
+            for phase, seconds in phases.items():
+                self.phases.add(phase, seconds)
+
+    def record_terminal(self, state_name: str) -> None:
+        with self._lock:
+            if state_name == "done":
+                self.completed += 1
+            elif state_name == "failed":
+                self.failed += 1
+            elif state_name == "timed_out":
+                self.timed_out += 1
+
+    def record_retry(self, n: int = 1) -> None:
+        with self._lock:
+            self.retries += n
+
+    def key_cache_hit_rate(self) -> float:
+        total = self.key_cache_hits + self.key_cache_misses
+        return self.key_cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            elapsed = max(time.monotonic() - self.started_at, 1e-9)
+            return {
+                "uptime_seconds": elapsed,
+                "jobs": {
+                    "submitted": self.submitted,
+                    "completed": self.completed,
+                    "failed": self.failed,
+                    "timed_out": self.timed_out,
+                    "retries": self.retries,
+                },
+                "queue": {
+                    "depth": self.queue_depth,
+                    "peak": self.queue_peak,
+                },
+                "batches": {
+                    "runs": self.batch_runs,
+                    "sizes": self.batch_sizes.snapshot(),
+                },
+                "key_cache": {
+                    "hits": self.key_cache_hits,
+                    "misses": self.key_cache_misses,
+                    "hit_rate": self.key_cache_hit_rate(),
+                },
+                "phase_latency_seconds": self.phases.snapshot(),
+                "throughput_jobs_per_second": self.completed / elapsed,
+            }

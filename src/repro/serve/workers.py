@@ -1,0 +1,200 @@
+"""Process worker pool with warm per-worker proving-key caches.
+
+Each worker process keeps a module-level cache mapping a batch key
+(model, scale, seed, privacy) to a warm :class:`BatchProver` plus its
+Groth16 :class:`SetupResult`.  The first batch for a key in a given worker
+pays Generate + Circuit Computation + trusted setup (the cold path);
+every later batch only re-assigns witnesses and proves — the paper's §6.1
+sharing, amortized across the worker's lifetime instead of a single
+benchmark loop.
+
+Fault tolerance: a worker dying mid-batch breaks the whole
+``ProcessPoolExecutor`` (pending futures raise ``BrokenProcessPool``).
+:class:`WorkerPool.reset` rebuilds the executor; the service requeues the
+affected jobs with backoff.  Fault-injection hooks (``crash_token`` in a
+job's payload) let tests kill a worker deterministically on the first
+attempt only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import sys
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.metrics import PhaseTimer
+from repro.core.reuse.batch import BatchProver
+from repro.core.lang.types import Privacy
+
+# -- per-process warm state (lives in the worker, not the service) -----------------
+
+_WARM: Dict[Tuple, "_WarmEntry"] = {}
+
+
+class _WarmEntry:
+    def __init__(self, prover: BatchProver, setup, vk_bytes: bytes) -> None:
+        self.prover = prover
+        self.setup = setup
+        self.vk_bytes = vk_bytes
+
+
+_PRIVACY = {
+    "one-private": (Privacy.PRIVATE, Privacy.PUBLIC),
+    "both-private": (Privacy.PRIVATE, Privacy.PRIVATE),
+}
+
+
+def _backend(name: str):
+    from repro.ec.backend import RealBN254Backend, SimulatedBackend
+
+    return RealBN254Backend() if name == "bn254" else SimulatedBackend()
+
+
+def _warm_up(key: Tuple, spec: Dict[str, Any], base_image) -> _WarmEntry:
+    from repro.nn.models import build_model
+    from repro.snark.serialize import serialize_verifying_key
+
+    image_privacy, weights_privacy = _PRIVACY[spec["privacy"]]
+    model = build_model(spec["model"], scale=spec["scale"], seed=spec["seed"])
+    prover = BatchProver(
+        model, base_image, image_privacy=image_privacy,
+        weights_privacy=weights_privacy,
+    )
+    setup = prover.warm_setup(
+        _backend(spec.get("backend", "simulated")),
+        random.Random(spec.get("crs_seed", 0x5E70)),
+    )
+    entry = _WarmEntry(
+        prover, setup, serialize_verifying_key(setup.verifying_key)
+    )
+    _WARM[key] = entry
+    return entry
+
+
+def prove_batch(
+    spec: Dict[str, Any], payloads: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Prove every job in one batch inside a worker process.
+
+    ``spec`` identifies the shared constraint system; ``payloads`` carry
+    ``{"job_id", "image"}`` (plus optional ``crash_token`` for fault
+    injection: if that file exists, the worker deletes it and dies — so a
+    retry of the same job finds the token gone and completes).
+    """
+    from repro.snark import groth16
+    from repro.snark.serialize import serialize_proof
+
+    backend = _backend(spec.get("backend", "simulated"))
+    key = (spec["model"], spec["scale"], spec["seed"], spec["privacy"])
+    phases: Dict[str, float] = {}
+    cold = key not in _WARM
+    if cold:
+        with PhaseTimer("warmup", sink=phases):
+            entry = _warm_up(key, spec, payloads[0]["image"])
+        phases["generate"] = entry.prover.stats.generate_time
+        phases["circuit"] = entry.prover.stats.circuit_time
+        phases["setup"] = entry.prover.stats.setup_time
+    else:
+        entry = _WARM[key]
+
+    results = []
+    for payload in payloads:
+        token = payload.get("crash_token")
+        if token and os.path.exists(token):
+            os.remove(token)
+            os._exit(1)  # simulate a worker crash mid-batch
+        with PhaseTimer("assign", sink=phases):
+            entry.prover.assign_image(payload["image"])
+        with PhaseTimer("security", sink=phases):
+            proof = groth16.prove(
+                entry.setup.proving_key, entry.prover.cs, backend
+            )
+        publics = entry.prover.cs.public_values()
+        verified = groth16.verify(
+            entry.setup.verifying_key, publics, proof, backend
+        )
+        p = entry.prover.cs.field.modulus
+        half = p // 2
+        results.append(
+            {
+                "job_id": payload["job_id"],
+                "proof": serialize_proof(proof),
+                "public_inputs": [int(v) for v in publics],
+                "logits": [v - p if v > half else v for v in map(int, publics)],
+                "verified": bool(verified),
+            }
+        )
+    return {
+        "pid": os.getpid(),
+        "cold": cold,
+        "phases": phases,
+        "vk": entry.vk_bytes,
+        "results": results,
+    }
+
+
+# -- the pool ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A ``ProcessPoolExecutor`` that can be rebuilt after a worker death."""
+
+    def __init__(self, max_workers: int = 2) -> None:
+        self.max_workers = max_workers
+        # fork keeps the warm-up cheap (no re-import); fall back to the
+        # platform default where fork is unavailable (e.g. Windows/macOS).
+        if sys.platform.startswith("linux"):
+            self._ctx = multiprocessing.get_context("fork")
+        else:
+            self._ctx = multiprocessing.get_context()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=self._ctx
+            )
+        return self._executor
+
+    @property
+    def generation(self) -> int:
+        """Incremented every time the pool is rebuilt after a failure."""
+        return self._generation
+
+    def prewarm(self) -> List[int]:
+        """Spawn every worker process now; returns the responding pids.
+
+        ``ProcessPoolExecutor`` spawns at most one process per submit, so
+        without this a light workload can be served entirely by worker #1
+        while the rest never start.
+        """
+        executor = self._ensure()
+        futures = [executor.submit(os.getpid) for _ in range(self.max_workers)]
+        return sorted({f.result() for f in futures})
+
+    def submit_batch(
+        self, spec: Dict[str, Any], payloads: List[Dict[str, Any]]
+    ) -> Future:
+        try:
+            return self._ensure().submit(prove_batch, spec, payloads)
+        except BrokenProcessPool:
+            self.reset()
+            return self._ensure().submit(prove_batch, spec, payloads)
+
+    def reset(self) -> None:
+        """Tear down a (possibly broken) executor and start fresh."""
+        executor, self._executor = self._executor, None
+        self._generation += 1
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None

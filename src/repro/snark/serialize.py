@@ -247,6 +247,103 @@ def deserialize_verifying_key(data: bytes):
     )
 
 
+_PK_SIM = 0x01
+_PK_REAL = 0x02
+
+
+def serialize_proving_key(pk) -> bytes:
+    """Canonical proving-key encoding (both backends).
+
+    Layout: ``format_byte || u32(domain_size) || u32(num_public) ||
+    alpha_G1 || beta_G1 || beta_G2 || delta_G1 || delta_G2`` followed by
+    the five query lists (a/b_G1/b_G2/l/h), each ``u32(len) || points...``.
+    The artifact store uses this so a restarted serving worker can reload
+    a CRS instead of re-running trusted setup.
+    """
+    sim = isinstance(pk.alpha_g1, SimPoint)
+    enc1 = serialize_sim if sim else serialize_g1
+    enc2 = serialize_sim if sim else serialize_g2
+    parts = [
+        bytes([_PK_SIM if sim else _PK_REAL]),
+        pk.domain_size.to_bytes(4, "big"),
+        pk.num_public.to_bytes(4, "big"),
+        enc1(pk.alpha_g1),
+        enc1(pk.beta_g1),
+        enc2(pk.beta_g2),
+        enc1(pk.delta_g1),
+        enc2(pk.delta_g2),
+    ]
+    for query, enc in (
+        (pk.a_query_g1, enc1),
+        (pk.b_query_g1, enc1),
+        (pk.b_query_g2, enc2),
+        (pk.l_query_g1, enc1),
+        (pk.h_query_g1, enc1),
+    ):
+        parts.append(len(query).to_bytes(4, "big"))
+        parts.extend(enc(p) for p in query)
+    return b"".join(parts)
+
+
+def deserialize_proving_key(data: bytes):
+    """Inverse of :func:`serialize_proving_key`."""
+    from repro.snark.keys import ProvingKey
+
+    if len(data) < 9:
+        raise SerializationError("proving key too short")
+    fmt = data[0]
+    if fmt == _PK_SIM:
+        dec1 = dec2 = deserialize_sim
+        size1 = size2 = 33
+    elif fmt == _PK_REAL:
+        dec1, dec2 = deserialize_g1, deserialize_g2
+        size1, size2 = 33, 65
+    else:
+        raise SerializationError(f"unknown proving-key format {fmt:#x}")
+    domain_size = int.from_bytes(data[1:5], "big")
+    num_public = int.from_bytes(data[5:9], "big")
+    offset = 9
+
+    def take(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(data):
+            raise SerializationError("proving key truncated")
+        chunk = data[offset : offset + n]
+        offset += n
+        return chunk
+
+    def take_list(dec, size):
+        count = int.from_bytes(take(4), "big")
+        return [dec(take(size)) for _ in range(count)]
+
+    alpha = dec1(take(size1))
+    beta_g1 = dec1(take(size1))
+    beta_g2 = dec2(take(size2))
+    delta_g1 = dec1(take(size1))
+    delta_g2 = dec2(take(size2))
+    a_query = take_list(dec1, size1)
+    b_query_g1 = take_list(dec1, size1)
+    b_query_g2 = take_list(dec2, size2)
+    l_query = take_list(dec1, size1)
+    h_query = take_list(dec1, size1)
+    if offset != len(data):
+        raise SerializationError("trailing bytes in proving key")
+    return ProvingKey(
+        alpha_g1=alpha,
+        beta_g1=beta_g1,
+        beta_g2=beta_g2,
+        delta_g1=delta_g1,
+        delta_g2=delta_g2,
+        a_query_g1=a_query,
+        b_query_g1=b_query_g1,
+        b_query_g2=b_query_g2,
+        l_query_g1=l_query,
+        h_query_g1=h_query,
+        domain_size=domain_size,
+        num_public=num_public,
+    )
+
+
 def deserialize_proof(data: bytes) -> Proof:
     if len(data) == 33 + 65 + 33:
         return Proof(

@@ -138,3 +138,74 @@ class TestArgValidation:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServe:
+    def test_demo_workload(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--jobs", "3",
+                    "--workers", "2",
+                    "--max-batch", "2",
+                    "--scale", "mini",
+                    "--store-dir", str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("verified=True") == 3
+        stats = json.loads(out[out.index("{"):])
+        assert stats["jobs"]["completed"] == 3
+        assert 0 < stats["batches"]["runs"] < 3
+
+    def test_submit_writes_verifiable_artifacts(self, capsys, tmp_path):
+        out_path = tmp_path / "proof.bin"
+        assert (
+            main(["submit", "--out", str(out_path), "--image-seed", "3"]) == 0
+        )
+        from repro.snark import groth16
+        from repro.snark.serialize import (
+            deserialize_proof,
+            deserialize_verifying_key,
+        )
+
+        claim = json.loads(
+            (tmp_path / "proof.bin.claim.json").read_text()
+        )
+        vk = deserialize_verifying_key(
+            (tmp_path / ("proof.bin" + ".vk")).read_bytes()
+        )
+        proof = deserialize_proof(out_path.read_bytes())
+        publics = [int(v) for v in claim["public_inputs"]]
+        assert groth16.verify(vk, publics, proof)
+
+    def test_submit_claim_feeds_verify_command(self, capsys, tmp_path):
+        out_path = tmp_path / "proof.bin"
+        claim_path = tmp_path / "proof.bin.claim.json"
+        assert (
+            main(["submit", "--out", str(out_path), "--image-seed", "9"]) == 0
+        )
+        assert (
+            main(
+                ["verify", "--proof", str(out_path), "--claim",
+                 str(claim_path)]
+            )
+            == 0
+        )
+        assert "ACCEPTED" in capsys.readouterr().out
+
+        claim = json.loads(claim_path.read_text())
+        claim["public_inputs"][0] = str(int(claim["public_inputs"][0]) + 1)
+        tampered = tmp_path / "tampered.claim.json"
+        tampered.write_text(json.dumps(claim))
+        assert (
+            main(
+                ["verify", "--proof", str(out_path), "--claim",
+                 str(tampered)]
+            )
+            == 1
+        )
+        assert "REJECTED" in capsys.readouterr().out

@@ -1,5 +1,6 @@
 """Smoke tests: every example script must run clean end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,6 +8,7 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES.parent / "src"
 
 SCRIPTS = [
     ("quickstart.py", []),
@@ -16,6 +18,7 @@ SCRIPTS = [
     ("custom_circuit_primitives.py", []),
     ("port_constraints.py", []),
     ("accuracy_certificate.py", ["--images", "6"]),
+    ("proving_service.py", ["--jobs", "6", "--workers", "2"]),
 ]
 
 
@@ -27,6 +30,14 @@ def test_example_runs(script, args, tmp_path):
         text=True,
         cwd=tmp_path,  # examples must not depend on the repo CWD
         timeout=600,
+        # the subprocess does not inherit pytest's import path, so make
+        # the in-repo package visible explicitly
+        env={
+            **os.environ,
+            "PYTHONPATH": str(SRC_DIR)
+            + os.pathsep
+            + os.environ.get("PYTHONPATH", ""),
+        },
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"

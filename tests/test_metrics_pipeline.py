@@ -1,5 +1,7 @@
 """Tests for the cost model and phase-report plumbing."""
 
+import time
+
 import pytest
 
 from repro.core.metrics import DEFAULT_G1_ADD_SECONDS, CostModel
@@ -87,3 +89,29 @@ class TestProveReport:
         assert report.phase("generate").wall_time == 1.0
         with pytest.raises(KeyError):
             report.phase("nonexistent")
+
+
+class TestPhaseTimer:
+    def test_measures_elapsed(self):
+        from repro.core.metrics import PhaseTimer
+
+        with PhaseTimer("generate") as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_mapping_sink_accumulates(self):
+        from repro.core.metrics import PhaseTimer
+
+        sink = {}
+        for _ in range(2):
+            with PhaseTimer("circuit", sink=sink):
+                time.sleep(0.002)
+        assert sink["circuit"] >= 0.004
+
+    def test_callable_sink(self):
+        from repro.core.metrics import PhaseTimer
+
+        seen = []
+        with PhaseTimer("security", sink=lambda name, s: seen.append((name, s))):
+            pass
+        assert seen and seen[0][0] == "security" and seen[0][1] >= 0

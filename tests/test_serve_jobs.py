@@ -1,0 +1,123 @@
+"""Unit tests for the serving job queue: ordering, deadlines, backoff."""
+
+import numpy as np
+import pytest
+
+from repro.serve.jobs import JobQueue, JobState, ProofJob
+
+
+def make_job(job_id="j1", priority=0, timeout=None, submitted_at=100.0, **kw):
+    job = ProofJob(
+        job_id=job_id,
+        model="SHAL",
+        image=np.zeros((1, 2, 2), dtype=np.int64),
+        priority=priority,
+        timeout=timeout,
+        **kw,
+    )
+    job.submitted_at = submitted_at
+    return job
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        q = JobQueue()
+        for name in ("a", "b", "c"):
+            q.push(make_job(name))
+        assert [q.pop(0.0).job_id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_higher_priority_first(self):
+        q = JobQueue()
+        q.push(make_job("low", priority=0))
+        q.push(make_job("high", priority=5))
+        q.push(make_job("mid", priority=2))
+        popped = [q.pop(0.0).job_id for _ in range(3)]
+        assert popped == ["high", "mid", "low"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+    def test_len_counts_both_lanes(self):
+        q = JobQueue()
+        q.push(make_job("now"))
+        q.push(make_job("later"), delay=60.0)
+        assert len(q) == 2
+
+
+class TestDelayedLane:
+    def test_delayed_job_not_ready_early(self):
+        q = JobQueue()
+        q.push(make_job("a"), delay=50.0)
+        assert q.pop(now=0.0) is None  # pushed at real monotonic now + 50
+
+    def test_delayed_job_promoted_after_backoff(self):
+        import time
+
+        q = JobQueue()
+        q.push(make_job("a"), delay=0.001)
+        time.sleep(0.01)
+        job = q.pop()
+        assert job is not None and job.job_id == "a"
+
+    def test_ready_jobs_bypass_delayed(self):
+        q = JobQueue()
+        q.push(make_job("slow", priority=9), delay=60.0)
+        q.push(make_job("fast", priority=0))
+        assert q.pop().job_id == "fast"
+
+
+class TestDeadlines:
+    def test_expire_removes_overdue(self):
+        q = JobQueue()
+        q.push(make_job("late", timeout=5.0, submitted_at=0.0))
+        q.push(make_job("fine", timeout=500.0, submitted_at=0.0))
+        overdue = q.expire(now=10.0)
+        assert [j.job_id for j in overdue] == ["late"]
+        assert q.pop(now=10.0).job_id == "fine"
+        assert len(q) == 0
+
+    def test_expire_checks_delayed_lane(self):
+        q = JobQueue()
+        q.push(make_job("late", timeout=0.001, submitted_at=0.0), delay=120.0)
+        overdue = q.expire(now=1e12)  # far future: delay elapsed AND expired
+        assert [j.job_id for j in overdue] == ["late"]
+
+    def test_no_timeout_never_expires(self):
+        job = make_job("forever", timeout=None)
+        assert not job.expired(now=1e18)
+
+    def test_deadline_is_submission_plus_timeout(self):
+        job = make_job("d", timeout=7.0, submitted_at=3.0)
+        assert job.deadline == 10.0
+        assert not job.expired(now=10.0)
+        assert job.expired(now=10.1)
+
+
+class TestRetryBookkeeping:
+    def test_backoff_doubles_per_attempt(self):
+        job = make_job("r")
+        job.attempts = 1
+        assert job.next_backoff(base=0.1) == pytest.approx(0.1)
+        job.attempts = 3
+        assert job.next_backoff(base=0.1) == pytest.approx(0.4)
+
+    def test_backoff_capped(self):
+        job = make_job("r")
+        job.attempts = 30
+        assert job.next_backoff(base=0.1, cap=2.0) == 2.0
+
+    def test_batch_key_groups_same_profile(self):
+        a = make_job("a")
+        b = make_job("b")
+        c = make_job("c", privacy="both-private")
+        assert a.batch_key() == b.batch_key()
+        assert a.batch_key() != c.batch_key()
+
+
+class TestStates:
+    def test_terminal_classification(self):
+        assert not JobState.QUEUED.terminal
+        assert not JobState.RUNNING.terminal
+        assert JobState.DONE.terminal
+        assert JobState.FAILED.terminal
+        assert JobState.TIMED_OUT.terminal

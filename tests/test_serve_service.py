@@ -1,0 +1,213 @@
+"""End-to-end tests for the batched multi-worker proving service.
+
+The main test is the acceptance scenario: N jobs for a mini model all
+return verifying Groth16 proofs, across >= 2 worker processes, with
+strictly fewer batch-prover runs than jobs, and live telemetry populated.
+Fault injection kills a worker mid-job and asserts the job is retried to
+completion rather than hanging the queue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ArtifactStore, ProvingService
+from repro.serve.jobs import JobState
+from repro.serve.service import JobFailedError
+from repro.snark import groth16
+from repro.snark.serialize import deserialize_proof, deserialize_verifying_key
+
+N_JOBS = 8
+
+
+@pytest.fixture(scope="module")
+def served():
+    """Run the acceptance workload once; individual tests assert on it."""
+    service = ProvingService(max_workers=2, max_batch=4, max_wait=0.05)
+    job_ids = [
+        service.submit("SHAL", image_seed=200 + i, scale="mini")
+        for i in range(N_JOBS)
+    ]
+    results = [service.result(j, timeout=300) for j in job_ids]
+    service.shutdown(drain=True)
+    return service, job_ids, results
+
+
+class TestEndToEnd:
+    def test_all_proofs_verify(self, served):
+        _, _, results = served
+        assert len(results) == N_JOBS
+        assert all(r.verified for r in results)
+
+    def test_proofs_verify_from_store_artifacts(self, served):
+        service, _, results = served
+        for res in results[:2]:
+            vk = deserialize_verifying_key(
+                service.store.get(res.store_keys["vk"])
+            )
+            proof = deserialize_proof(service.store.get(res.store_keys["proof"]))
+            assert groth16.verify(vk, res.public_inputs, proof)
+
+    def test_at_least_two_worker_processes(self, served):
+        _, _, results = served
+        assert len({r.worker_pid for r in results}) >= 2
+
+    def test_strictly_fewer_batch_runs_than_jobs(self, served):
+        service, _, results = served
+        runs = service.stats()["batches"]["runs"]
+        assert 0 < runs < N_JOBS
+        assert len({r.batch_id for r in results}) == runs
+
+    def test_telemetry_nonzero(self, served):
+        service, _, _ = served
+        stats = service.stats()
+        assert stats["jobs"]["submitted"] == N_JOBS
+        assert stats["jobs"]["completed"] == N_JOBS
+        assert stats["queue"]["peak"] > 0
+        assert stats["batches"]["sizes"]["observations"] > 0
+        assert stats["batches"]["sizes"]["mean"] > 1  # batching really happened
+        phases = stats["phase_latency_seconds"]
+        for phase in ("generate", "circuit", "setup", "assign", "security"):
+            assert phases[phase]["count"] > 0, phase
+            assert phases[phase]["mean"] > 0, phase
+        assert stats["throughput_jobs_per_second"] > 0
+
+    def test_stats_json_serializable(self, served):
+        import json
+
+        service, _, _ = served
+        json.dumps(service.stats())
+
+    def test_jobs_reach_done_state(self, served):
+        service, job_ids, _ = served
+        assert all(
+            service.status(j) is JobState.DONE for j in job_ids
+        )
+
+    def test_logits_match_plaintext_model(self, served):
+        from repro.nn.data import synthetic_images
+        from repro.nn.models import build_model
+
+        service, job_ids, results = served
+        model = build_model("SHAL", scale="mini", seed=0)
+        image = synthetic_images(model.input_shape, n=1, seed=200)[0]
+        assert results[0].logits == [int(v) for v in model.forward(image)]
+
+
+class TestFaultTolerance:
+    def test_worker_death_retries_job(self, tmp_path):
+        """A worker killed mid-job must not hang the queue: the service
+        rebuilds the pool and retries the job to completion."""
+        token = tmp_path / "crash-once"
+        token.write_text("x")
+        service = ProvingService(
+            max_workers=2, max_batch=2, max_wait=0.01, backoff_base=0.01
+        )
+        doomed = service.submit(
+            "SHAL", image_seed=1, scale="mini",
+            extra={"crash_token": str(token)},
+        )
+        bystander = service.submit("SHAL", image_seed=2, scale="mini")
+        res = service.result(doomed, timeout=300)
+        assert res.verified
+        assert service.result(bystander, timeout=300).verified
+        assert not token.exists()  # the crash really happened
+        assert service.job(doomed).attempts >= 2
+        stats = service.stats()
+        assert stats["jobs"]["retries"] >= 1
+        assert stats["workers"]["pool_generation"] >= 1
+        service.shutdown(drain=True)
+
+    def test_retries_exhausted_fails_cleanly(self, tmp_path):
+        """A job that crashes its worker on every attempt ends FAILED."""
+        import threading
+        import time
+
+        token = tmp_path / "crash-always"
+        token.write_text("x")
+        service = ProvingService(
+            max_workers=1, max_batch=1, max_wait=0.0, backoff_base=0.01,
+            prewarm=False,
+        )
+        job_id = service.submit(
+            "SHAL", image_seed=3, scale="mini", max_retries=1,
+            extra={"crash_token": str(token)},
+        )
+
+        def rearm():  # each attempt consumes the token; keep it armed
+            while not service.status(job_id).terminal:
+                if not token.exists():
+                    token.write_text("x")
+                time.sleep(0.005)
+
+        threading.Thread(target=rearm, daemon=True).start()
+        with pytest.raises(JobFailedError):
+            service.result(job_id, timeout=300)
+        assert service.status(job_id) is JobState.FAILED
+        service.shutdown(drain=True)
+
+    def test_queue_timeout_marks_timed_out(self):
+        service = ProvingService(max_workers=1, prewarm=False)
+        job_id = service.submit("SHAL", image_seed=4, timeout=-1.0)
+        with pytest.raises(JobFailedError):
+            service.result(job_id, timeout=30)
+        assert service.status(job_id) is JobState.TIMED_OUT
+        service.shutdown(drain=True)
+
+
+class TestServiceApi:
+    def test_submit_requires_image_or_seed(self):
+        service = ProvingService(max_workers=1, prewarm=False)
+        with pytest.raises(ValueError):
+            service.submit("SHAL")
+        service.shutdown(drain=True)
+
+    def test_submit_after_shutdown_rejected(self):
+        service = ProvingService(max_workers=1, prewarm=False)
+        service.shutdown(drain=True)
+        with pytest.raises(RuntimeError):
+            service.submit("SHAL", image_seed=1)
+
+    def test_context_manager_drains(self):
+        with ProvingService(max_workers=1, max_wait=0.0) as service:
+            job_id = service.submit("SHAL", image_seed=5, scale="mini")
+        assert service.status(job_id) is JobState.DONE
+
+    def test_wait_all(self):
+        service = ProvingService(max_workers=1, max_wait=0.0)
+        for i in range(3):
+            service.submit("SHAL", image_seed=10 + i, scale="mini")
+        assert service.wait_all(timeout=300)
+        service.shutdown(drain=True)
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.put("proof", b"hello")
+        assert key.startswith("proof-")
+        assert store.get(key) == b"hello"
+        assert key in store
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.put("vk", b"abc") == store.put("vk", b"abc")
+        assert len(store) == 1
+
+    def test_lru_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_entries=2)
+        k1 = store.put("a", b"1")
+        k2 = store.put("b", b"2")
+        store.get(k1)  # refresh k1: k2 becomes the LRU victim
+        k3 = store.put("c", b"3")
+        assert k1 in store and k3 in store
+        assert k2 not in store
+        assert store.stats()["evictions"] == 1
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ArtifactStore(tmp_path).get("proof-ffffffffffffffff")
+
+    def test_reload_from_disk(self, tmp_path):
+        key = ArtifactStore(tmp_path).put("vk", b"persisted")
+        again = ArtifactStore(tmp_path)
+        assert again.get(key) == b"persisted"

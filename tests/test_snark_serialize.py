@@ -149,3 +149,63 @@ class TestProofSerialization:
     def test_garbage_length_rejected(self):
         with pytest.raises(SerializationError):
             deserialize_proof(b"\x00" * 50)
+
+
+class TestProvingKeySerialization:
+    """Round-trip of the full CRS (the serving artifact store relies on it)."""
+
+    @staticmethod
+    def _toy_cs():
+        from repro.r1cs.system import ConstraintSystem
+
+        cs = ConstraintSystem()
+        ref = cs.new_public(35)
+        wire = cs.mul_private(cs.new_private(5), cs.new_private(7))
+        cs.enforce_equal(cs.lc_variable(wire), cs.lc_variable(ref))
+        return cs
+
+    def _roundtrip(self, backend):
+        from repro.snark import groth16
+        from repro.snark.serialize import (
+            deserialize_proving_key,
+            serialize_proving_key,
+        )
+
+        cs = self._toy_cs()
+        setup = groth16.setup(cs, backend, random.Random(3))
+        pk = setup.proving_key
+        restored = deserialize_proving_key(serialize_proving_key(pk))
+        assert restored.domain_size == pk.domain_size
+        assert restored.num_public == pk.num_public
+        assert restored.num_variables() == pk.num_variables()
+        # a key deserialized from bytes must still produce valid proofs
+        proof = groth16.prove(restored, cs, backend, random.Random(4))
+        assert groth16.verify(setup.verifying_key, [35], proof, backend)
+
+    def test_sim_roundtrip_proves(self):
+        from repro.ec.backend import SimulatedBackend
+
+        self._roundtrip(SimulatedBackend())
+
+    def test_real_roundtrip_proves(self):
+        from repro.ec.backend import RealBN254Backend
+
+        self._roundtrip(RealBN254Backend())
+
+    def test_truncated_rejected(self):
+        from repro.ec.backend import SimulatedBackend
+        from repro.snark import groth16
+        from repro.snark.serialize import (
+            deserialize_proving_key,
+            serialize_proving_key,
+        )
+
+        cs = self._toy_cs()
+        pk = groth16.setup(cs, SimulatedBackend(), random.Random(3)).proving_key
+        data = serialize_proving_key(pk)
+        with pytest.raises(SerializationError):
+            deserialize_proving_key(data[:-5])
+        with pytest.raises(SerializationError):
+            deserialize_proving_key(data + b"\x00")
+        with pytest.raises(SerializationError):
+            deserialize_proving_key(b"\x7f" + data[1:])
