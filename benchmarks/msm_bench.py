@@ -1,0 +1,169 @@
+"""MSM engine benchmark: Pippenger baseline vs batch-affine / parallel / fixed-base.
+
+Standalone harness (NOT collected by pytest) comparing every G1 MSM
+variant in :mod:`repro.ec` on random points and scalars::
+
+    PYTHONPATH=src python benchmarks/msm_bench.py \
+        --sizes 256,1024,4096 --repeat 3 --out BENCH_msm.json
+
+Variants:
+
+* ``naive``        — double-and-add per term (small sizes only; ground truth)
+* ``pippenger``    — :func:`repro.ec.jacobian.msm_jacobian`, the engine every
+                     proof used before this change (unsigned windows,
+                     Jacobian buckets)
+* ``batch_affine`` — signed-digit windows + batch-affine buckets
+                     (one field inversion per reduction round)
+* ``parallel``     — batch-affine chunks across a process pool
+* ``fixed_base``   — precomputed window-shifted bases; ``build`` cost is
+                     reported separately because a serving session pays it
+                     once per CRS, then amortizes it over every proof
+
+Each timing is the best of ``--repeat`` runs; all variants are checked
+against each other before timings are reported.  The JSON written to
+``--out`` records per-size wall times plus ``speedup_vs_pippenger``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ec.batch_affine import msm_batch_affine, msm_parallel
+from repro.ec.bn254 import BN254_G1
+from repro.ec.fixed_base import FixedBaseTableG1, batch_normalize
+from repro.ec.jacobian import j_add_mixed, msm_jacobian, to_jacobian
+from repro.ec.msm import msm_naive, pick_window
+from repro.field.fp import BN254_FQ
+
+NAIVE_MAX = 512  # double-and-add is ~100x slower; skip it at larger sizes
+
+
+def make_points(n: int):
+    """n distinct G1 points as the prefix sums G, 2G, 3G, ... (cheap: one
+    mixed addition each, one batched inversion to normalize)."""
+    g = BN254_G1.generator
+    g_aff = (g.x.value, g.y.value)
+    jacs = []
+    acc = to_jacobian(g)
+    for _ in range(n):
+        jacs.append(acc)
+        acc = j_add_mixed(acc, g_aff)
+    return [
+        BN254_G1.point(BN254_FQ(x), BN254_FQ(y))
+        for x, y in batch_normalize(jacs)
+    ]
+
+
+def make_scalars(n: int, seed: int):
+    rng = random.Random(seed)
+    return [rng.randrange(1, BN254_G1.order) for _ in range(n)]
+
+
+def best_of(fn, repeat: int):
+    """(best wall seconds, result) over ``repeat`` runs."""
+    best, result = None, None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_size(n: int, repeat: int, parallelism: int, seed: int) -> dict:
+    points = make_points(n)
+    scalars = make_scalars(n, seed)
+    row: dict = {"n": n, "window": pick_window(n, signed=True)}
+    results = {}
+
+    if n <= NAIVE_MAX:
+        row["naive_s"], results["naive"] = best_of(
+            lambda: msm_naive(points, scalars, group=BN254_G1), repeat
+        )
+    row["pippenger_s"], results["pippenger"] = best_of(
+        lambda: msm_jacobian(points, scalars), repeat
+    )
+    row["batch_affine_s"], results["batch_affine"] = best_of(
+        lambda: msm_batch_affine(points, scalars), repeat
+    )
+    if parallelism > 1:
+        row["parallel_s"], results["parallel"] = best_of(
+            lambda: msm_parallel(points, scalars, parallelism=parallelism),
+            repeat,
+        )
+        row["parallelism"] = parallelism
+
+    build_s, table = best_of(lambda: FixedBaseTableG1(points), 1)
+    row["fixed_base_build_s"] = build_s
+    row["fixed_base_query_s"], results["fixed_base"] = best_of(
+        lambda: table.msm(scalars), repeat
+    )
+
+    reference = results["pippenger"]
+    for name, value in results.items():
+        if value != reference:
+            raise AssertionError(f"{name} disagrees with pippenger at n={n}")
+
+    base = row["pippenger_s"]
+    row["speedup_vs_pippenger"] = {
+        name.rsplit("_s", 1)[0]: round(base / row[name], 3)
+        for name in (
+            "batch_affine_s", "parallel_s", "fixed_base_query_s"
+        )
+        if name in row
+    }
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", default="256,1024,4096",
+        help="comma-separated MSM sizes",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of runs")
+    parser.add_argument(
+        "--parallelism", type=int, default=4,
+        help="process count for the parallel variant (<=1 skips it)",
+    )
+    parser.add_argument("--seed", type=int, default=0xBE27C4)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    report = {
+        "bench": "msm",
+        "curve": "bn254-g1",
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "sizes": [],
+    }
+    for n in sizes:
+        row = bench_size(n, args.repeat, args.parallelism, args.seed)
+        report["sizes"].append(row)
+        speed = ", ".join(
+            f"{k} {v:.2f}x" for k, v in row["speedup_vs_pippenger"].items()
+        )
+        print(
+            f"n={n:>6d}  pippenger {row['pippenger_s']:.3f}s  [{speed}]",
+            flush=True,
+        )
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

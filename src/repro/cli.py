@@ -88,7 +88,9 @@ def cmd_prove(args) -> int:
     model, image, compiler, artifact = _build_artifact(args)
     start = time.perf_counter()
     setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
-    proof = groth16.prove(setup.proving_key, artifact.cs)
+    proof = groth16.prove(
+        setup.proving_key, artifact.cs, parallelism=args.parallelism
+    )
     elapsed = time.perf_counter() - start
     assert groth16.verify(
         setup.verifying_key, artifact.public_inputs(), proof
@@ -175,6 +177,7 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait=args.max_wait,
         store_dir=args.store_dir,
+        msm_parallelism=args.parallelism,
     )
     print(
         f"serving {args.jobs} jobs for {args.model}/{args.scale} "
@@ -283,6 +286,10 @@ def main(argv=None) -> int:
     _common(p_prove)
     p_prove.add_argument("--out", default="proof.bin")
     p_prove.add_argument("--crs-seed", type=int, default=2024)
+    p_prove.add_argument(
+        "--parallelism", type=int, default=1,
+        help="worker processes for chunked MSMs (bn254 G1, large inputs)",
+    )
     p_prove.set_defaults(func=cmd_prove)
 
     p_verify = sub.add_parser("verify", help="verify a serialized proof")
@@ -304,6 +311,10 @@ def main(argv=None) -> int:
     p_serve.add_argument("--max-wait", type=float, default=0.05)
     p_serve.add_argument("--store-dir", default=None,
                          help="artifact store directory (default: temp)")
+    p_serve.add_argument(
+        "--parallelism", type=int, default=1,
+        help="chunked-MSM processes per proving worker (bn254 G1)",
+    )
     p_serve.set_defaults(func=cmd_serve, model="SHAL")
 
     p_submit = sub.add_parser(

@@ -91,6 +91,7 @@ class BatchProver:
         self.stats.generate_time = generated.wall_time
         self.stats.circuit_time = self.result.wall_time
         self._setup = None
+        self._tables = None
 
     @property
     def cs(self):
@@ -98,21 +99,38 @@ class BatchProver:
 
     # -- serving-path hooks -----------------------------------------------------------
 
-    def warm_setup(self, backend=None, rng=None):
+    def warm_setup(self, backend=None, rng=None, precompute=True):
         """Run Groth16 setup once for the shared constraint system.
 
         The serving worker pool (:mod:`repro.serve.workers`) keeps one
         ``BatchProver`` warm per (model, profile); the setup — by far the
         most expensive per-key cost — is cached here so every subsequent
         job pays only assign + prove.
+
+        With ``precompute`` (the default), fixed-base MSM tables are built
+        over the CRS query vectors alongside the setup; ``self.tables``
+        then serves every proof of the session without re-deriving
+        window-shifted bases (see :mod:`repro.ec.fixed_base`).
         """
         if self._setup is None:
+            from repro.ec.backend import SimulatedBackend
             from repro.snark import groth16
+            from repro.snark.keys import precompute_proving_tables
 
+            backend = backend or SimulatedBackend()
             start = time.perf_counter()
             self._setup = groth16.setup(self.cs, backend, rng)
+            if precompute:
+                self._tables = precompute_proving_tables(
+                    self._setup.proving_key, backend
+                )
             self.stats.setup_time = time.perf_counter() - start
         return self._setup
+
+    @property
+    def tables(self):
+        """Fixed-base CRS tables built by :meth:`warm_setup` (or ``None``)."""
+        return self._tables
 
     # -- per-image witness assignment -------------------------------------------------
 

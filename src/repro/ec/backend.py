@@ -4,12 +4,21 @@ The SNARK layer (:mod:`repro.snark`) programs exclusively against
 :class:`GroupBackend`; swapping ``RealBN254Backend`` for
 ``SimulatedBackend`` changes only the per-operation constant factor (and
 cryptographic hardness — see :mod:`repro.ec.simulated`), never the algebra.
+
+``msm`` routes through the engine hierarchy (see :mod:`repro.ec.msm` for
+the map): batch-affine signed windows for real G1 vectors, the chunked
+process-parallel mode when a ``parallelism`` knob is passed, the Jacobian
+path for small inputs, and generic affine Pippenger for G2.  The empty MSM
+returns the group identity (``zero=`` overrides which one).
+``precompute_msm`` returns a fixed-base table for CRS-style reuse — the
+serving layer builds tables once per proving key and queries them on every
+proof.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.field.fp import BN254_FR, Field
 from repro.ec import bn254
@@ -18,6 +27,7 @@ from repro.ec.simulated import (
     G1_TAG,
     G2_TAG,
     GT_TAG,
+    SimFixedBaseTable,
     SimPoint,
     sim_generator,
     sim_msm,
@@ -25,6 +35,38 @@ from repro.ec.simulated import (
 )
 
 GroupElement = Any  # Point | SimPoint
+
+# Below this size the sparse bucket lists of the batch-affine engine cannot
+# amortize their inversions; the Jacobian path wins.
+_BATCH_AFFINE_MIN = 32
+# Below this size chunking overhead (pickling + IPC) swamps the win.
+_PARALLEL_MIN = 256
+
+
+class _GenericMSMTable:
+    """Fallback 'fixed-base table': no precomputation, but tracked reuse.
+
+    Used where real shifted-window tables are not implemented (G2 vectors,
+    empty vectors).  Presents the same ``msm(scalars)`` / ``uses``
+    interface as :class:`repro.ec.fixed_base.FixedBaseTableG1`.
+    """
+
+    def __init__(self, points, msm_fn, zero) -> None:
+        self.points = list(points)
+        self.n = len(self.points)
+        self._msm = msm_fn
+        self._zero = zero
+        self.uses = 0
+
+    def msm(self, scalars: Sequence[int]) -> GroupElement:
+        if len(scalars) > self.n:
+            raise ValueError(
+                f"{len(scalars)} scalars for a table of {self.n} points"
+            )
+        self.uses += 1
+        if not scalars or not self.points:
+            return self._zero
+        return self._msm(self.points[: len(scalars)], list(scalars))
 
 
 class GroupBackend(ABC):
@@ -56,14 +98,43 @@ class GroupBackend(ABC):
 
     @abstractmethod
     def msm(
-        self, points: Sequence[GroupElement], scalars: Sequence[int]
-    ) -> GroupElement: ...
+        self,
+        points: Sequence[GroupElement],
+        scalars: Sequence[int],
+        *,
+        zero: Optional[GroupElement] = None,
+        parallelism: Optional[int] = None,
+        window: Optional[int] = None,
+    ) -> GroupElement:
+        """``sum scalars[i] * points[i]``; the identity on empty input.
+
+        ``zero`` names the identity returned for an empty vector (default
+        G1 — the only group Groth16 issues possibly-empty MSMs in).
+        ``parallelism > 1`` opts into the chunked process-parallel engine
+        where the backend supports it.
+        """
 
     @abstractmethod
     def pairing_product_is_one(
         self, pairs: Sequence[Tuple[GroupElement, GroupElement]]
     ) -> bool:
         """Check ``prod e(P_i, Q_i) == 1`` — the Groth16 verify primitive."""
+
+    def precompute_msm(
+        self,
+        points: Sequence[GroupElement],
+        zero: Optional[GroupElement] = None,
+    ):
+        """Build a reusable fixed-base MSM table over ``points``.
+
+        The returned object exposes ``msm(scalars)`` (accepting *up to*
+        ``len(points)`` scalars; missing ones count as zero) and a ``uses``
+        counter.  Default implementation is a dispatch-only wrapper;
+        backends override with real precomputation.
+        """
+        return _GenericMSMTable(
+            points, self.msm, zero if zero is not None else self.g1_zero()
+        )
 
     def sub(self, a: GroupElement, b: GroupElement) -> GroupElement:
         return self.add(a, self.neg(b))
@@ -95,14 +166,36 @@ class RealBN254Backend(GroupBackend):
     def scalar_mul(self, a, k: int):
         return a.group.scalar_mul(a, k)
 
-    def msm(self, points, scalars):
-        # G1 MSMs take the inversion-free Jacobian fast path; G2 (whose
-        # coordinates live in Fq2) uses the generic affine Pippenger.
-        if points and points[0].group is bn254.BN254_G1:
+    def msm(self, points, scalars, *, zero=None, parallelism=None, window=None):
+        if len(points) != len(scalars):
+            raise ValueError(
+                f"points/scalars length mismatch: "
+                f"{len(points)} vs {len(scalars)}"
+            )
+        if not points:
+            return zero if zero is not None else self.g1_zero()
+        # G1 MSMs take the inversion-free engines; G2 (whose coordinates
+        # live in Fq2) uses the generic affine Pippenger.
+        if points[0].group is bn254.BN254_G1:
+            from repro.ec.batch_affine import msm_batch_affine, msm_parallel
             from repro.ec.jacobian import msm_jacobian
 
-            return msm_jacobian(points, scalars)
-        return pippenger_msm(points, scalars)
+            n = len(points)
+            if parallelism and parallelism > 1 and n >= _PARALLEL_MIN:
+                return msm_parallel(
+                    points, scalars, parallelism=parallelism, window=window
+                )
+            if n >= _BATCH_AFFINE_MIN:
+                return msm_batch_affine(points, scalars, window=window)
+            return msm_jacobian(points, scalars, window=window)
+        return pippenger_msm(points, scalars, window=window)
+
+    def precompute_msm(self, points, zero=None):
+        if points and points[0].group is bn254.BN254_G1:
+            from repro.ec.fixed_base import FixedBaseTableG1
+
+            return FixedBaseTableG1(points)
+        return super().precompute_msm(points, zero)
 
     def pairing_product_is_one(self, pairs) -> bool:
         return bn254.pairing_product_is_one(tuple(pairs))
@@ -134,8 +227,16 @@ class SimulatedBackend(GroupBackend):
     def scalar_mul(self, a: SimPoint, k: int) -> SimPoint:
         return a * k
 
-    def msm(self, points, scalars):
+    def msm(self, points, scalars, *, zero=None, parallelism=None, window=None):
+        # parallelism/window shape the modeled real-curve cost, not the
+        # log-space dot product, so they are accepted and ignored here.
+        if not points:
+            return zero if zero is not None else self.g1_zero()
         return sim_msm(points, scalars)
+
+    def precompute_msm(self, points, zero=None):
+        tag = zero.tag if zero is not None else G1_TAG
+        return SimFixedBaseTable(points, tag=tag)
 
     def pairing_product_is_one(self, pairs) -> bool:
         acc = 0

@@ -1,0 +1,271 @@
+"""Batch-affine G1 MSM engine: amortized inversions + chunked parallelism.
+
+The Jacobian fast path (:mod:`repro.ec.jacobian`) avoids inversions by
+carrying a Z coordinate, paying 7M + 4S per mixed addition.  An *affine*
+addition is only 2M + 1S + 1I — ruinous when the inversion is paid per
+addition, but bucket accumulation in Pippenger is embarrassingly
+batchable: additions into distinct buckets are independent, so each round
+performs one addition per bucket and amortizes all their inversions into a
+single one via Montgomery's trick
+(:func:`repro.field.vector.batch_inverse`).  With the 3 multiplications
+the trick charges per element, an amortized affine addition costs ~5M+1S —
+roughly half the Jacobian formula.
+
+Two further pieces:
+
+* **signed digits** (:func:`repro.ec.msm.signed_digits`) cut the bucket
+  count per window from ``2^c - 1`` to ``2^(c-1)`` — point negation is
+  free (``(x, -y)``) so digit ``-d`` adds the negated point to bucket
+  ``d``;
+* **chunked parallel mode** (:func:`msm_parallel`): the point/scalar
+  vector is split across a process pool (MSM is linear in the points, so
+  partial Jacobian sums combine with plain additions).  Workers return
+  their operation tally so the parent's cost-model counters stay honest.
+
+Everything operates on raw ``(x, y)`` int pairs mod the base prime, like
+the Jacobian module; infinity inputs and zero scalars are filtered first.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ec.bn254 import BN254_G1
+from repro.ec.curve import Point
+from repro.ec.jacobian import (
+    J_INFINITY,
+    JPoint,
+    j_add,
+    j_add_mixed,
+    j_double,
+    to_affine,
+)
+from repro.ec.msm import pick_window, signed_digits
+from repro.field.counters import count_ops, global_counter
+from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS
+from repro.field.vector import batch_inverse
+
+_Q = BN254_FQ_MODULUS
+
+Affine = Tuple[int, int]
+
+# Below this many points the bucket lists are too sparse for batching to
+# amortize anything; callers should use the Jacobian path instead.
+BATCH_AFFINE_MIN = 16
+
+SCALAR_BITS = 254  # BN254 Fr scalars
+
+
+def _batch_reduce(buckets: List[List[Affine]]) -> List[Optional[Affine]]:
+    """Reduce every bucket's point list to one point (or ``None``).
+
+    Rounds of pairwise affine additions: each round pairs up the points
+    remaining in every bucket, computes all pair denominators, inverts
+    them with **one** field inversion (Montgomery batching across the
+    whole bucket array), and applies the chord/tangent formulas.  A pair
+    ``P, -P`` cancels to nothing; a pair ``P, P`` takes the tangent
+    (doubling) branch.  ``y == 0`` cannot occur: BN254 G1 has prime order,
+    hence no 2-torsion.
+    """
+    total_adds = 0
+    while any(len(lst) > 1 for lst in buckets):
+        dens: List[int] = []
+        # (out_list, slot, x1, y1, x2, numerator) per scheduled addition
+        ops: List[Tuple[List, int, int, int, int, int]] = []
+        for bi in range(len(buckets)):
+            lst = buckets[bi]
+            m = len(lst)
+            if m < 2:
+                continue
+            out: List[Affine] = []
+            i = 0
+            while i + 1 < m:
+                x1, y1 = lst[i]
+                x2, y2 = lst[i + 1]
+                if x1 != x2:
+                    num = y2 - y1
+                    den = x2 - x1
+                elif (y1 + y2) % _Q == 0:
+                    i += 2  # P + (-P): the pair vanishes
+                    continue
+                else:  # same point twice: tangent slope 3x^2 / 2y
+                    num = 3 * x1 * x1
+                    den = 2 * y1
+                ops.append((out, len(out), x1, y1, x2, num % _Q))
+                out.append((0, 0))  # placeholder, filled after inversion
+                dens.append(den % _Q)
+                i += 2
+            if i < m:
+                out.append(lst[i])  # odd leftover rides to the next round
+            buckets[bi] = out
+        if dens:
+            invs = batch_inverse(BN254_FQ, dens)
+            for (out, slot, x1, y1, x2, num), inv in zip(ops, invs):
+                s = num * inv % _Q
+                x3 = (s * s - x1 - x2) % _Q
+                out[slot] = (x3, (s * (x1 - x3) - y1) % _Q)
+            total_adds += len(ops)
+    if total_adds:
+        global_counter().group_add += total_adds
+    return [lst[0] if lst else None for lst in buckets]
+
+
+def _msm_raw(
+    affine: Sequence[Affine],
+    reduced: Sequence[int],
+    c: int,
+    bits: int = SCALAR_BITS,
+) -> JPoint:
+    """Signed-window batch-affine MSM over raw affine pairs -> Jacobian."""
+    n = len(affine)
+    half = 1 << (c - 1)
+    num_windows = -(-bits // c) + 1  # +1 absorbs the signed-digit carry
+    digits = [signed_digits(s, c, num_windows) for s in reduced]
+
+    total = J_INFINITY
+    for w in range(num_windows - 1, -1, -1):
+        if total[2] != 0:  # skip the doubling chain while still at identity
+            for _ in range(c):
+                total = j_double(total)
+        buckets: List[List[Affine]] = [[] for _ in range(half)]
+        for i in range(n):
+            d = digits[i][w]
+            if d > 0:
+                buckets[d - 1].append(affine[i])
+            elif d < 0:
+                x, y = affine[i]
+                buckets[-d - 1].append((x, _Q - y))
+        folded = _batch_reduce(buckets)
+        running = J_INFINITY
+        window_sum = J_INFINITY
+        for b in reversed(folded):
+            if b is not None:
+                running = j_add_mixed(running, b)
+            if running[2] != 0:
+                window_sum = j_add(window_sum, running)
+        total = j_add(total, window_sum)
+    return total
+
+
+def _to_raw(
+    points: Sequence[Point], scalars: Sequence[int]
+) -> Tuple[List[Affine], List[int]]:
+    """Reduce scalars mod r and drop identity points / zero scalars."""
+    order = BN254_G1.order
+    affine: List[Affine] = []
+    reduced: List[int] = []
+    for p, s in zip(points, scalars):
+        s %= order
+        if s == 0 or p.inf:
+            continue
+        affine.append((p.x.value, p.y.value))
+        reduced.append(s)
+    return affine, reduced
+
+
+def msm_batch_affine(
+    points: Sequence[Point],
+    scalars: Sequence[int],
+    window: Optional[int] = None,
+) -> Point:
+    """Batch-affine signed-window MSM over BN254 G1."""
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
+        )
+    affine, reduced = _to_raw(points, scalars)
+    if not affine:
+        return BN254_G1.infinity()
+    c = window or pick_window(len(affine), signed=True)
+    return to_affine(_msm_raw(affine, reduced, c))
+
+
+# -- chunked parallel mode ---------------------------------------------------------
+
+# One cached executor per worker count; proving services issue many MSMs
+# per session, so re-forking the pool on every call would dominate.
+_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _mp_context():
+    # fork keeps chunk dispatch cheap (no re-import of the repro package);
+    # platforms without fork fall back to their default start method.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _get_executor(workers: int) -> ProcessPoolExecutor:
+    pool = _EXECUTORS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        _EXECUTORS[workers] = pool
+    return pool
+
+
+def shutdown_parallel_pools() -> None:
+    """Tear down cached chunk executors (tests / interpreter exit)."""
+    for pool in _EXECUTORS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _EXECUTORS.clear()
+
+
+atexit.register(shutdown_parallel_pools)
+
+
+def _parallel_chunk(payload: Tuple[List[Affine], List[int], Optional[int]]):
+    """Worker entry: batch-affine MSM over one chunk, with its op tally."""
+    affine, reduced, window = payload
+    with count_ops() as ops:
+        c = window or pick_window(len(affine), signed=True)
+        j = _msm_raw(affine, reduced, c)
+    return j, {
+        "group_add": ops.group_add,
+        "field_mul": ops.field_mul,
+        "field_inv": ops.field_inv,
+    }
+
+
+def msm_parallel(
+    points: Sequence[Point],
+    scalars: Sequence[int],
+    parallelism: Optional[int] = None,
+    window: Optional[int] = None,
+) -> Point:
+    """Split the MSM across ``parallelism`` processes and combine partials.
+
+    MSM is linear in the point vector, so each chunk's Jacobian partial
+    sum combines with plain group additions.  Worker op tallies are merged
+    into this process's counters (fork would otherwise lose them).
+    """
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
+        )
+    workers = parallelism or min(4, os.cpu_count() or 1)
+    affine, reduced = _to_raw(points, scalars)
+    if not affine:
+        return BN254_G1.infinity()
+    workers = max(1, min(workers, len(affine)))
+    if workers == 1:
+        c = window or pick_window(len(affine), signed=True)
+        return to_affine(_msm_raw(affine, reduced, c))
+
+    step = -(-len(affine) // workers)
+    payloads = [
+        (affine[i : i + step], reduced[i : i + step], window)
+        for i in range(0, len(affine), step)
+    ]
+    total = J_INFINITY
+    counter = global_counter()
+    for j, tally in _get_executor(workers).map(_parallel_chunk, payloads):
+        total = j_add(total, j)
+        counter.group_add += tally["group_add"]
+        counter.field_mul += tally["field_mul"]
+        counter.field_inv += tally["field_inv"]
+    return to_affine(total)

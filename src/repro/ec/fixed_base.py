@@ -1,0 +1,139 @@
+"""Fixed-base MSM precomputation for CRS point tables.
+
+Every Groth16 proof in a serving session multiplies *the same* CRS query
+vectors (``a_query_g1``, ``b_query_g1/g2``, ``h_query_g1``, ``l_query_g1``)
+by fresh witness scalars.  Precomputing the window-shifted bases
+``2^(c·j) · P_i`` once turns each subsequent MSM into a single bucket
+pass:
+
+* no doubling chain between windows (the shifts are baked into the
+  table), and
+* **one** bucket fold for the whole MSM instead of one per window —
+  every digit of every scalar lands in the same bucket array, because
+  bucket ``d`` accumulates ``sum 2^(c·j) P_i`` over all ``(i, j)`` with
+  digit ``d``.
+
+Build cost is ``bits`` doublings per point (amortized across a serving
+session); query cost drops from ``(bits/c)·(n + 2·2^(c-1))`` to
+``(bits/c)·n + 2·2^(c-1)`` additions, all batch-affine.
+
+``uses`` counts completed queries so the serving layer can assert tables
+are actually reused across jobs (telemetry, not security).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ec.batch_affine import Affine, _batch_reduce
+from repro.ec.bn254 import BN254_G1
+from repro.ec.curve import Point
+from repro.ec.jacobian import (
+    J_INFINITY,
+    JPoint,
+    j_add,
+    j_add_mixed,
+    j_double,
+    to_affine,
+)
+from repro.ec.msm import MAX_WINDOW, signed_digits
+from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS
+from repro.field.vector import batch_inverse
+
+_Q = BN254_FQ_MODULUS
+
+SCALAR_BITS = 254
+
+
+def batch_normalize(jacobians: Sequence[JPoint]) -> List[Optional[Affine]]:
+    """Jacobian -> affine for many points with one field inversion."""
+    zs = [z for _, _, z in jacobians if z != 0]
+    inv_iter = iter(batch_inverse(BN254_FQ, zs))
+    out: List[Optional[Affine]] = []
+    for x, y, z in jacobians:
+        if z == 0:
+            out.append(None)
+            continue
+        zi = next(inv_iter)
+        zi2 = zi * zi % _Q
+        out.append(((x * zi2) % _Q, (y * zi2 * zi) % _Q))
+    return out
+
+
+def _pick_fixed_base_window(n: int, bits: int = SCALAR_BITS) -> int:
+    """Argmin of ``ceil(bits/c)·n + 2^(c-1)`` (single fold, no doublings)."""
+    best_c, best_cost = 2, None
+    for c in range(2, MAX_WINDOW + 1):
+        cost = -(-bits // c) * max(n, 1) + (1 << (c - 1))
+        if best_cost is None or cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+class FixedBaseTableG1:
+    """Window-shifted multiples of a fixed BN254 G1 point vector."""
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        window: Optional[int] = None,
+        bits: int = SCALAR_BITS,
+    ) -> None:
+        self.n = len(points)
+        self.window = window or _pick_fixed_base_window(self.n, bits)
+        self.num_windows = -(-bits // self.window) + 1  # +1 for digit carry
+        self.uses = 0
+        base: List[Optional[Affine]] = [
+            None if p.inf else (p.x.value, p.y.value) for p in points
+        ]
+        # shifted[j][i] == 2^(window*j) * points[i], affine or None.
+        self.shifted: List[List[Optional[Affine]]] = [base]
+        current = base
+        for _ in range(self.num_windows - 1):
+            jacs: List[JPoint] = []
+            for pt in current:
+                j = J_INFINITY if pt is None else (pt[0], pt[1], 1)
+                for _ in range(self.window):
+                    j = j_double(j)
+                jacs.append(j)
+            current = batch_normalize(jacs)
+            self.shifted.append(current)
+
+    def msm(self, scalars: Sequence[int]) -> Point:
+        """MSM against the fixed bases; ``len(scalars)`` may be < n.
+
+        Missing trailing scalars are treated as zero (the prover's
+        quotient vector is often shorter than ``h_query``).
+        """
+        self.uses += 1
+        if len(scalars) > self.n:
+            raise ValueError(
+                f"{len(scalars)} scalars for a table of {self.n} points"
+            )
+        order = BN254_G1.order
+        c = self.window
+        half = 1 << (c - 1)
+        buckets: List[List[Affine]] = [[] for _ in range(half)]
+        for i, s in enumerate(scalars):
+            s %= order
+            if s == 0:
+                continue
+            for j, d in enumerate(signed_digits(s, c, self.num_windows)):
+                if d == 0:
+                    continue
+                pt = self.shifted[j][i]
+                if pt is None:
+                    continue
+                if d > 0:
+                    buckets[d - 1].append(pt)
+                else:
+                    buckets[-d - 1].append((pt[0], _Q - pt[1]))
+        folded = _batch_reduce(buckets)
+        running = J_INFINITY
+        total = J_INFINITY
+        for b in reversed(folded):
+            if b is not None:
+                running = j_add_mixed(running, b)
+            if running[2] != 0:  # j_add/j_add_mixed count their own ops
+                total = j_add(total, running)
+        return to_affine(total)

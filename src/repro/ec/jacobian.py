@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ec.bn254 import BN254_G1
 from repro.ec.curve import Point
+from repro.ec.msm import pick_window
 from repro.field.counters import global_counter
 from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS
 
@@ -157,12 +158,12 @@ def msm_jacobian(
             f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
         )
     if not points:
-        raise ValueError("msm requires at least one point")
+        return BN254_G1.infinity()  # the empty sum is the group identity
     order = BN254_G1.order
     reduced = [s % order for s in scalars]
     affine = [None if p.inf else (p.x.value, p.y.value) for p in points]
     n = len(points)
-    c = window or (max(2, min(16, n.bit_length() - 2)) if n >= 4 else 2)
+    c = window or pick_window(n)
     max_bits = max((s.bit_length() for s in reduced), default=1) or 1
     num_windows = (max_bits + c - 1) // c
 

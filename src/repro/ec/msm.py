@@ -5,43 +5,117 @@ Security computation in Groth16 is dominated by MSMs: the prover computes
 coefficients (size ``m``).  The paper's observation that proof latency is
 proportional to ``n`` and ``m`` (§2.1) is precisely the MSM size.
 
-This is the textbook bucketed (Pippenger) algorithm: split scalars into
-``c``-bit windows, accumulate points into ``2^c - 1`` buckets per window,
-then fold buckets with a running-sum sweep.  Complexity is roughly
-``(bits / c) * (n + 2^c)`` group additions versus ``1.5 * bits * n`` for
-naive double-and-add.
+This module holds the generic (any :class:`~repro.ec.curve.CurveGroup`,
+affine-coordinate) Pippenger implementation plus the shared helpers every
+MSM variant uses:
+
+* :func:`pick_window` — window size chosen by the ``(bits/c)·(n + B_c)``
+  cost model, where ``B_c`` is the bucket count of the variant;
+* :func:`signed_digits` — wNAF-style signed ``c``-bit digit decomposition,
+  which halves the bucket count (digits in ``[-2^(c-1), 2^(c-1)]``).
+
+The fast G1-only engines live next door: :mod:`repro.ec.jacobian`
+(inversion-free buckets), :mod:`repro.ec.batch_affine` (batched affine
+buckets + the chunked parallel mode), and :mod:`repro.ec.fixed_base`
+(precomputed tables for CRS-style fixed bases).
+
+An MSM over the empty vector is the group identity; the implementations
+return it when they know the group (``msm_jacobian`` always does; the
+generic entry points take an optional ``group=``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.ec.curve import CurveGroup, Point
 
+# Hard cap on the window size.  The old heuristic clamped at 16, which
+# allocates 65,535 bucket slots per window for large MSMs; past ~13 the
+# cost model's marginal gain is tiny while the per-window bucket sweep and
+# allocation dominate, so we bound the search here (8,191 slots max).
+MAX_WINDOW = 13
 
-def _pick_window(n: int) -> int:
-    """Heuristic window size: ~log2(n) - 2, clamped to [2, 16]."""
+
+def pick_window(n: int, bits: int = 254, signed: bool = False) -> int:
+    """Window size minimizing the ``(bits/c) * (n + buckets)`` cost model.
+
+    ``buckets`` is ``2^c - 1`` for the unsigned bucketing and ``2^(c-1)``
+    when signed digits halve the bucket count.  The argmin stays near 13
+    for any practical ``n`` (the old ``min(16, log2 n - 2)`` clamp kept
+    growing and allocated 65,535 slots per window for n >= 2^18).
+    """
     if n < 4:
         return 2
-    return max(2, min(16, n.bit_length() - 2))
+    best_c = 2
+    best_cost = None
+    for c in range(2, MAX_WINDOW + 1):
+        buckets = (1 << (c - 1)) if signed else (1 << c) - 1
+        cost = -(-bits // c) * (n + buckets)
+        if best_cost is None or cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+# Backwards-compatible alias (the old private name is referenced in tests).
+_pick_window = pick_window
+
+
+def signed_digits(scalar: int, c: int, num_windows: int) -> List[int]:
+    """Signed ``c``-bit digit decomposition of a non-negative scalar.
+
+    Returns ``num_windows`` digits ``d_j`` in ``[-(2^(c-1) - 1), 2^(c-1)]``
+    with ``scalar == sum_j d_j * 2^(c*j)``.  Callers must size
+    ``num_windows`` to absorb the final carry (``ceil(bits/c) + 1``).
+    """
+    mask = (1 << c) - 1
+    half = 1 << (c - 1)
+    digits = [0] * num_windows
+    carry = 0
+    for j in range(num_windows):
+        d = ((scalar >> (j * c)) & mask) + carry
+        if d > half:
+            d -= 1 << c
+            carry = 1
+        else:
+            carry = 0
+        digits[j] = d
+    if carry:
+        raise ValueError(f"scalar too large for {num_windows} {c}-bit digits")
+    return digits
+
+
+def _empty_result(group: Optional[CurveGroup], caller: str) -> Point:
+    if group is None:
+        raise ValueError(
+            f"{caller} over an empty vector needs group= to return identity"
+        )
+    return group.infinity()
 
 
 def msm(
     points: Sequence[Point],
     scalars: Sequence[int],
     window: Optional[int] = None,
+    group: Optional[CurveGroup] = None,
 ) -> Point:
-    """Compute ``sum_i scalars[i] * points[i]`` with bucketed windows."""
+    """Compute ``sum_i scalars[i] * points[i]`` with bucketed windows.
+
+    Works over any :class:`CurveGroup` (this is the G2 path; G1 has the
+    faster engines).  Empty input returns ``group.infinity()`` when
+    ``group`` is given, else raises — the sum over an empty set is the
+    identity, but we cannot conjure the group from nothing.
+    """
     if len(points) != len(scalars):
         raise ValueError(
             f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
         )
     if not points:
-        raise ValueError("msm requires at least one point")
-    group: CurveGroup = points[0].group
+        return _empty_result(group, "msm")
+    group = points[0].group
     order = group.order
     reduced = [s % order if order else s for s in scalars]
-    c = window or _pick_window(len(points))
+    c = window or pick_window(len(points))
     max_bits = max((s.bit_length() for s in reduced), default=1) or 1
     num_windows = (max_bits + c - 1) // c
 
@@ -66,10 +140,18 @@ def msm(
     return total
 
 
-def msm_naive(points: Sequence[Point], scalars: Sequence[int]) -> Point:
-    """Reference double-and-add MSM used to cross-check Pippenger in tests."""
+def msm_naive(
+    points: Sequence[Point],
+    scalars: Sequence[int],
+    group: Optional[CurveGroup] = None,
+) -> Point:
+    """Reference double-and-add MSM used to cross-check the engines."""
+    if len(points) != len(scalars):
+        raise ValueError(
+            f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
+        )
     if not points:
-        raise ValueError("msm_naive requires at least one point")
+        return _empty_result(group, "msm_naive")
     group = points[0].group
     acc = group.infinity()
     for point, scalar in zip(points, scalars):

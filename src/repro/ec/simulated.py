@@ -103,22 +103,33 @@ def sim_pairing(p: SimPoint, q: SimPoint) -> SimPoint:
     return SimPoint(GT_TAG, p.log * q.log)
 
 
-def sim_msm(points: Sequence[SimPoint], scalars: Sequence[int]) -> SimPoint:
+def sim_msm(
+    points: Sequence[SimPoint],
+    scalars: Sequence[int],
+    tag: str = None,
+) -> SimPoint:
     """MSM over the simulated group (cost counted like Pippenger).
 
     The arithmetic shortcut is a dot product of logs; the counters are
     charged what a bucketed MSM of this size would cost on the real curve so
     that the latency model sees realistic security-computation cost.
+
+    The empty MSM is the group identity; since there is no point to read a
+    tag from, callers must supply ``tag`` to get it.
     """
     if len(points) != len(scalars):
         raise ValueError(
             f"points/scalars length mismatch: {len(points)} vs {len(scalars)}"
         )
     if not points:
-        raise ValueError("sim_msm requires at least one point")
+        if tag is None:
+            raise ValueError("empty sim_msm needs tag= to return identity")
+        return SimPoint(tag, 0)
+    from repro.ec.msm import pick_window
+
     tag = points[0].tag
     n = len(points)
-    window = max(2, min(16, n.bit_length() - 2)) if n >= 4 else 2
+    window = pick_window(n)
     pippenger_adds = (256 // window) * (n + 2**window)
     global_counter().group_add += _ADD_WEIGHT[tag] * pippenger_adds
     acc = 0
@@ -127,3 +138,40 @@ def sim_msm(points: Sequence[SimPoint], scalars: Sequence[int]) -> SimPoint:
             raise ValueError("mixed group tags in msm")
         acc += point.log * (scalar % _R)
     return SimPoint(tag, acc)
+
+
+class SimFixedBaseTable:
+    """Simulated analogue of :class:`repro.ec.fixed_base.FixedBaseTableG1`.
+
+    Stores the base logs once and tracks ``uses`` so the serving layer can
+    assert CRS tables are reused across jobs.  The counters are charged
+    the *fixed-base* cost — bucket additions only, no doubling chain and a
+    single fold — which is what the latency model should see once the
+    shifted-window tables exist.
+    """
+
+    def __init__(self, points: Sequence[SimPoint], tag: str = None) -> None:
+        if points:
+            tag = points[0].tag
+        elif tag is None:
+            raise ValueError("empty table needs tag= for its identity")
+        self.tag = tag
+        self.logs = [p.log for p in points]
+        self.n = len(self.logs)
+        self.uses = 0
+
+    def msm(self, scalars: Sequence[int]) -> SimPoint:
+        if len(scalars) > self.n:
+            raise ValueError(
+                f"{len(scalars)} scalars for a table of {self.n} points"
+            )
+        self.uses += 1
+        from repro.ec.msm import pick_window
+
+        window = pick_window(max(self.n, 1), signed=True)
+        fixed_base_adds = (256 // window) * max(self.n, 1) + 2 ** (window - 1)
+        global_counter().group_add += _ADD_WEIGHT[self.tag] * fixed_base_adds
+        acc = 0
+        for log, scalar in zip(self.logs, scalars):
+            acc += log * (scalar % _R)
+        return SimPoint(self.tag, acc)

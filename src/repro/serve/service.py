@@ -46,6 +46,7 @@ class ServiceConfig:
     max_retries: int = 2  # extra attempts after a worker failure
     backoff_base: float = 0.05  # retry backoff: base * 2^(attempt-1)
     backend: str = "simulated"  # "simulated" | "bn254"
+    msm_parallelism: int = 1  # chunked-MSM processes per prover (bn254 G1)
     store_dir: Optional[str] = None  # None = fresh temp directory
     store_entries: int = 256  # artifact-store LRU bound
     prewarm: bool = True  # spawn all workers at startup
@@ -277,6 +278,7 @@ class ProvingService:
             "seed": batch.jobs[0].seed,
             "privacy": batch.jobs[0].privacy,
             "backend": self.config.backend,
+            "parallelism": self.config.msm_parallelism,
         }
         payloads = []
         for job in batch.jobs:
@@ -313,7 +315,9 @@ class ProvingService:
             self._wake.set()
 
     def _complete(self, batch: Batch, out: dict) -> None:
-        self.telemetry.record_batch(len(batch), out["cold"], out["phases"])
+        self.telemetry.record_batch(
+            len(batch), out["cold"], out["phases"], out.get("msm_tables")
+        )
         vk_key = self.store.put("vk", out["vk"])
         by_id = {r["job_id"]: r for r in out["results"]}
         for job in batch.jobs:

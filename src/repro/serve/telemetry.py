@@ -84,6 +84,8 @@ class ServiceTelemetry:
         self.queue_peak = 0
         self.key_cache_hits = 0  # warm batches: worker reused its prover+CRS
         self.key_cache_misses = 0  # cold batches: paid compile + setup
+        self.msm_table_builds = 0  # one-time fixed-base CRS table builds
+        self.msm_table_uses = 0  # table-backed MSM queries served
         self.batch_sizes = Histogram()
         self.phases = PhaseLatency()
 
@@ -96,7 +98,13 @@ class ServiceTelemetry:
             self.queue_depth = depth
             self.queue_peak = max(self.queue_peak, depth)
 
-    def record_batch(self, size: int, cold: bool, phases: Dict[str, float]) -> None:
+    def record_batch(
+        self,
+        size: int,
+        cold: bool,
+        phases: Dict[str, float],
+        msm_tables: Optional[Dict[str, int]] = None,
+    ) -> None:
         with self._lock:
             self.batch_runs += 1
             self.batch_sizes.add(size)
@@ -104,6 +112,9 @@ class ServiceTelemetry:
                 self.key_cache_misses += 1
             else:
                 self.key_cache_hits += 1
+            if msm_tables:
+                self.msm_table_builds += 1 if msm_tables.get("built") else 0
+                self.msm_table_uses += msm_tables.get("uses", 0)
             for phase, seconds in phases.items():
                 self.phases.add(phase, seconds)
 
@@ -148,6 +159,10 @@ class ServiceTelemetry:
                     "hits": self.key_cache_hits,
                     "misses": self.key_cache_misses,
                     "hit_rate": self.key_cache_hit_rate(),
+                },
+                "msm_tables": {
+                    "builds": self.msm_table_builds,
+                    "uses": self.msm_table_uses,
                 },
                 "phase_latency_seconds": self.phases.snapshot(),
                 "throughput_jobs_per_second": self.completed / elapsed,

@@ -37,10 +37,15 @@ _WARM: Dict[Tuple, "_WarmEntry"] = {}
 
 
 class _WarmEntry:
-    def __init__(self, prover: BatchProver, setup, vk_bytes: bytes) -> None:
+    def __init__(
+        self, prover: BatchProver, setup, vk_bytes: bytes, tables=None
+    ) -> None:
         self.prover = prover
         self.setup = setup
         self.vk_bytes = vk_bytes
+        # Fixed-base CRS tables built once per key; every proof in every
+        # later batch for this key queries them instead of raw MSMs.
+        self.tables = tables
 
 
 _PRIVACY = {
@@ -70,7 +75,10 @@ def _warm_up(key: Tuple, spec: Dict[str, Any], base_image) -> _WarmEntry:
         random.Random(spec.get("crs_seed", 0x5E70)),
     )
     entry = _WarmEntry(
-        prover, setup, serialize_verifying_key(setup.verifying_key)
+        prover,
+        setup,
+        serialize_verifying_key(setup.verifying_key),
+        tables=prover.tables,
     )
     _WARM[key] = entry
     return entry
@@ -102,6 +110,7 @@ def prove_batch(
     else:
         entry = _WARM[key]
 
+    tables_uses_before = entry.tables.uses() if entry.tables else 0
     results = []
     for payload in payloads:
         token = payload.get("crash_token")
@@ -112,7 +121,11 @@ def prove_batch(
             entry.prover.assign_image(payload["image"])
         with PhaseTimer("security", sink=phases):
             proof = groth16.prove(
-                entry.setup.proving_key, entry.prover.cs, backend
+                entry.setup.proving_key,
+                entry.prover.cs,
+                backend,
+                tables=entry.tables,
+                parallelism=spec.get("parallelism"),
             )
         publics = entry.prover.cs.public_values()
         verified = groth16.verify(
@@ -134,6 +147,17 @@ def prove_batch(
         "cold": cold,
         "phases": phases,
         "vk": entry.vk_bytes,
+        # Fixed-base table telemetry: `built` marks the one-time table
+        # construction, `uses` counts table queries served by THIS batch —
+        # nonzero on a warm batch proves the CRS tables were reused.
+        "msm_tables": {
+            "built": bool(cold and entry.tables is not None),
+            "uses": (
+                (entry.tables.uses() - tables_uses_before)
+                if entry.tables
+                else 0
+            ),
+        },
         "results": results,
     }
 

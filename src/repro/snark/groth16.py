@@ -21,7 +21,12 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.ec.backend import GroupBackend, SimulatedBackend
 from repro.r1cs.system import ConstraintSystem
-from repro.snark.keys import ProvingKey, SetupResult, VerifyingKey
+from repro.snark.keys import (
+    ProvingKey,
+    ProvingKeyTables,
+    SetupResult,
+    VerifyingKey,
+)
 from repro.snark.proof import Proof
 from repro.snark.qap import (
     Domain,
@@ -120,12 +125,26 @@ def prove(
     cs: ConstraintSystem,
     backend: Optional[GroupBackend] = None,
     rng: Optional[random.Random] = None,
+    tables: Optional["ProvingKeyTables"] = None,
+    parallelism: Optional[int] = None,
 ) -> Proof:
-    """Generate a proof for the (fully assigned) constraint system."""
+    """Generate a proof for the (fully assigned) constraint system.
+
+    ``tables`` (from :func:`repro.snark.keys.precompute_proving_tables`)
+    routes the four proving MSMs through fixed-base precomputation — the
+    serving path, where one CRS is queried by many proofs.  ``parallelism``
+    forwards the chunked-MSM knob to :meth:`GroupBackend.msm` for one-shot
+    proofs without tables.
+    """
     backend = backend or SimulatedBackend()
     rng = rng or random.Random()
     field = backend.scalar_field
     p = field.modulus
+
+    def query_msm(points, scalars, table):
+        if table is not None:
+            return table.msm(scalars)
+        return backend.msm(points, scalars, parallelism=parallelism)
 
     assignment = cs.assignment()
     order = variable_order(cs)
@@ -145,32 +164,39 @@ def prove(
     s = rng.randrange(p)
 
     # A = alpha + sum z_i A_i(tau) + r * delta        (in G1)
-    a_acc = backend.msm(pk.a_query_g1, z)
+    a_acc = query_msm(pk.a_query_g1, z, tables.a_query_g1 if tables else None)
     proof_a = backend.add(
         backend.add(pk.alpha_g1, a_acc), backend.scalar_mul(pk.delta_g1, r)
     )
 
     # B = beta + sum z_i B_i(tau) + s * delta         (in G2, mirrored in G1)
-    b_acc_g2 = backend.msm(pk.b_query_g2, z)
+    b_acc_g2 = query_msm(
+        pk.b_query_g2, z, tables.b_query_g2 if tables else None
+    )
     proof_b = backend.add(
         backend.add(pk.beta_g2, b_acc_g2), backend.scalar_mul(pk.delta_g2, s)
     )
-    b_acc_g1 = backend.msm(pk.b_query_g1, z)
+    b_acc_g1 = query_msm(
+        pk.b_query_g1, z, tables.b_query_g1 if tables else None
+    )
     b_g1 = backend.add(
         backend.add(pk.beta_g1, b_acc_g1), backend.scalar_mul(pk.delta_g1, s)
     )
 
     # C = sum_priv z_i L_i + sum h_k [tau^k Z/delta] + s*A + r*B1 - rs*delta
+    # (empty MSMs — no private variables, an all-zero quotient — return the
+    # identity, so no call-site guards are needed.)
     num_instance = 1 + pk.num_public
     private_z = z[num_instance:]
-    c_acc = (
-        backend.msm(pk.l_query_g1, private_z)
-        if private_z
-        else backend.g1_zero()
+    c_acc = query_msm(
+        pk.l_query_g1, private_z, tables.l_query_g1 if tables else None
     )
-    if h_coeffs and any(h_coeffs):
-        h_acc = backend.msm(pk.h_query_g1[: len(h_coeffs)], h_coeffs)
-        c_acc = backend.add(c_acc, h_acc)
+    h_acc = query_msm(
+        pk.h_query_g1[: len(h_coeffs)],
+        h_coeffs,
+        tables.h_query_g1 if tables else None,
+    )
+    c_acc = backend.add(c_acc, h_acc)
     c_acc = backend.add(c_acc, backend.scalar_mul(proof_a, s))
     c_acc = backend.add(c_acc, backend.scalar_mul(b_g1, r))
     c_acc = backend.sub(c_acc, backend.scalar_mul(pk.delta_g1, (r * s) % p))
@@ -190,11 +216,11 @@ def verify(
         raise ValueError(
             f"expected {vk.num_public} public inputs, got {len(public_inputs)}"
         )
-    acc = vk.ic_g1[0]
-    if public_inputs:
-        acc = backend.add(
-            acc, backend.msm(vk.ic_g1[1:], [v for v in public_inputs])
-        )
+    # The empty MSM (zero public inputs) is the identity, so this needs no
+    # guard — a no-public-input circuit verifies like any other.
+    acc = backend.add(
+        vk.ic_g1[0], backend.msm(vk.ic_g1[1:], [v for v in public_inputs])
+    )
     return backend.pairing_product_is_one(
         [
             (backend.neg(proof.a), proof.b),
@@ -243,11 +269,9 @@ def batch_verify(
         # e(-t*A, B) term — per-proof pairing.
         pairs.append((backend.scalar_mul(backend.neg(proof.a), t), proof.b))
         # Accumulate the shared right-hand sides, scaled by t.
-        acc = vk.ic_g1[0]
-        if public_inputs:
-            acc = backend.add(
-                acc, backend.msm(vk.ic_g1[1:], list(public_inputs))
-            )
+        acc = backend.add(
+            vk.ic_g1[0], backend.msm(vk.ic_g1[1:], list(public_inputs))
+        )
         acc_sum = backend.add(acc_sum, backend.scalar_mul(acc, t))
         c_sum = backend.add(c_sum, backend.scalar_mul(proof.c, t))
     pairs.append((backend.scalar_mul(vk.alpha_g1, t_sum), vk.beta_g2))
@@ -265,8 +289,17 @@ class Groth16:
     def setup(self, cs: ConstraintSystem, rng=None) -> SetupResult:
         return setup(cs, self.backend, rng)
 
-    def prove(self, pk: ProvingKey, cs: ConstraintSystem, rng=None) -> Proof:
-        return prove(pk, cs, self.backend, rng)
+    def prove(
+        self,
+        pk: ProvingKey,
+        cs: ConstraintSystem,
+        rng=None,
+        tables: Optional[ProvingKeyTables] = None,
+        parallelism: Optional[int] = None,
+    ) -> Proof:
+        return prove(
+            pk, cs, self.backend, rng, tables=tables, parallelism=parallelism
+        )
 
     def verify(self, vk: VerifyingKey, public_inputs, proof: Proof) -> bool:
         return verify(vk, public_inputs, proof, self.backend)

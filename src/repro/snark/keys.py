@@ -55,3 +55,43 @@ class SetupResult:
     verifying_key: VerifyingKey
     # Sizes recorded for the cost model / EXPERIMENTS.md bookkeeping.
     stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class ProvingKeyTables:
+    """Fixed-base MSM tables over every CRS query vector of a proving key.
+
+    Built once per (key, backend) via :func:`precompute_proving_tables` and
+    reused across every proof in a serving session — each entry exposes
+    ``msm(scalars)`` plus a ``uses`` counter (see
+    :meth:`repro.ec.backend.GroupBackend.precompute_msm`).
+    """
+
+    a_query_g1: Any
+    b_query_g1: Any
+    b_query_g2: Any
+    l_query_g1: Any
+    h_query_g1: Any
+
+    def uses(self) -> int:
+        """Total table queries served (telemetry: proof = 5 table MSMs)."""
+        return (
+            self.a_query_g1.uses
+            + self.b_query_g1.uses
+            + self.b_query_g2.uses
+            + self.l_query_g1.uses
+            + self.h_query_g1.uses
+        )
+
+
+def precompute_proving_tables(pk: ProvingKey, backend) -> ProvingKeyTables:
+    """Precompute fixed-base tables for all five CRS query vectors."""
+    g1_zero = backend.g1_zero()
+    g2_zero = backend.g2_zero()
+    return ProvingKeyTables(
+        a_query_g1=backend.precompute_msm(pk.a_query_g1, zero=g1_zero),
+        b_query_g1=backend.precompute_msm(pk.b_query_g1, zero=g1_zero),
+        b_query_g2=backend.precompute_msm(pk.b_query_g2, zero=g2_zero),
+        l_query_g1=backend.precompute_msm(pk.l_query_g1, zero=g1_zero),
+        h_query_g1=backend.precompute_msm(pk.h_query_g1, zero=g1_zero),
+    )

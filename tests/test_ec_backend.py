@@ -62,6 +62,38 @@ class TestBackendAPI:
         assert backend.scalar_field.name == "Fr"
 
 
+class TestMSMDispatch:
+    def test_empty_msm_is_identity(self, backend):
+        assert backend.msm([], []) == backend.g1_zero()
+        assert backend.msm([], [], zero=backend.g2_zero()) == backend.g2_zero()
+
+    def test_parallelism_knob_accepted(self, backend):
+        g = backend.g1_generator()
+        points = [backend.scalar_mul(g, k) for k in (2, 3)]
+        assert backend.msm(points, [5, 7], parallelism=2) == backend.msm(
+            points, [5, 7]
+        )
+
+    def test_precompute_msm_matches_direct(self, backend):
+        g = backend.g1_generator()
+        points = [backend.scalar_mul(g, k) for k in (2, 3, 5, 7)]
+        scalars = [11, 13, 17, 19]
+        table = backend.precompute_msm(points)
+        assert table.uses == 0
+        assert table.msm(scalars) == backend.msm(points, scalars)
+        assert table.uses == 1
+
+    def test_precompute_msm_g2(self, backend):
+        g2 = backend.g2_generator()
+        points = [backend.scalar_mul(g2, k) for k in (1, 4)]
+        table = backend.precompute_msm(points, zero=backend.g2_zero())
+        assert table.msm([7, 2]) == backend.scalar_mul(g2, 15)
+
+    def test_precompute_empty_vector(self, backend):
+        table = backend.precompute_msm([])
+        assert table.msm([]) == backend.g1_zero()
+
+
 class TestRealBackendDispatch:
     def test_g1_msm_uses_jacobian_path(self):
         """The dispatch exists for speed; results must be identical."""
@@ -77,3 +109,19 @@ class TestRealBackendDispatch:
         backend = RealBN254Backend()
         g2 = BN254_G2.generator
         assert backend.msm([g2, 2 * g2], [3, 4]) == 11 * g2
+
+    def test_large_n_takes_batch_affine_path(self):
+        """Above the dispatch threshold the batch-affine engine answers;
+        it must agree with the Jacobian engine on the same input."""
+        import random
+
+        from repro.ec.backend import _BATCH_AFFINE_MIN
+        from repro.ec.jacobian import msm_jacobian
+
+        backend = RealBN254Backend()
+        rng = random.Random(99)
+        n = _BATCH_AFFINE_MIN + 4
+        points = [rng.randrange(2, 10_000) * BN254_G1.generator
+                  for _ in range(n)]
+        scalars = [rng.randrange(BN254_G1.order) for _ in range(n)]
+        assert backend.msm(points, scalars) == msm_jacobian(points, scalars)

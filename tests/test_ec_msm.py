@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ec.bn254 import BN254_G1
-from repro.ec.msm import msm, msm_naive
+from repro.ec.msm import MAX_WINDOW, msm, msm_naive, pick_window
 
 R = BN254_G1.order
 
@@ -48,7 +48,12 @@ class TestMSM:
         with pytest.raises(ValueError):
             msm(_points(2), [1])
 
-    def test_empty_rejected(self):
+    def test_empty_returns_identity_with_group(self):
+        assert msm([], [], group=BN254_G1).is_infinity()
+        assert msm_naive([], [], group=BN254_G1).is_infinity()
+
+    def test_empty_rejected_without_group(self):
+        # Without a group there is nothing to name the identity of.
         with pytest.raises(ValueError):
             msm([], [])
         with pytest.raises(ValueError):
@@ -75,3 +80,41 @@ class TestMSM:
         points = [k * g for k, _ in pairs]
         scalars = [s for _, s in pairs]
         assert msm(points, scalars) == msm_naive(points, scalars)
+
+
+class TestPickWindow:
+    """Regression tests for the (bits/c)·(n + buckets) window model."""
+
+    def test_never_exceeds_cap(self):
+        # The old heuristic clamped at 16, allocating up to 2^16 - 1 =
+        # 65,535 bucket slots for huge inputs; the cost model caps at 13.
+        for n in (1, 10, 1000, 10**5, 10**7, 10**9):
+            assert 2 <= pick_window(n) <= MAX_WINDOW
+            assert 2 <= pick_window(n, signed=True) <= MAX_WINDOW
+        assert MAX_WINDOW == 13
+
+    def test_bucket_allocation_bounded(self):
+        for n in (10**6, 10**9):
+            assert (1 << pick_window(n)) - 1 <= 8191
+            assert 1 << (pick_window(n, signed=True) - 1) <= 4096
+
+    def test_monotone_in_n(self):
+        windows = [pick_window(n) for n in (4, 64, 1024, 65536, 2**20)]
+        assert windows == sorted(windows)
+
+    def test_tiny_inputs_use_minimal_window(self):
+        assert pick_window(1) == 2
+        assert pick_window(3) == 2
+
+    def test_cost_model_is_argmin(self):
+        # Spot-check: for mid-sized n the chosen c really minimizes the
+        # modeled cost over the legal range.
+        for n, signed in ((512, False), (4096, True)):
+            def cost(c):
+                buckets = (1 << (c - 1)) if signed else (1 << c) - 1
+                return -(-254 // c) * (n + buckets)
+
+            chosen = pick_window(n, signed=signed)
+            assert cost(chosen) == min(
+                cost(c) for c in range(2, MAX_WINDOW + 1)
+            )

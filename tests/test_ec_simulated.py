@@ -68,9 +68,13 @@ class TestMSM:
         with pytest.raises(ValueError):
             sim_msm([sim_generator(G1_TAG)], [])
 
-    def test_empty_rejected(self):
+    def test_empty_rejected_without_tag(self):
         with pytest.raises(ValueError):
             sim_msm([], [])
+
+    def test_empty_with_tag_is_identity(self):
+        zero = sim_msm([], [], tag=G1_TAG)
+        assert zero.tag == G1_TAG and zero.log == 0
 
     def test_mixed_tags_rejected(self):
         with pytest.raises(ValueError):

@@ -77,6 +77,16 @@ class TestEndToEnd:
         service, _, _ = served
         json.dumps(service.stats())
 
+    def test_fixed_base_tables_built_once_then_reused(self, served):
+        """Telemetry proof of CRS-table reuse: tables are built on cold
+        batches only, but every proof queries them — so across the
+        workload, uses must dwarf builds (5 table MSMs per proof)."""
+        service, _, _ = served
+        stats = service.stats()["msm_tables"]
+        cold_batches = service.stats()["key_cache"]["misses"]
+        assert stats["builds"] == cold_batches
+        assert stats["uses"] >= 5 * N_JOBS
+
     def test_jobs_reach_done_state(self, served):
         service, job_ids, _ = served
         assert all(
@@ -178,6 +188,44 @@ class TestServiceApi:
             service.submit("SHAL", image_seed=10 + i, scale="mini")
         assert service.wait_all(timeout=300)
         service.shutdown(drain=True)
+
+
+class TestFixedBaseTableReuse:
+    def test_prove_batch_reuses_tables_across_batches(self):
+        """Drive the worker entry point in-process: the first batch for a
+        key builds the fixed-base CRS tables, the second reuses them —
+        op-for-op visible via the per-batch ``uses`` delta."""
+        from repro.nn.data import synthetic_images
+        from repro.nn.models import build_model
+        from repro.serve import workers
+
+        spec = {
+            "model": "SHAL", "scale": "mini", "seed": 0,
+            "privacy": "one-private", "backend": "simulated",
+        }
+        key = ("SHAL", "mini", 0, "one-private")
+        workers._WARM.pop(key, None)  # force a cold first batch
+        shape = build_model("SHAL", scale="mini", seed=0).input_shape
+        imgs = synthetic_images(shape, n=2, seed=77)
+        try:
+            out1 = workers.prove_batch(
+                spec, [{"job_id": "a", "image": imgs[0]}]
+            )
+            out2 = workers.prove_batch(
+                spec, [{"job_id": "b", "image": imgs[1]}]
+            )
+        finally:
+            workers._WARM.pop(key, None)
+
+        assert out1["cold"] and not out2["cold"]
+        assert out1["msm_tables"]["built"] is True
+        assert out2["msm_tables"]["built"] is False  # reused, not rebuilt
+        # Each proof issues 5 table-backed MSMs (a, b_g1, b_g2, l, h).
+        assert out1["msm_tables"]["uses"] == 5
+        assert out2["msm_tables"]["uses"] == 5
+        assert all(
+            r["verified"] for r in out1["results"] + out2["results"]
+        )
 
 
 class TestArtifactStore:

@@ -27,6 +27,16 @@ def dot_product_cs(weights, features, both_private=True):
     return cs, ref_value
 
 
+def no_public_cs():
+    """A system with zero public inputs: prove knowledge of factors of 12."""
+    cs = ConstraintSystem()
+    x = cs.new_private(3)
+    y = cs.new_private(4)
+    w = cs.mul_private(x, y)
+    cs.enforce_equal(cs.lc_variable(w), cs.lc_constant(12))
+    return cs
+
+
 class TestSimulatedBackend:
     backend = SimulatedBackend()
 
@@ -111,6 +121,12 @@ class TestSimulatedBackend:
         _, _, ok = self._roundtrip(cs, [ref])
         assert ok
 
+    def test_zero_public_inputs(self):
+        """Regression: the empty IC MSM is the identity, not an error."""
+        cs = no_public_cs()
+        _, _, ok = self._roundtrip(cs, [])
+        assert ok
+
 
 class TestRealBN254Backend:
     """End-to-end soundness on the genuine curve with real pairings."""
@@ -123,3 +139,24 @@ class TestRealBN254Backend:
         proof = prove(result.proving_key, cs, self.backend, random.Random(2))
         assert verify(result.verifying_key, [ref], proof, self.backend)
         assert not verify(result.verifying_key, [ref + 1], proof, self.backend)
+
+    def test_zero_public_inputs_on_real_curve(self):
+        """Regression: zero-public-input circuits prove and verify end to
+        end on the genuine curve (empty MSMs return the identity)."""
+        cs = no_public_cs()
+        result = setup(cs, self.backend, random.Random(1))
+        proof = prove(result.proving_key, cs, self.backend, random.Random(2))
+        assert verify(result.verifying_key, [], proof, self.backend)
+
+    def test_precomputed_tables_match_direct_proving(self):
+        from repro.snark.keys import precompute_proving_tables
+
+        cs, ref = dot_product_cs([2, 7], [5, 3])
+        result = setup(cs, self.backend, random.Random(3))
+        tables = precompute_proving_tables(result.proving_key, self.backend)
+        proof = prove(
+            result.proving_key, cs, self.backend, random.Random(4),
+            tables=tables,
+        )
+        assert verify(result.verifying_key, [ref], proof, self.backend)
+        assert tables.uses() > 0
