@@ -1,0 +1,150 @@
+"""Audit cost benchmark: what does soundness checking add to a compile?
+
+Standalone harness (NOT collected by pytest) timing each `repro.analysis`
+section — structural lint, determinism propagation, and witness fuzzing —
+against strict-mode compiled models::
+
+    PYTHONPATH=src python benchmarks/audit_bench.py \
+        --configs SHAL:micro,SHAL:mini,LCS:mini --fuzz 200 --out BENCH_audit.json
+
+The point of the numbers: the pre-prove audit gate in `repro.serve` runs
+once per cold circuit, so its cost must be small against the compile +
+trusted-setup work it piggybacks on.  The JSON records per-config section
+wall times (best of ``--repeat``), the audit verdict, constraint/witness
+sizes, and derived rates (constraints/s for the detector, mutations/s for
+the fuzzer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import (
+    assume_from_recipe,
+    check_determinism,
+    fuzz_witness,
+    lint_system,
+)
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+
+
+def compile_config(model_name: str, scale: str):
+    model = build_model(model_name, scale=scale, seed=0)
+    image = synthetic_images(model.input_shape, n=1, seed=42)[0]
+    opts = zeno_options(gadget_mode="strict", record_recipe=True)
+    start = time.perf_counter()
+    artifact = ZenoCompiler(opts).compile_model(model, image)
+    return artifact, time.perf_counter() - start
+
+
+def best_of(repeat: int, fn):
+    best = None
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def bench_config(model_name: str, scale: str, fuzz: int, repeat: int) -> dict:
+    artifact, compile_time = compile_config(model_name, scale)
+    cs = artifact.cs
+    assume = assume_from_recipe(artifact.compute.recipe)
+
+    lint_time, findings = best_of(repeat, lambda: lint_system(cs))
+    det_time, det = best_of(
+        repeat, lambda: check_determinism(cs, assume=assume)
+    )
+    fuzz_time, fuzz_report = best_of(
+        repeat, lambda: fuzz_witness(cs, mutations=fuzz, rng=random.Random(7))
+    )
+
+    audit_total = lint_time + det_time + fuzz_time
+    return {
+        "model": model_name,
+        "scale": scale,
+        "num_constraints": cs.num_constraints,
+        "num_private": cs.num_private,
+        "compile_seconds": compile_time,
+        "sections_seconds": {
+            "lint": lint_time,
+            "determinism": det_time,
+            "fuzz": fuzz_time,
+            "total": audit_total,
+        },
+        "verdict": {
+            "lint_findings": len(findings),
+            "undetermined": len(det.undetermined),
+            "fuzz_trials": fuzz_report.trials,
+            "fuzz_accepted": len(fuzz_report.accepted),
+        },
+        "rates": {
+            "determinism_constraints_per_second": (
+                cs.num_constraints / det_time if det_time else None
+            ),
+            "fuzz_mutations_per_second": (
+                fuzz_report.trials / fuzz_time if fuzz_time else None
+            ),
+            "audit_over_compile": (
+                audit_total / compile_time if compile_time else None
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--configs", default="SHAL:micro,SHAL:mini,LCS:mini",
+        help="comma-separated MODEL:scale pairs",
+    )
+    parser.add_argument("--fuzz", type=int, default=200)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    results = []
+    for token in args.configs.split(","):
+        model_name, _, scale = token.strip().partition(":")
+        row = bench_config(model_name, scale or "mini", args.fuzz, args.repeat)
+        results.append(row)
+        sections = row["sections_seconds"]
+        print(
+            f"{row['model']}/{row['scale']}: m={row['num_constraints']} "
+            f"lint={sections['lint']*1e3:.1f}ms "
+            f"determinism={sections['determinism']*1e3:.1f}ms "
+            f"fuzz({args.fuzz})={sections['fuzz']*1e3:.1f}ms "
+            f"audit/compile={row['rates']['audit_over_compile']:.3f}"
+        )
+        if row["verdict"]["undetermined"] or row["verdict"]["fuzz_accepted"]:
+            print("  !! audit found problems on a stock circuit", file=sys.stderr)
+            return 1
+
+    doc = {
+        "bench": "audit",
+        "fuzz_mutations": args.fuzz,
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

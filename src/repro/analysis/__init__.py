@@ -1,0 +1,108 @@
+"""`repro.analysis` — circuit soundness auditing for compiled R1CS.
+
+ZENO's aggressive circuit rewriting (privacy-adaptive constraint
+collapsing, knit packing, multi-child additions, fusion into weights)
+makes it easy to silently drop a constraint and ship an
+*under-constrained* circuit that still passes ``is_satisfied()`` on the
+honest witness.  This package audits every compiled
+:class:`~repro.r1cs.system.ConstraintSystem` before proving time is spent
+on it:
+
+* :mod:`repro.analysis.lint` — structural lints (unreferenced privates,
+  constant-only constraints, scalar-multiple duplicates, unconsumed
+  booleans, broken layer provenance);
+* :mod:`repro.analysis.determinism` — a Picus-style
+  under-constrained-witness detector propagating uniqueness from the
+  public inputs to a fixpoint;
+* :mod:`repro.analysis.fuzz` — an adversarial witness fuzzer asserting
+  every mutated witness is rejected, recording accepted mutants as
+  minimized soundness counterexamples;
+* :mod:`repro.analysis.report` — the severity-ranked
+  :class:`~repro.analysis.report.AuditReport` with JSON round-trip.
+
+Entry points: :func:`audit_system` here, the ``zeno audit`` CLI
+subcommand, the ``audit=`` knob on :class:`~repro.core.compiler.\
+CompilerOptions`, and the pre-prove audit gate in :mod:`repro.serve`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterable, Optional
+
+from repro.analysis.determinism import (
+    DeterminismResult,
+    assume_from_recipe,
+    check_determinism,
+)
+from repro.analysis.fuzz import FuzzReport, WitnessFuzzer, fuzz_witness
+from repro.analysis.lint import boolean_variables, lint_system, match_boolean
+from repro.analysis.report import AuditReport, Finding, Severity
+from repro.r1cs.system import ConstraintSystem
+
+
+class CircuitAuditError(RuntimeError):
+    """Raised when an enforced audit finds ERROR-severity problems."""
+
+    def __init__(self, report: AuditReport) -> None:
+        errors = report.errors
+        preview = "; ".join(f.message for f in errors[:3])
+        super().__init__(
+            f"circuit audit failed with {len(errors)} error(s): {preview}"
+        )
+        self.report = report
+
+
+def audit_system(
+    cs: ConstraintSystem,
+    assume: Iterable[int] = (),
+    lint: bool = True,
+    determinism: bool = True,
+    fuzz: int = 0,
+    rng: Optional[random.Random] = None,
+) -> AuditReport:
+    """Run the requested auditors over one constraint system.
+
+    ``assume`` seeds the determinism detector (and is forwarded from a
+    compilation's witness recipe by the pipeline integrations); ``fuzz``
+    is the witness-mutation count (0 disables fuzzing — it needs a fully
+    assigned witness and is the most expensive section).
+    """
+    report = AuditReport(
+        system=cs.name,
+        num_constraints=cs.num_constraints,
+        num_public=cs.num_public,
+        num_private=cs.num_private,
+    )
+    if lint:
+        start = time.perf_counter()
+        report.extend(lint_system(cs))
+        report.section("lint", time.perf_counter() - start)
+    if determinism:
+        result = check_determinism(cs, assume=assume)
+        report.extend(result.findings(cs))
+        report.section("determinism", result.wall_time)
+    if fuzz:
+        fuzz_report = fuzz_witness(cs, mutations=fuzz, rng=rng)
+        report.extend(fuzz_report.findings(cs))
+        report.section("fuzz", fuzz_report.wall_time)
+    return report
+
+
+__all__ = [
+    "AuditReport",
+    "CircuitAuditError",
+    "DeterminismResult",
+    "Finding",
+    "FuzzReport",
+    "Severity",
+    "WitnessFuzzer",
+    "assume_from_recipe",
+    "audit_system",
+    "boolean_variables",
+    "check_determinism",
+    "fuzz_witness",
+    "lint_system",
+    "match_boolean",
+]

@@ -1,0 +1,256 @@
+"""Adversarial witness fuzzing: every mutant must be rejected.
+
+A sound circuit admits exactly one witness per (public input, free input)
+choice, so *any* perturbation of a satisfied witness must violate at
+least one constraint.  The fuzzer mutates the honest private assignment
+and asserts rejection; an **accepted mutant** — a perturbed witness the
+whole system still satisfies — is a concrete soundness counterexample
+(the prover could have proven a different computation), recorded with a
+minimized reproducer.
+
+Mutation catalog:
+
+* ``perturb``  — add a uniform random nonzero field delta to one private
+  variable (the baseline probe);
+* ``bitflip``  — flip a variable whose honest value is 0/1 (targets
+  committed sign bits and booleanity bits);
+* ``overflow`` — add a power of two ``2^k`` to one variable (targets knit
+  slot boundaries: an under-width slot lets a high bit of one expression
+  alias into the next slot);
+* ``bleed``    — perturb two variables of one constraint with deltas
+  chosen to cancel inside that constraint's A side (``d2 = -d1·c1/c2``),
+  so the mutation survives the packed equality and must be caught by a
+  *different* constraint (range checks, downstream layers).
+
+Rejection checking is incremental: only constraints touching a mutated
+variable can change value, so each trial costs ``O(touching constraints)``
+rather than a full-system scan.  Private variables referenced by no
+constraint are never mutated — perturbing them is trivially accepted and
+is already reported by the ``unreferenced-private`` lint.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import Finding, Severity
+from repro.r1cs.lc import Assignment
+from repro.r1cs.system import ConstraintSystem
+
+STRATEGIES = ("perturb", "bitflip", "overflow", "bleed")
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """An accepted mutant: deltas (var -> field delta) the system allows."""
+
+    strategy: str
+    deltas: Dict[int, int]
+    minimized: Dict[int, int]
+
+    def to_json(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "deltas": {str(v): str(d) for v, d in self.deltas.items()},
+            "minimized": {str(v): str(d) for v, d in self.minimized.items()},
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing session against a satisfied system."""
+
+    trials: int = 0
+    rejected: int = 0
+    by_strategy: Dict[str, int] = field(default_factory=dict)
+    accepted: List[Counterexample] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.accepted
+
+    def findings(self, cs: ConstraintSystem) -> List[Finding]:
+        out = []
+        for ce in self.accepted:
+            var = next(iter(ce.minimized), None)
+            refs: List[int] = []
+            if var is not None:
+                for index, constraint in enumerate(cs.constraints):
+                    if any(
+                        var in lc.terms
+                        for lc in (constraint.a, constraint.b, constraint.c)
+                    ):
+                        refs.append(index)
+            out.append(
+                Finding(
+                    rule="accepted-mutant",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"witness mutation ({ce.strategy}) accepted: "
+                        f"perturbing {{{', '.join(f'w{v}' for v in ce.minimized)}}} "
+                        "leaves every constraint satisfied — soundness "
+                        "counterexample"
+                    ),
+                    variable=var,
+                    constraint=refs[0] if refs else None,
+                    layer=cs.layer_of(refs[0]) if refs else None,
+                    details={"counterexample": ce.to_json()},
+                )
+            )
+        return out
+
+
+class WitnessFuzzer:
+    """Mutates one system's honest witness and checks rejection."""
+
+    def __init__(
+        self,
+        cs: ConstraintSystem,
+        rng: Optional[random.Random] = None,
+        strategies: Sequence[str] = STRATEGIES,
+    ) -> None:
+        if not cs.is_satisfied():
+            raise ValueError(
+                "fuzzing needs a satisfied honest witness; this system has "
+                f"{len(cs.violations(limit=3))}+ violations already"
+            )
+        self.cs = cs
+        self.p = cs.field.modulus
+        self.rng = rng or random.Random(0xF022)
+        self.strategies = tuple(strategies)
+        self._assignment = cs.assignment()
+        # var -> indices of constraints referencing it (the incremental
+        # rejection check) — also the referenced-variable filter.
+        self.touching: Dict[int, List[int]] = {}
+        for index, constraint in enumerate(cs.constraints):
+            for lc in (constraint.a, constraint.b, constraint.c):
+                for var in lc.indices():
+                    if var > 0:
+                        self.touching.setdefault(var, []).append(index)
+        self.candidates = sorted(self.touching)
+        self.bit_valued = [
+            v for v in self.candidates if self._assignment[v] in (0, 1)
+        ]
+
+    # -- mutation application --------------------------------------------------
+
+    def _accepted(self, deltas: Dict[int, int]) -> bool:
+        """Apply deltas in place, check touched constraints, revert."""
+        private = self._assignment.private
+        affected = set()
+        for var, delta in deltas.items():
+            private[var - 1] = (private[var - 1] + delta) % self.p
+            affected.update(self.touching.get(var, ()))
+        try:
+            return all(
+                self.cs.constraints[i].is_satisfied(self._assignment)
+                for i in affected
+            )
+        finally:
+            for var, delta in deltas.items():
+                private[var - 1] = (private[var - 1] - delta) % self.p
+
+    def _minimize(self, deltas: Dict[int, int]) -> Dict[int, int]:
+        """Greedy reproducer shrinking: drop variables, then shrink deltas."""
+        current = dict(deltas)
+        for var in list(current):
+            if len(current) == 1:
+                break
+            trial = {v: d for v, d in current.items() if v != var}
+            if self._accepted(trial):
+                current = trial
+        for var in list(current):
+            for small in (1, self.p - 1):
+                if current[var] in (1, self.p - 1):
+                    break
+                trial = dict(current)
+                trial[var] = small
+                if self._accepted(trial):
+                    current = trial
+                    break
+        return current
+
+    # -- strategies ------------------------------------------------------------
+
+    def _mutate_perturb(self) -> Dict[int, int]:
+        var = self.rng.choice(self.candidates)
+        return {var: self.rng.randrange(1, self.p)}
+
+    def _mutate_bitflip(self) -> Dict[int, int]:
+        if not self.bit_valued:
+            return self._mutate_perturb()
+        var = self.rng.choice(self.bit_valued)
+        # 0 -> 1 or 1 -> 0
+        delta = 1 if self._assignment[var] == 0 else self.p - 1
+        return {var: delta}
+
+    def _mutate_overflow(self) -> Dict[int, int]:
+        var = self.rng.choice(self.candidates)
+        exp = self.rng.randrange(1, self.p.bit_length() - 1)
+        delta = pow(2, exp, self.p)
+        if self.rng.random() < 0.5:
+            delta = self.p - delta
+        return {var: delta}
+
+    def _mutate_bleed(self) -> Dict[int, int]:
+        for _ in range(8):
+            constraint = self.rng.choice(self.cs.constraints)
+            side = constraint.a if len(constraint.a) >= 2 else constraint.c
+            pair = [v for v in side.indices() if v > 0 and v in self.touching]
+            if len(pair) < 2:
+                continue
+            v1, v2 = self.rng.sample(pair, 2)
+            d1 = pow(2, self.rng.randrange(0, 16), self.p)
+            c1 = side.terms[v1]
+            c2 = side.terms[v2]
+            d2 = (-d1 * c1 * self.cs.field.inv(c2)) % self.p
+            if d2 == 0:
+                continue
+            return {v1: d1, v2: d2}
+        return self._mutate_perturb()
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self, mutations: int = 200) -> FuzzReport:
+        report = FuzzReport()
+        start = time.perf_counter()
+        if not self.candidates:
+            report.wall_time = time.perf_counter() - start
+            return report
+        mutators = {
+            "perturb": self._mutate_perturb,
+            "bitflip": self._mutate_bitflip,
+            "overflow": self._mutate_overflow,
+            "bleed": self._mutate_bleed,
+        }
+        for trial in range(mutations):
+            strategy = self.strategies[trial % len(self.strategies)]
+            deltas = mutators[strategy]()
+            report.trials += 1
+            report.by_strategy[strategy] = report.by_strategy.get(strategy, 0) + 1
+            if self._accepted(deltas):
+                report.accepted.append(
+                    Counterexample(
+                        strategy=strategy,
+                        deltas=dict(deltas),
+                        minimized=self._minimize(deltas),
+                    )
+                )
+            else:
+                report.rejected += 1
+        report.wall_time = time.perf_counter() - start
+        return report
+
+
+def fuzz_witness(
+    cs: ConstraintSystem,
+    mutations: int = 200,
+    rng: Optional[random.Random] = None,
+    strategies: Sequence[str] = STRATEGIES,
+) -> FuzzReport:
+    """Run ``mutations`` adversarial witness mutations against ``cs``."""
+    return WitnessFuzzer(cs, rng=rng, strategies=strategies).run(mutations)

@@ -1,0 +1,184 @@
+"""Audit findings and the severity-ranked :class:`AuditReport`.
+
+Every auditor in :mod:`repro.analysis` — the structural linter, the
+under-constrained-witness detector, and the adversarial witness fuzzer —
+speaks the same :class:`Finding` vocabulary, as does the optimizer
+(:class:`repro.r1cs.optimize.OptimizeReport`).  A finding names the rule
+that fired, a severity, and where in the constraint system it anchors
+(constraint index, variable index, layer tag).
+
+:class:`AuditReport` aggregates findings across sections, ranks them by
+severity, and serializes to/from JSON so ``zeno audit --json`` output can
+be archived, diffed, and gated on in CI.  The JSON document round-trips
+bit-for-bit (property under test).
+
+This module is deliberately dependency-light: it imports nothing from
+``repro.r1cs`` so the optimizer can emit findings without an import cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    """Ranked severity; ERROR findings gate proving and fail CI."""
+
+    ERROR = "error"  # soundness hole: under-constrained var, accepted mutant
+    WARNING = "warning"  # suspicious structure worth a human look
+    INFO = "info"  # bookkeeping: optimizer removals, coverage notes
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit observation, anchored to the constraint system."""
+
+    rule: str  # e.g. "under-constrained", "duplicate-constraint"
+    severity: Severity = Severity.WARNING
+    message: str = ""
+    constraint: Optional[int] = None  # constraint index, if applicable
+    variable: Optional[int] = None  # signed variable index, if applicable
+    layer: Optional[str] = None  # mark_layer tag, if known
+    details: dict = field(default_factory=dict, hash=False, compare=False)
+
+    def to_json(self) -> dict:
+        doc = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.constraint is not None:
+            doc["constraint"] = self.constraint
+        if self.variable is not None:
+            doc["variable"] = self.variable
+        if self.layer is not None:
+            doc["layer"] = self.layer
+        if self.details:
+            doc["details"] = self.details
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Finding":
+        return cls(
+            rule=doc["rule"],
+            severity=Severity(doc["severity"]),
+            message=doc.get("message", ""),
+            constraint=doc.get("constraint"),
+            variable=doc.get("variable"),
+            layer=doc.get("layer"),
+            details=doc.get("details", {}),
+        )
+
+
+@dataclass
+class AuditReport:
+    """Severity-ranked audit result for one constraint system."""
+
+    system: str = ""
+    num_constraints: int = 0
+    num_public: int = 0
+    num_private: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    # Which auditors ran and their wall time — "no findings" only means
+    # "clean" for the sections that actually executed.
+    sections: Dict[str, float] = field(default_factory=dict)
+
+    # -- accumulation ---------------------------------------------------------
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    def section(self, name: str, seconds: float) -> None:
+        self.sections[name] = self.sections.get(name, 0.0) + seconds
+
+    # -- ranking --------------------------------------------------------------
+
+    def ranked(self) -> List[Finding]:
+        """Findings sorted most-severe first (stable within a severity)."""
+        return sorted(self.findings, key=lambda f: f.severity.rank)
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding is present."""
+        return not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for finding in self.findings:
+            out[finding.severity.value] += 1
+        return out
+
+    # -- serialization --------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(
+            {
+                "format": "zeno-audit",
+                "version": 1,
+                "system": self.system,
+                "num_constraints": self.num_constraints,
+                "num_public": self.num_public,
+                "num_private": self.num_private,
+                "ok": self.ok,
+                "counts": self.counts(),
+                "sections": self.sections,
+                "findings": [f.to_json() for f in self.ranked()],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditReport":
+        doc = json.loads(text)
+        if doc.get("format") != "zeno-audit":
+            raise ValueError(f"unknown audit format {doc.get('format')!r}")
+        report = cls(
+            system=doc.get("system", ""),
+            num_constraints=doc.get("num_constraints", 0),
+            num_public=doc.get("num_public", 0),
+            num_private=doc.get("num_private", 0),
+            sections=dict(doc.get("sections", {})),
+        )
+        report.findings = [Finding.from_json(f) for f in doc.get("findings", [])]
+        return report
+
+    # -- presentation ---------------------------------------------------------
+
+    def summary(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"audit {self.system}: m={self.num_constraints}, "
+            f"pub={self.num_public}, priv={self.num_private} — "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info"
+        ]
+        for name, seconds in sorted(self.sections.items()):
+            lines.append(f"  section {name:14s} {seconds:8.3f}s")
+        for finding in self.ranked():
+            where = []
+            if finding.layer:
+                where.append(finding.layer)
+            if finding.constraint is not None:
+                where.append(f"#{finding.constraint}")
+            if finding.variable is not None:
+                where.append(f"var {finding.variable}")
+            anchor = f" [{', '.join(where)}]" if where else ""
+            lines.append(
+                f"  {finding.severity.value.upper():7s} "
+                f"{finding.rule}{anchor}: {finding.message}"
+            )
+        return "\n".join(lines)

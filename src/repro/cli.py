@@ -84,6 +84,29 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    from repro.analysis import assume_from_recipe, audit_system
+
+    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
+    options = zeno_options(PRIVACY_CHOICES[args.privacy], record_recipe=True)
+    # Default to the sound gadget profile: lean mode's slack wires are
+    # exactly what the determinism check exists to flag.
+    options.gadget_mode = args.gadgets or "strict"
+    artifact = ZenoCompiler(options).compile_model(model, image)
+    report = audit_system(
+        artifact.cs,
+        assume=assume_from_recipe(artifact.compute.recipe),
+        fuzz=args.fuzz,
+        rng=random.Random(args.fuzz_seed),
+    )
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(report.to_json(indent=2))
+        print(f"report: {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_prove(args) -> int:
     model, image, compiler, artifact = _build_artifact(args)
     start = time.perf_counter()
@@ -178,6 +201,8 @@ def cmd_serve(args) -> int:
         max_wait=args.max_wait,
         store_dir=args.store_dir,
         msm_parallelism=args.parallelism,
+        audit=args.audit,
+        gadget_mode=args.gadgets,
     )
     print(
         f"serving {args.jobs} jobs for {args.model}/{args.scale} "
@@ -282,6 +307,19 @@ def main(argv=None) -> int:
     )
     p_compile.set_defaults(func=cmd_compile)
 
+    p_audit = sub.add_parser(
+        "audit", help="soundness-audit a compiled circuit (exit 1 on errors)"
+    )
+    _common(p_audit)
+    p_audit.add_argument(
+        "--fuzz", type=int, default=0,
+        help="adversarial witness mutations to try (0 = lint+determinism only)",
+    )
+    p_audit.add_argument("--fuzz-seed", type=int, default=2024)
+    p_audit.add_argument("--json", default=None,
+                         help="also write the full report as JSON")
+    p_audit.set_defaults(func=cmd_audit)
+
     p_prove = sub.add_parser("prove", help="generate a Groth16 proof")
     _common(p_prove)
     p_prove.add_argument("--out", default="proof.bin")
@@ -314,6 +352,11 @@ def main(argv=None) -> int:
     p_serve.add_argument(
         "--parallelism", type=int, default=1,
         help="chunked-MSM processes per proving worker (bn254 G1)",
+    )
+    p_serve.add_argument(
+        "--audit", action="store_true",
+        help="soundness-audit each cold circuit before proving "
+             "(pair with --gadgets strict; rejected batches fail their jobs)",
     )
     p_serve.set_defaults(func=cmd_serve, model="SHAL")
 

@@ -79,6 +79,10 @@ class CompilerOptions:
     gadget_mode: str = "lean"  # "lean" (paper accounting) | "strict" (sound)
     relu_bits: int = 16
     record_recipe: bool = False
+    # Post-compile soundness audit (repro.analysis): "off", "report"
+    # (attach an AuditReport to the artifact), or "enforce" (additionally
+    # raise CircuitAuditError on ERROR-severity findings).
+    audit: str = "off"
     security_profile: str = "zeno"  # backend profile for modeled security cost
     name: str = "zeno"
 
@@ -91,7 +95,9 @@ class CompilerOptions:
             cache=CacheService(self.cache_capacity) if self.cache else None,
             gadget_mode=self.gadget_mode,
             relu_bits=self.relu_bits,
-            record_recipe=self.record_recipe,
+            # The auditor seeds its determinism check from the witness
+            # recipe (free inputs), so auditing implies recording one.
+            record_recipe=self.record_recipe or self.audit != "off",
         )
 
 
@@ -149,6 +155,7 @@ class CompileArtifact:
     schedule: Optional[ParallelSchedule]
     parallel_circuit_time: float
     cache: Optional[CacheService] = None  # live frequency cache, if enabled
+    audit: Optional[object] = None  # AuditReport when options.audit != "off"
 
     @property
     def cs(self):
@@ -214,7 +221,7 @@ class ZenoCompiler:
             schedule = scheduler.schedule(computed.layer_work)
             parallel_time = simulate_parallel_time(schedule, computed.layer_work)
 
-        return CompileArtifact(
+        artifact = CompileArtifact(
             model=model,
             program=program,
             options=opts,
@@ -224,6 +231,23 @@ class ZenoCompiler:
             parallel_circuit_time=parallel_time,
             cache=compute_opts.cache,
         )
+        if opts.audit != "off":
+            artifact.audit = self._audit(artifact, enforce=opts.audit == "enforce")
+        return artifact
+
+    def _audit(self, artifact: CompileArtifact, enforce: bool):
+        from repro.analysis import (
+            CircuitAuditError,
+            assume_from_recipe,
+            audit_system,
+        )
+
+        report = audit_system(
+            artifact.cs, assume=assume_from_recipe(artifact.compute.recipe)
+        )
+        if enforce and not report.ok:
+            raise CircuitAuditError(report)
+        return report
 
     # -- proving ---------------------------------------------------------------------
 
@@ -312,4 +336,14 @@ class ZenoCompiler:
             wall_time=artifact.parallel_circuit_time,
             counts=counts,
         )
+        if artifact.audit is not None:
+            audit_counts = {
+                severity: float(count)
+                for severity, count in artifact.audit.counts().items()
+            }
+            report.phases["audit"] = PhaseReport(
+                name="audit",
+                wall_time=sum(artifact.audit.sections.values()),
+                counts=audit_counts,
+            )
         return report

@@ -1,4 +1,10 @@
-"""Phase-level reports for one proof generation (the Fig. 3 pipeline)."""
+"""Phase-level reports for one proof generation (the Fig. 3 pipeline).
+
+The three paper phases are ``generate``, ``circuit_computation``, and
+``security_computation``; compilations run with the soundness auditor on
+(``CompilerOptions.audit``) add a fourth ``audit`` phase whose counts are
+the finding tallies per severity.
+"""
 
 from __future__ import annotations
 

@@ -17,15 +17,17 @@ Key properties the paper's optimizations rely on live here:
 
 from repro.r1cs.lc import ONE, LinearCombination
 from repro.r1cs.constraint import Constraint
-from repro.r1cs.system import ConstraintSystem
+from repro.r1cs.system import ConstraintSystem, Violation
 from repro.r1cs.export import export_system, import_system
-from repro.r1cs.optimize import optimize
+from repro.r1cs.optimize import canonical_constraint_key, optimize
 
 __all__ = [
     "ONE",
     "LinearCombination",
     "Constraint",
     "ConstraintSystem",
+    "Violation",
+    "canonical_constraint_key",
     "export_system",
     "import_system",
     "optimize",

@@ -10,10 +10,16 @@ directly into proving time:
   products; ReLU sign bits at exactly-zero inputs are referenced but
   slack — only the former are *unreferenced* and removable).  Each dropped
   variable removes one witness MSM term and one CRS element.
-* :func:`deduplicate_constraints` — removes exact duplicate constraints
-  (identical A/B/C term maps).  Duplicates prove nothing extra; each
-  removal shrinks the QAP domain contribution.
+* :func:`deduplicate_constraints` — removes duplicate constraints modulo
+  term order and scalar multiples (``(λA)·(μB) = λμC`` proves exactly what
+  ``A·B = C`` proves, as does ``B·A = C``).  Duplicates prove nothing
+  extra; each removal shrinks the QAP domain contribution.
 * :func:`optimize` — both passes, returning a report.
+
+Everything a pass removes is surfaced as lint-compatible
+:class:`~repro.analysis.report.Finding` entries on the
+:class:`OptimizeReport`, so optimizer decisions land in the same audit
+stream as :mod:`repro.analysis.lint`.
 
 Passes rebuild a fresh :class:`ConstraintSystem` with remapped indices and
 witness values; the original is never mutated.  Satisfiability and public
@@ -23,7 +29,7 @@ values are preserved (property-tested).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.r1cs.constraint import Constraint
 from repro.r1cs.lc import ONE, LinearCombination
@@ -38,6 +44,9 @@ class OptimizeReport:
     variables_after: int
     constraints_before: int
     constraints_after: int
+    # Lint-compatible findings (repro.analysis.report.Finding) describing
+    # each removal, mergeable into an AuditReport.
+    findings: tuple = ()
 
     @property
     def variables_removed(self) -> int:
@@ -98,43 +107,112 @@ def eliminate_unconstrained(
     return out, cs.num_private - out.num_private
 
 
-def _constraint_key(constraint: Constraint) -> tuple:
-    return (
-        tuple(sorted(constraint.a.terms.items())),
-        tuple(sorted(constraint.b.terms.items())),
-        tuple(sorted(constraint.c.terms.items())),
-    )
+def _scaled_terms(lc: LinearCombination, scale: int, p: int) -> tuple:
+    """Sorted term tuple of ``scale * lc`` — canonical modulo term order."""
+    return tuple(sorted((i, c * scale % p) for i, c in lc.terms.items()))
+
+
+def _leading_inverse(lc: LinearCombination, field) -> int:
+    """Inverse of the coefficient on the smallest variable index."""
+    lead = min(lc.terms)
+    return field.inv(lc.terms[lead])
+
+
+def canonical_constraint_key(constraint: Constraint) -> tuple:
+    """A key equal for constraints that prove the same statement.
+
+    Two rank-1 constraints are equivalent when one is a scalar multiple of
+    the other — ``(λA)·(μB) = (λμ)C`` for nonzero ``λ, μ`` — or when the
+    product sides are swapped.  Each LC is normalized so its leading
+    (smallest-index) coefficient is 1, the C side absorbs the combined
+    scale, and the (A, B) pair is ordered canonically.  Constraints with an
+    empty product side reduce to the pure linear statement ``<C, z> = 0``,
+    which is itself scale-invariant.
+    """
+    field = constraint.a.field
+    p = field.modulus
+    if constraint.a.is_zero() or constraint.b.is_zero():
+        # 0 * B = C (or A * 0 = C): only <C, z> = 0 is being enforced.
+        if constraint.c.is_zero():
+            return ("trivial",)
+        scale = _leading_inverse(constraint.c, field)
+        return ("linear", _scaled_terms(constraint.c, scale, p))
+    lam = _leading_inverse(constraint.a, field)
+    mu = _leading_inverse(constraint.b, field)
+    a_key = _scaled_terms(constraint.a, lam, p)
+    b_key = _scaled_terms(constraint.b, mu, p)
+    c_key = _scaled_terms(constraint.c, lam * mu % p, p)
+    lo, hi = sorted((a_key, b_key))
+    return ("mul", lo, hi, c_key)
 
 
 def deduplicate_constraints(
     cs: ConstraintSystem,
 ) -> Tuple[ConstraintSystem, int]:
-    """Remove constraints with identical (A, B, C) term maps.
+    """Remove duplicates modulo term order, scalar multiples, and A/B swap.
 
     Layer provenance ranges are invalidated by the removal and dropped.
     """
+    out, _ = _deduplicate_with_findings(cs)
+    return out, cs.num_constraints - out.num_constraints
+
+
+def _deduplicate_with_findings(cs: ConstraintSystem):
+    from repro.analysis.report import Finding, Severity
+
     out = ConstraintSystem(field=cs.field, name=cs.name)
     for i in range(cs.num_public):
         out.new_public(cs._public_values[i])
     for i in range(cs.num_private):
         out.new_private(cs._private_values[i])
-    seen = set()
-    for constraint in cs.constraints:
-        key = _constraint_key(constraint)
-        if key in seen:
+    findings: List[Finding] = []
+    seen: Dict[tuple, int] = {}
+    for index, constraint in enumerate(cs.constraints):
+        key = canonical_constraint_key(constraint)
+        kept = seen.get(key)
+        if kept is not None:
+            findings.append(
+                Finding(
+                    rule="duplicate-constraint",
+                    severity=Severity.INFO,
+                    message=(
+                        f"removed constraint #{index}: scalar multiple / "
+                        f"reordering of kept constraint #{kept}"
+                    ),
+                    constraint=index,
+                    layer=cs.layer_of(index),
+                    details={"kept": kept, "removed_tag": constraint.tag},
+                )
+            )
             continue
-        seen.add(key)
+        seen[key] = index
         out.constraints.append(constraint)
-    return out, cs.num_constraints - out.num_constraints
+    return out, findings
 
 
 def optimize(cs: ConstraintSystem) -> Tuple[ConstraintSystem, OptimizeReport]:
     """Run both passes; returns (optimized system, report)."""
-    deduped, _ = deduplicate_constraints(cs)
-    slim, _ = eliminate_unconstrained(deduped)
+    from repro.analysis.report import Finding, Severity
+
+    deduped, findings = _deduplicate_with_findings(cs)
+    slim, dropped = eliminate_unconstrained(deduped)
+    if dropped:
+        used = referenced_private_variables(deduped)
+        findings.extend(
+            Finding(
+                rule="unreferenced-private",
+                severity=Severity.INFO,
+                message=f"removed private variable w{var}: "
+                        "referenced by no constraint",
+                variable=var,
+            )
+            for var in range(1, deduped.num_private + 1)
+            if var not in used
+        )
     return slim, OptimizeReport(
         variables_before=cs.num_variables,
         variables_after=slim.num_variables,
         constraints_before=cs.num_constraints,
         constraints_after=slim.num_constraints,
+        findings=tuple(findings),
     )

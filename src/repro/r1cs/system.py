@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.field.fp import BN254_FR, Field
 from repro.r1cs.constraint import Constraint
 from repro.r1cs.lc import ONE, Assignment, LinearCombination
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One unsatisfied constraint, with its provenance."""
+
+    index: int
+    constraint: Constraint
+    layer: Optional[str]  # enclosing mark_layer tag, if any
+
+    def __repr__(self) -> str:
+        where = f" in layer {self.layer!r}" if self.layer else ""
+        return f"Violation(#{self.index}{where}: {self.constraint!r})"
 
 
 class ConstraintSystem:
@@ -167,11 +181,36 @@ class ConstraintSystem:
 
     def first_unsatisfied(self) -> Optional[Constraint]:
         """The first violated constraint, for debugging compiler passes."""
-        assignment = self.assignment()
-        for constraint in self.constraints:
-            if not constraint.is_satisfied(assignment):
-                return constraint
+        found = self.violations(limit=1)
+        return found[0].constraint if found else None
+
+    def layer_of(self, index: int) -> Optional[str]:
+        """The mark_layer tag whose range covers constraint ``index``."""
+        for tag, rng in self.layer_ranges.items():
+            if index in rng:
+                return tag
         return None
+
+    def violations(
+        self, limit: Optional[int] = None, assignment: Optional[Assignment] = None
+    ) -> List[Violation]:
+        """All unsatisfied constraints (up to ``limit``) with layer tags.
+
+        Audit and fuzz reporting want the *full* violation picture — a
+        mutated witness that breaks one constraint but silently satisfies a
+        rewritten neighbour is exactly the signal the soundness tooling
+        looks for.  Pass ``assignment`` to evaluate a candidate witness
+        without touching the stored values.
+        """
+        assignment = assignment or self.assignment()
+        found: List[Violation] = []
+        for index, constraint in enumerate(self.constraints):
+            if constraint.is_satisfied(assignment):
+                continue
+            found.append(Violation(index, constraint, self.layer_of(index)))
+            if limit is not None and len(found) >= limit:
+                break
+        return found
 
     def total_lc_terms(self) -> int:
         """Total materialized LC terms — proxy for circuit-computation cost."""

@@ -50,6 +50,8 @@ class ServiceConfig:
     store_dir: Optional[str] = None  # None = fresh temp directory
     store_entries: int = 256  # artifact-store LRU bound
     prewarm: bool = True  # spawn all workers at startup
+    audit: bool = False  # pre-prove soundness audit of each cold circuit
+    gadget_mode: Optional[str] = None  # None = worker default; "strict" w/ audit
 
 
 class JobFailedError(RuntimeError):
@@ -279,6 +281,8 @@ class ProvingService:
             "privacy": batch.jobs[0].privacy,
             "backend": self.config.backend,
             "parallelism": self.config.msm_parallelism,
+            "audit": self.config.audit,
+            "gadgets": self.config.gadget_mode,
         }
         payloads = []
         for job in batch.jobs:
@@ -308,7 +312,10 @@ class ProvingService:
             except Exception as exc:  # pickling errors, worker exceptions...
                 self._requeue_or_fail(batch, f"batch failed: {exc!r}")
             else:
-                self._complete(batch, out)
+                if out.get("audit_rejected"):
+                    self._audit_reject(batch, out)
+                else:
+                    self._complete(batch, out)
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -339,6 +346,25 @@ class ProvingService:
                 self._finalize(
                     job, JobState.FAILED, error="proof failed verification"
                 )
+
+    def _audit_reject(self, batch: Batch, out: dict) -> None:
+        """Fail every job in an audit-rejected batch — no retries.
+
+        The rejection is a property of the compiled circuit, not of the
+        worker or the witness, so retrying would only re-pay compilation
+        to hit the same verdict.
+        """
+        rejected = out["audit_rejected"]
+        self.telemetry.record_audit_rejection(len(batch))
+        for phase, seconds in out.get("phases", {}).items():
+            self.telemetry.phases.add(phase, seconds)
+        error = (
+            f"circuit audit rejected batch: {rejected['errors']} error(s); "
+            f"first: {rejected['first']}"
+        )
+        for job in batch.jobs:
+            job.result = None
+            self._finalize(job, JobState.FAILED, error=error)
 
     def _requeue_or_fail(self, batch: Batch, error: str) -> None:
         now = time.monotonic()

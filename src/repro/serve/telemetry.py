@@ -86,6 +86,8 @@ class ServiceTelemetry:
         self.key_cache_misses = 0  # cold batches: paid compile + setup
         self.msm_table_builds = 0  # one-time fixed-base CRS table builds
         self.msm_table_uses = 0  # table-backed MSM queries served
+        self.audit_rejected_batches = 0  # pre-prove audit gate rejections
+        self.audit_rejected_jobs = 0
         self.batch_sizes = Histogram()
         self.phases = PhaseLatency()
 
@@ -131,6 +133,11 @@ class ServiceTelemetry:
         with self._lock:
             self.retries += n
 
+    def record_audit_rejection(self, jobs: int) -> None:
+        with self._lock:
+            self.audit_rejected_batches += 1
+            self.audit_rejected_jobs += jobs
+
     def key_cache_hit_rate(self) -> float:
         total = self.key_cache_hits + self.key_cache_misses
         return self.key_cache_hits / total if total else 0.0
@@ -163,6 +170,10 @@ class ServiceTelemetry:
                 "msm_tables": {
                     "builds": self.msm_table_builds,
                     "uses": self.msm_table_uses,
+                },
+                "audit": {
+                    "rejected_batches": self.audit_rejected_batches,
+                    "rejected_jobs": self.audit_rejected_jobs,
                 },
                 "phase_latency_seconds": self.phases.snapshot(),
                 "throughput_jobs_per_second": self.completed / elapsed,

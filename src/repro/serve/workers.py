@@ -61,14 +61,18 @@ def _backend(name: str):
 
 
 def _warm_up(key: Tuple, spec: Dict[str, Any], base_image) -> _WarmEntry:
+    from repro.core.circuit.compute import ComputeOptions
     from repro.nn.models import build_model
     from repro.snark.serialize import serialize_verifying_key
 
     image_privacy, weights_privacy = _PRIVACY[spec["privacy"]]
     model = build_model(spec["model"], scale=spec["scale"], seed=spec["seed"])
+    options = None
+    if spec.get("gadgets"):
+        options = ComputeOptions(gadget_mode=spec["gadgets"])
     prover = BatchProver(
         model, base_image, image_privacy=image_privacy,
-        weights_privacy=weights_privacy,
+        weights_privacy=weights_privacy, options=options,
     )
     setup = prover.warm_setup(
         _backend(spec.get("backend", "simulated")),
@@ -98,7 +102,10 @@ def prove_batch(
     from repro.snark.serialize import serialize_proof
 
     backend = _backend(spec.get("backend", "simulated"))
-    key = (spec["model"], spec["scale"], spec["seed"], spec["privacy"])
+    key = (
+        spec["model"], spec["scale"], spec["seed"], spec["privacy"],
+        spec.get("gadgets"),
+    )
     phases: Dict[str, float] = {}
     cold = key not in _WARM
     if cold:
@@ -107,6 +114,30 @@ def prove_batch(
         phases["generate"] = entry.prover.stats.generate_time
         phases["circuit"] = entry.prover.stats.circuit_time
         phases["setup"] = entry.prover.stats.setup_time
+        if spec.get("audit"):
+            # Pre-prove soundness gate: lint + determinism over the shared
+            # constraint system, once per cold key.  On rejection the warm
+            # entry is evicted so a resubmitted key re-audits (and fails
+            # again) instead of silently proving on the tainted circuit.
+            from repro.analysis import assume_from_recipe, audit_system
+
+            with PhaseTimer("audit", sink=phases):
+                audit = audit_system(
+                    entry.prover.cs,
+                    assume=assume_from_recipe(entry.prover.result.recipe),
+                )
+            if not audit.ok:
+                del _WARM[key]
+                return {
+                    "pid": os.getpid(),
+                    "cold": cold,
+                    "phases": phases,
+                    "audit_rejected": {
+                        "errors": len(audit.errors),
+                        "first": audit.errors[0].message,
+                        "report": audit.to_json(),
+                    },
+                }
     else:
         entry = _WARM[key]
 

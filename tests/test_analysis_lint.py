@@ -1,0 +1,140 @@
+"""Tests for the structural R1CS lints."""
+
+from repro.analysis import boolean_variables, lint_system, match_boolean
+from repro.analysis.report import Severity
+from repro.core.compiler import ZenoCompiler, zeno_options
+from repro.r1cs.system import ConstraintSystem
+from tests.conftest import tiny_conv_model, tiny_image
+
+
+def rules(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+def boolean_cs(value=1):
+    """A system with one properly boolean-constrained variable."""
+    cs = ConstraintSystem()
+    var = cs.new_private(value)
+    x = cs.lc_variable(var)
+    cs.enforce(x, x - cs.lc_constant(1), cs.lc(), tag="bool")
+    return cs, var
+
+
+class TestMatchBoolean:
+    def test_canonical_shape(self):
+        cs, var = boolean_cs()
+        assert match_boolean(cs.constraints[0]) == var
+
+    def test_scalar_multiple_and_swap(self):
+        cs = ConstraintSystem()
+        var = cs.new_private(0)
+        x3 = cs.lc_variable(var, 3)
+        aff = cs.lc_variable(var, 5) - cs.lc_constant(5)
+        cs.enforce(aff, x3, cs.lc(), tag="swapped")  # (5x-5) * 3x = 0
+        assert match_boolean(cs.constraints[0]) == var
+
+    def test_rejects_non_boolean(self):
+        cs = ConstraintSystem()
+        var = cs.new_private(0)
+        x = cs.lc_variable(var)
+        cs.enforce(x, x - cs.lc_constant(2), cs.lc(), tag="x(x-2)")
+        cs.enforce(x, x, cs.lc_variable(var))  # x*x = x is not the pattern
+        assert match_boolean(cs.constraints[0]) is None
+        assert match_boolean(cs.constraints[1]) is None
+
+    def test_boolean_variables_map(self):
+        cs, var = boolean_cs()
+        assert boolean_variables(cs) == {var: 0}
+
+
+class TestRules:
+    def test_unreferenced_private(self):
+        cs, _ = boolean_cs()
+        free = cs.new_private(9)
+        findings = rules(lint_system(cs), "unreferenced-private")
+        assert [f.variable for f in findings] == [free]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_constant_tautology(self):
+        cs = ConstraintSystem()
+        cs.enforce(cs.lc_constant(2), cs.lc_constant(3), cs.lc_constant(6))
+        (finding,) = rules(lint_system(cs), "constant-tautology")
+        assert finding.constraint == 0
+
+    def test_constant_contradiction_is_error(self):
+        cs = ConstraintSystem()
+        cs.enforce(cs.lc_constant(2), cs.lc_constant(3), cs.lc_constant(7))
+        (finding,) = rules(lint_system(cs), "constant-contradiction")
+        assert finding.severity is Severity.ERROR
+
+    def test_duplicate_modulo_scalar_and_order(self):
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(2))
+        y = cs.lc_variable(cs.new_private(3))
+        cs.enforce(x + y, x, cs.lc_constant(10), tag="orig")
+        # scalar multiples of each side, and the A/B swap
+        cs.enforce(x * 4, (x + y) * 5, cs.lc_constant(10) * 20, tag="dup")
+        findings = rules(lint_system(cs), "duplicate-constraint")
+        assert [f.constraint for f in findings] == [1]
+        assert findings[0].details["duplicate_of"] == 0
+
+    def test_distinct_constraints_not_flagged(self):
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(2))
+        cs.enforce(x, x, cs.lc_constant(4))
+        cs.enforce(x, x + cs.lc_constant(1), cs.lc_constant(6))
+        assert not rules(lint_system(cs), "duplicate-constraint")
+
+    def test_boolean_unconsumed(self):
+        cs, var = boolean_cs()
+        (finding,) = rules(lint_system(cs), "boolean-unconsumed")
+        assert finding.variable == var
+
+    def test_boolean_consumed_is_clean(self):
+        cs, var = boolean_cs()
+        cs.enforce_equal(cs.lc_variable(var), cs.lc_constant(1), tag="use")
+        assert not rules(lint_system(cs), "boolean-unconsumed")
+
+    def test_dangling_layer_range(self):
+        cs, _ = boolean_cs()
+        cs.layer_ranges["ghost"] = range(0, 5)  # only 1 constraint exists
+        (finding,) = rules(lint_system(cs), "dangling-layer-range")
+        assert finding.severity is Severity.ERROR
+        assert finding.layer == "ghost"
+
+    def test_overlapping_layer_ranges(self):
+        cs, var = boolean_cs()
+        cs.enforce_equal(cs.lc_variable(var), cs.lc_constant(1), tag="use")
+        cs.layer_ranges["a"] = range(0, 2)
+        cs.layer_ranges["b"] = range(1, 2)
+        (finding,) = rules(lint_system(cs), "overlapping-layer-ranges")
+        assert finding.details["other_layer"] == "a"
+
+    def test_untagged_constraints_info(self):
+        cs, var = boolean_cs()
+        cs.enforce_equal(cs.lc_variable(var), cs.lc_constant(1), tag="use")
+        cs.layer_ranges["a"] = range(0, 1)
+        (finding,) = rules(lint_system(cs), "untagged-constraints")
+        assert finding.severity is Severity.INFO
+        assert finding.details["untagged"] == 1
+
+    def test_no_layer_tags_no_coverage_noise(self):
+        cs, _ = boolean_cs()
+        assert not rules(lint_system(cs), "untagged-constraints")
+
+
+class TestCompiledModel:
+    def test_stock_strict_model_lints_clean(self):
+        artifact = ZenoCompiler(zeno_options(gadget_mode="strict")).compile_model(
+            tiny_conv_model(), tiny_image()
+        )
+        findings = lint_system(artifact.cs)
+        assert [f for f in findings if f.severity is not Severity.INFO] == []
+
+    def test_runs_without_witness(self):
+        # Lints are structural: an unassigned (shared) system lints fine.
+        cs = ConstraintSystem()
+        var = cs.new_private()  # no value
+        x = cs.lc_variable(var)
+        cs.enforce(x, x - cs.lc_constant(1), cs.lc(), tag="bool")
+        assert not rules(lint_system(cs), "unreferenced-private")

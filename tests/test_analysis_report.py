@@ -1,0 +1,103 @@
+"""Tests for audit findings and the AuditReport JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import AuditReport, Finding, Severity
+
+
+class TestSeverity:
+    def test_ranks_ordered(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_values_round_trip(self):
+        for severity in Severity:
+            assert Severity(severity.value) is severity
+
+
+class TestFinding:
+    def test_json_round_trip_full(self):
+        finding = Finding(
+            rule="under-constrained",
+            severity=Severity.ERROR,
+            message="w7 is free",
+            constraint=3,
+            variable=7,
+            layer="conv1",
+            details={"constraints": [3, 4]},
+        )
+        assert Finding.from_json(finding.to_json()) == finding
+
+    def test_json_omits_absent_anchors(self):
+        doc = Finding(rule="untagged-constraints", severity=Severity.INFO).to_json()
+        assert set(doc) == {"rule", "severity", "message"}
+
+    def test_defaults(self):
+        finding = Finding(rule="x")
+        assert finding.severity is Severity.WARNING
+        assert finding.details == {}
+
+
+def sample_report() -> AuditReport:
+    report = AuditReport(
+        system="tiny", num_constraints=5, num_public=1, num_private=4
+    )
+    report.extend(
+        [
+            Finding(rule="note", severity=Severity.INFO, message="i"),
+            Finding(rule="hole", severity=Severity.ERROR, message="e", variable=2),
+            Finding(rule="smell", severity=Severity.WARNING, message="w", constraint=1),
+        ]
+    )
+    report.section("lint", 0.25)
+    report.section("determinism", 1.5)
+    return report
+
+
+class TestAuditReport:
+    def test_ranked_most_severe_first(self):
+        ranked = sample_report().ranked()
+        assert [f.severity for f in ranked] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO,
+        ]
+
+    def test_counts_and_ok(self):
+        report = sample_report()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert not report.ok
+        assert len(report.errors) == 1
+
+    def test_ok_without_errors(self):
+        report = AuditReport(system="clean")
+        report.extend([Finding(rule="smell", severity=Severity.WARNING)])
+        assert report.ok
+
+    def test_section_accumulates(self):
+        report = AuditReport()
+        report.section("lint", 1.0)
+        report.section("lint", 0.5)
+        assert report.sections["lint"] == pytest.approx(1.5)
+
+    def test_json_round_trip_bit_for_bit(self):
+        report = sample_report()
+        text = report.to_json(indent=2)
+        restored = AuditReport.from_json(text)
+        assert restored.to_json(indent=2) == text
+
+    def test_json_carries_verdict(self):
+        doc = json.loads(sample_report().to_json())
+        assert doc["format"] == "zeno-audit"
+        assert doc["ok"] is False
+        assert doc["counts"]["error"] == 1
+        assert doc["sections"]["determinism"] == pytest.approx(1.5)
+
+    def test_from_json_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            AuditReport.from_json(json.dumps({"format": "not-an-audit"}))
+
+    def test_summary_mentions_rules_and_sections(self):
+        text = sample_report().summary()
+        assert "hole" in text and "ERROR" in text
+        assert "lint" in text and "determinism" in text
+        assert "1 error(s)" in text

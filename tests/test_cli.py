@@ -209,3 +209,38 @@ class TestServe:
             == 1
         )
         assert "REJECTED" in capsys.readouterr().out
+
+
+class TestAudit:
+    def test_strict_circuit_passes_and_exits_zero(self, capsys):
+        assert (
+            main(["audit", "--model", "SHAL", "--scale", "micro",
+                  "--fuzz", "50"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "determinism" in out and "fuzz" in out and "lint" in out
+
+    def test_lean_circuit_fails_nonzero(self, capsys):
+        assert (
+            main(["audit", "--model", "SHAL", "--scale", "micro",
+                  "--gadgets", "lean"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "under-constrained" in out
+
+    def test_json_report_round_trips(self, tmp_path, capsys):
+        from repro.analysis import AuditReport
+
+        path = tmp_path / "audit.json"
+        assert (
+            main(["audit", "--model", "SHAL", "--scale", "micro",
+                  "--json", str(path)])
+            == 0
+        )
+        report = AuditReport.from_json(path.read_text())
+        assert report.ok
+        assert report.num_constraints > 0
+        assert path.read_text() == report.to_json(indent=2)

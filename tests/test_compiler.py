@@ -152,3 +152,50 @@ class TestCostModel:
 
     def test_setup_cost_positive(self):
         assert CostModel().setup_seconds(100, 100) > 0
+
+
+class TestAuditKnob:
+    def test_report_mode_attaches_audit(self):
+        from tests.conftest import tiny_conv_model, tiny_image
+
+        opts = zeno_options(gadget_mode="strict", audit="report")
+        artifact = ZenoCompiler(opts).compile_model(tiny_conv_model(), tiny_image())
+        assert artifact.audit is not None
+        assert artifact.audit.ok
+        assert "determinism" in artifact.audit.sections
+
+    def test_enforce_mode_raises_on_lean_slack(self):
+        import pytest as _pytest
+
+        from repro.analysis import CircuitAuditError
+        from tests.conftest import tiny_conv_model, tiny_image
+
+        opts = zeno_options(gadget_mode="lean", audit="enforce")
+        with _pytest.raises(CircuitAuditError) as excinfo:
+            ZenoCompiler(opts).compile_model(tiny_conv_model(), tiny_image())
+        assert not excinfo.value.report.ok
+        assert excinfo.value.report.errors
+
+    def test_audit_forces_recipe(self):
+        opts = zeno_options(gadget_mode="strict", audit="report")
+        assert opts.record_recipe is False  # user toggle untouched
+        assert opts.compute_options().record_recipe is True
+
+    def test_off_by_default(self):
+        from tests.conftest import tiny_conv_model, tiny_image
+
+        artifact = ZenoCompiler(zeno_options()).compile_model(
+            tiny_conv_model(), tiny_image()
+        )
+        assert artifact.audit is None
+
+    def test_audit_phase_in_report(self):
+        from tests.conftest import tiny_conv_model, tiny_image
+
+        opts = zeno_options(gadget_mode="strict", audit="report")
+        compiler = ZenoCompiler(opts)
+        artifact = compiler.compile_model(tiny_conv_model(), tiny_image())
+        report = compiler.report(artifact)
+        assert "audit" in report.phases
+        assert report.phases["audit"].counts["error"] == 0.0
+        assert "audit" in report.summary()

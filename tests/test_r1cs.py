@@ -169,3 +169,48 @@ class TestConstraintSystem:
     def test_repr(self):
         cs = ConstraintSystem(name="demo")
         assert "demo" in repr(cs)
+
+
+class TestViolations:
+    def bad_cs(self):
+        cs = ConstraintSystem()
+        x = cs.new_private(2)
+        w = cs.new_private(3)
+        start = cs.num_constraints
+        cs.mul_private(x, w)  # satisfied: 2*3=6
+        cs.mark_layer("mul", start)
+        start = cs.num_constraints
+        cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(9), tag="eq")  # 2 != 9
+        cs.enforce_equal(cs.lc_variable(w), cs.lc_constant(9), tag="eq")  # 3 != 9
+        cs.mark_layer("checks", start)
+        return cs
+
+    def test_all_violations_with_layers(self):
+        cs = self.bad_cs()
+        found = cs.violations()
+        assert [v.index for v in found] == [1, 2]
+        assert [v.layer for v in found] == ["checks", "checks"]
+        assert all(v.constraint is cs.constraints[v.index] for v in found)
+
+    def test_limit(self):
+        cs = self.bad_cs()
+        assert len(cs.violations(limit=1)) == 1
+        assert cs.first_unsatisfied() is cs.constraints[1]
+
+    def test_clean_system_empty(self):
+        cs = ConstraintSystem()
+        x = cs.new_private(2)
+        cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(2))
+        assert cs.violations() == []
+        assert cs.first_unsatisfied() is None
+
+    def test_layer_of(self):
+        cs = self.bad_cs()
+        assert cs.layer_of(0) == "mul"
+        assert cs.layer_of(2) == "checks"
+        assert cs.layer_of(99) is None
+
+    def test_repr_names_layer(self):
+        violation = self.bad_cs().violations(limit=1)[0]
+        assert "checks" in repr(violation)
+        assert "#1" in repr(violation)

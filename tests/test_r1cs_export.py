@@ -105,3 +105,39 @@ class TestValidation:
         doc["constraints"][0]["a"].append([1, "2", "extra"])
         with pytest.raises(ImportError_):
             import_system(json.dumps(doc))
+
+
+class TestAuditOverInterchange:
+    """The auditor must see an imported system exactly as the original."""
+
+    def test_audit_findings_survive_round_trip(self, compiled_cs):
+        from repro.analysis import lint_system
+
+        restored = import_system(export_system(compiled_cs))
+        original = [(f.rule, f.constraint, f.variable, f.layer)
+                    for f in lint_system(compiled_cs)]
+        roundtrip = [(f.rule, f.constraint, f.variable, f.layer)
+                     for f in lint_system(restored)]
+        assert roundtrip == original
+
+    def test_violations_with_layers_after_import(self, compiled_cs):
+        restored = import_system(export_system(compiled_cs))
+        assert restored.violations() == []
+        # Corrupt one private value: the violation reports the right layer.
+        restored.assign(1, (restored.value_of(1) + 1) % restored.field.modulus)
+        found = restored.violations(limit=1)
+        if found:  # variable 1 is referenced in every compiled model
+            assert found[0].layer in restored.layer_ranges
+
+    def test_public_private_split_is_signed_scheme(self, compiled_cs):
+        doc = json.loads(export_system(compiled_cs))
+        assert doc["num_public"] == compiled_cs.num_public
+        assert doc["num_private"] == compiled_cs.num_private
+        indices = {
+            i
+            for constraint in doc["constraints"]
+            for side in ("a", "b", "c")
+            for i, _ in constraint[side]
+        }
+        assert all(-doc["num_public"] <= i <= doc["num_private"] for i in indices)
+        assert any(i < 0 for i in indices) and any(i > 0 for i in indices)

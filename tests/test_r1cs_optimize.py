@@ -120,3 +120,82 @@ class TestOptimizeCompiledSystems:
         assert report.constraints_after <= report.constraints_before
         # Every remaining private variable is referenced.
         assert len(referenced_private_variables(slim)) == slim.num_private
+
+
+class TestCanonicalKey:
+    def test_scalar_multiple_and_term_order(self):
+        from repro.r1cs.optimize import canonical_constraint_key
+
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(2))
+        y = cs.lc_variable(cs.new_private(3))
+        base = cs.constraints
+        cs.enforce(x + y, x, cs.lc_constant(10))
+        cs.enforce((x + y) * 7, x * 5, cs.lc_constant(10) * 35)  # scaled
+        cs.enforce(x * 5, (x + y) * 7, cs.lc_constant(10) * 35)  # A/B swapped
+        keys = {canonical_constraint_key(c) for c in base}
+        assert len(keys) == 1
+
+    def test_linear_constraints_normalized(self):
+        from repro.r1cs.optimize import canonical_constraint_key
+
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(4))
+        # An empty product side leaves a pure linear statement <C, z> = 0.
+        cs.enforce(cs.lc(), cs.lc(), x - cs.lc_constant(4))
+        cs.enforce(cs.lc(), cs.lc(), (x - cs.lc_constant(4)) * 9)
+        k1, k2 = (canonical_constraint_key(c) for c in cs.constraints)
+        assert k1 == k2
+        assert k1[0] == "linear"
+        # The equality-check shape (diff * 1 = 0) also dedupes mod scale.
+        cs2 = ConstraintSystem()
+        y = cs2.lc_variable(cs2.new_private(4))
+        cs2.enforce(y - cs2.lc_constant(4), cs2.lc_constant(1), cs2.lc())
+        cs2.enforce((y - cs2.lc_constant(4)) * 9, cs2.lc_constant(1), cs2.lc())
+        k3, k4 = (canonical_constraint_key(c) for c in cs2.constraints)
+        assert k3 == k4
+
+    def test_distinct_relations_differ(self):
+        from repro.r1cs.optimize import canonical_constraint_key
+
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(2))
+        cs.enforce(x, x, cs.lc_constant(4))
+        cs.enforce(x, x, cs.lc_constant(5))
+        k1, k2 = (canonical_constraint_key(c) for c in cs.constraints)
+        assert k1 != k2
+
+
+class TestDeduplicateScalarMultiples:
+    def scaled_dup_cs(self):
+        cs = ConstraintSystem()
+        x = cs.lc_variable(cs.new_private(2))
+        y = cs.lc_variable(cs.new_private(5))
+        cs.enforce(x + y, x, cs.lc_constant(14), tag="orig")
+        cs.enforce(x * 3, (x + y) * 2, cs.lc_constant(14) * 6, tag="scaled-dup")
+        cs.enforce(x, y, cs.lc_constant(10), tag="distinct")
+        return cs
+
+    def test_scaled_duplicates_removed(self):
+        cs = self.scaled_dup_cs()
+        out, removed = deduplicate_constraints(cs)
+        assert removed == 1
+        assert [c.tag for c in out.constraints] == ["orig", "distinct"]
+        assert out.is_satisfied()
+
+    def test_optimize_reports_lint_compatible_findings(self):
+        from repro.analysis.report import Finding, Severity
+
+        cs = self.scaled_dup_cs()
+        cs.new_private(77)  # unreferenced: dropped + reported
+        slim, report = optimize(cs)
+        assert report.constraints_removed == 1
+        assert report.variables_removed == 1
+        assert slim.is_satisfied()
+        rules = sorted({f.rule for f in report.findings})
+        assert rules == ["duplicate-constraint", "unreferenced-private"]
+        for finding in report.findings:
+            assert isinstance(finding, Finding)
+            assert finding.severity is Severity.INFO
+        dup = next(f for f in report.findings if f.rule == "duplicate-constraint")
+        assert dup.details["kept"] == 0

@@ -259,3 +259,42 @@ class TestArtifactStore:
         key = ArtifactStore(tmp_path).put("vk", b"persisted")
         again = ArtifactStore(tmp_path)
         assert again.get(key) == b"persisted"
+
+
+class TestAuditGate:
+    """Pre-prove soundness audit: clean circuits prove, tainted ones fail."""
+
+    def test_strict_circuit_passes_gate(self):
+        with ProvingService(
+            max_workers=1, max_batch=2, audit=True, gadget_mode="strict"
+        ) as service:
+            job_ids = [
+                service.submit("SHAL", image_seed=300 + i, scale="micro")
+                for i in range(2)
+            ]
+            results = [service.result(j, timeout=300) for j in job_ids]
+            assert all(r.verified for r in results)
+            snap = service.stats()
+        assert snap["audit"] == {"rejected_batches": 0, "rejected_jobs": 0}
+        assert "audit" in snap["phase_latency_seconds"]
+
+    def test_lean_circuit_rejected_without_retry(self):
+        with ProvingService(max_workers=1, max_batch=2, audit=True) as service:
+            job_ids = [
+                service.submit("SHAL", image_seed=400 + i, scale="micro")
+                for i in range(2)
+            ]
+            for job_id in job_ids:
+                with pytest.raises(JobFailedError) as excinfo:
+                    service.result(job_id, timeout=300)
+                assert "circuit audit rejected" in str(excinfo.value)
+                assert excinfo.value.job.state is JobState.FAILED
+            snap = service.stats()
+        assert snap["audit"]["rejected_jobs"] == 2
+        assert snap["audit"]["rejected_batches"] >= 1
+        assert snap["jobs"]["retries"] == 0
+
+    def test_audit_off_by_default(self, served):
+        service, _, _ = served
+        snap = service.stats()
+        assert snap["audit"] == {"rejected_batches": 0, "rejected_jobs": 0}
