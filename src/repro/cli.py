@@ -111,8 +111,10 @@ def cmd_prove(args) -> int:
     model, image, compiler, artifact = _build_artifact(args)
     start = time.perf_counter()
     setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
+    phases: dict = {}
     proof = groth16.prove(
-        setup.proving_key, artifact.cs, parallelism=args.parallelism
+        setup.proving_key, artifact.cs, parallelism=args.parallelism,
+        phase_sink=phases,
     )
     elapsed = time.perf_counter() - start
     assert groth16.verify(
@@ -138,6 +140,8 @@ def cmd_prove(args) -> int:
     print(f"proof:  {out} ({out.stat().st_size} bytes)")
     print(f"claim:  {claim_path}")
     print(f"proved m={artifact.num_constraints} constraints in {elapsed:.2f}s")
+    breakdown = ", ".join(f"{k} {v:.3f}s" for k, v in phases.items())
+    print(f"prover phases ({args.parallelism} worker(s)): {breakdown}")
     return 0
 
 
@@ -326,7 +330,9 @@ def main(argv=None) -> int:
     p_prove.add_argument("--crs-seed", type=int, default=2024)
     p_prove.add_argument(
         "--parallelism", type=int, default=1,
-        help="worker processes for chunked MSMs (bn254 G1, large inputs)",
+        help="prover worker processes: CSR witness rows via the §5.2 "
+             "schedule executor, QAP coset-NTT chains, and chunked MSMs "
+             "(bn254 G1, large inputs)",
     )
     p_prove.set_defaults(func=cmd_prove)
 
@@ -351,7 +357,8 @@ def main(argv=None) -> int:
                          help="artifact store directory (default: temp)")
     p_serve.add_argument(
         "--parallelism", type=int, default=1,
-        help="chunked-MSM processes per proving worker (bn254 G1)",
+        help="prover-engine processes per proving worker (CSR witness "
+             "rows, QAP NTT chains, and chunked bn254 MSMs)",
     )
     p_serve.add_argument(
         "--audit", action="store_true",

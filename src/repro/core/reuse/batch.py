@@ -132,6 +132,39 @@ class BatchProver:
         """Fixed-base CRS tables built by :meth:`warm_setup` (or ``None``)."""
         return self._tables
 
+    def prove(
+        self,
+        image: Optional[np.ndarray] = None,
+        backend=None,
+        rng=None,
+        parallelism: Optional[int] = None,
+        phase_sink: Optional[Dict[str, float]] = None,
+    ):
+        """Prove the current witness (re-assigning ``image`` first if given).
+
+        Bundles the whole warm path: cached setup + fixed-base tables from
+        :meth:`warm_setup`, witness re-assignment via the recipe, and the
+        parallel prover engine — the shared CSR structure is reused across
+        images automatically (``to_csr`` only refreshes the dense ``z``).
+        ``phase_sink`` accumulates per-phase prover seconds across calls.
+        """
+        from repro.ec.backend import SimulatedBackend
+        from repro.snark import groth16
+
+        backend = backend or SimulatedBackend()
+        setup = self.warm_setup(backend)
+        if image is not None:
+            self.assign_image(image)
+        return groth16.prove(
+            setup.proving_key,
+            self.cs,
+            backend,
+            rng,
+            tables=self._tables,
+            parallelism=parallelism,
+            phase_sink=phase_sink,
+        )
+
     # -- per-image witness assignment -------------------------------------------------
 
     def assign_image(self, image: np.ndarray) -> ZkProgram:

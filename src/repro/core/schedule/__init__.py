@@ -1,12 +1,28 @@
-"""Workload-specialized parallel scheduler (§5.2)."""
+"""Workload-specialized parallel scheduler (§5.2): model and executor."""
 
 from repro.core.schedule.counter import layer_gate_counts
+from repro.core.schedule.executor import (
+    LayerSlices,
+    ScheduleExecutor,
+    WitnessEvaluation,
+    plan_layer_slices,
+)
 from repro.core.schedule.scheduler import ParallelSchedule, WorkloadScheduler
-from repro.core.schedule.simclock import simulate_parallel_time
+from repro.core.schedule.simclock import (
+    LayerComparison,
+    modeled_vs_measured,
+    simulate_parallel_time,
+)
 
 __all__ = [
     "layer_gate_counts",
+    "LayerComparison",
+    "LayerSlices",
+    "ScheduleExecutor",
+    "WitnessEvaluation",
     "WorkloadScheduler",
     "ParallelSchedule",
+    "modeled_vs_measured",
+    "plan_layer_slices",
     "simulate_parallel_time",
 ]

@@ -1,0 +1,345 @@
+"""Executor-backed §5.2 scheduling: real workers over CSR constraint rows.
+
+:mod:`repro.core.schedule.simclock` *models* the paper's Circuit
+Computation parallelism (exact layer partition, simulated wall time); this
+module *executes* it.  The unit of work is one constraint row of the CSR
+snapshot (:mod:`repro.r1cs.csr`): rows inside one layer's range are
+independent (they only read the already-assigned witness), so each layer's
+row range is partitioned across a process pool following the
+:class:`~repro.core.schedule.scheduler.ParallelSchedule` worker
+assignments, and layers are gathered in order — the paper's
+"parallelism within a layer, layers sequential" shape.
+
+Two transport modes:
+
+* **fork sharing** (POSIX default) — the CSR arrays and dense assignment
+  are published in a module global and the pool is forked with them in
+  place, so workers inherit the snapshot copy-on-write and payloads are
+  just ``(start, stop)`` row spans.  The pool is cached keyed by the
+  snapshot's ``stamp`` (see :mod:`repro.r1cs.csr`): repeated proves over
+  the same witness reuse the warm pool, and any structure change or
+  witness re-assignment restamps the snapshot, forcing a re-fork;
+* **pickle fallback** — each task ships a rebased
+  :meth:`~repro.r1cs.csr.CSRSystem.row_span` copy, for platforms without
+  ``fork``.
+
+Workers run under a fresh op-counter scope and return their tallies, so
+the parent's cost-model counters match the sequential path exactly — the
+op-count parity the regression tests pin down.
+
+A second, persistent pool (:func:`worker_pool`) serves payload-pickled
+one-shot tasks — the QAP coset-NTT chains dispatched by
+:func:`repro.snark.qap.quotient_coefficients`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule.scheduler import ParallelSchedule
+from repro.field.counters import count_ops, global_counter
+from repro.r1cs.csr import CSRSystem, evaluate_rows
+
+TALLY_KEYS = ("field_mul", "field_add", "field_inv", "lc_term")
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# -- persistent pool for payload-pickled tasks (QAP chains) -----------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def worker_pool(workers: int) -> ProcessPoolExecutor:
+    """A cached process pool for self-contained (pickled) payloads."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        ctx = _fork_context() or multiprocessing.get_context()
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down cached pools (tests / interpreter exit)."""
+    global _WITNESS_POOL, _WITNESS_KEY, _SHARED_CSR
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+    if _WITNESS_POOL is not None:
+        _WITNESS_POOL.shutdown(wait=False, cancel_futures=True)
+        _WITNESS_POOL = None
+    _WITNESS_KEY = None
+    _SHARED_CSR = None
+
+
+atexit.register(shutdown_worker_pools)
+
+
+# -- worker entry points ----------------------------------------------------------
+
+_SHARED_CSR: Optional[CSRSystem] = None  # fork-inherited snapshot
+_WITNESS_POOL: Optional[ProcessPoolExecutor] = None
+_WITNESS_KEY: Optional[Tuple[int, int]] = None  # (csr.stamp, num_workers)
+
+
+def _witness_pool(csr: CSRSystem, workers: int) -> ProcessPoolExecutor:
+    """The fork-shared pool for ``csr``, re-forked only when the snapshot
+    stamp changes (new structure or re-assigned witness) or the worker
+    count does.  Workers fork lazily on first submit, inheriting the
+    published ``_SHARED_CSR`` copy-on-write."""
+    global _SHARED_CSR, _WITNESS_POOL, _WITNESS_KEY
+    key = (csr.stamp, workers)
+    if _WITNESS_POOL is None or _WITNESS_KEY != key:
+        if _WITNESS_POOL is not None:
+            _WITNESS_POOL.shutdown(wait=False, cancel_futures=True)
+        _SHARED_CSR = csr
+        _WITNESS_POOL = ProcessPoolExecutor(
+            max_workers=workers, mp_context=_fork_context()
+        )
+        _WITNESS_KEY = key
+    return _WITNESS_POOL
+
+
+def _eval_span_shared(span: Tuple[int, int]):
+    """Fork-mode worker: evaluate rows ``[start, stop)`` of the inherited
+    CSR snapshot; returns rows + op tally + measured seconds."""
+    start, stop = span
+    began = time.perf_counter()
+    with count_ops() as ops:
+        a, b, c = evaluate_rows(_SHARED_CSR, start, stop)
+    tally = {key: getattr(ops, key) for key in TALLY_KEYS}
+    return start, a, b, c, tally, time.perf_counter() - began
+
+
+def _eval_span_pickled(payload: Tuple[int, CSRSystem]):
+    """Pickle-mode worker: the payload carries a rebased row span."""
+    start, span_csr = payload
+    began = time.perf_counter()
+    with count_ops() as ops:
+        a, b, c = evaluate_rows(span_csr)
+    tally = {key: getattr(ops, key) for key in TALLY_KEYS}
+    return start, a, b, c, tally, time.perf_counter() - began
+
+
+# -- layer planning ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerSlices:
+    """One layer's row range, partitioned into per-worker spans."""
+
+    name: str
+    start: int
+    stop: int
+    spans: Tuple[Tuple[int, int], ...]  # contiguous, non-empty, in order
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+
+def _proportional_spans(
+    start: int, stop: int, shares: Sequence[int]
+) -> Tuple[Tuple[int, int], ...]:
+    """Split ``[start, stop)`` into contiguous spans proportional to
+    ``shares`` (monotone integer cuts; zero-width spans are dropped)."""
+    total = sum(shares)
+    n = stop - start
+    if total <= 0 or n <= 0:
+        return ((start, stop),) if n > 0 else ()
+    spans: List[Tuple[int, int]] = []
+    acc = 0
+    prev = 0
+    for share in shares:
+        acc += share
+        cut = (n * acc) // total
+        if cut > prev:
+            spans.append((start + prev, start + cut))
+        prev = cut
+    return tuple(spans)
+
+
+def plan_layer_slices(
+    num_rows: int,
+    layer_ranges: Optional[Dict[str, range]] = None,
+    num_workers: int = 1,
+    schedule: Optional[ParallelSchedule] = None,
+) -> List[LayerSlices]:
+    """Partition ``num_rows`` constraint rows into per-layer worker spans.
+
+    Layer provenance comes from ``ConstraintSystem.layer_ranges``; rows
+    outside every tagged range (e.g. a trailing knit flush) become
+    anonymous filler layers so coverage is total.  When a
+    :class:`ParallelSchedule` is given, each matching layer's rows are
+    split proportionally to its ``units_per_worker`` assignment — the
+    §5.2 partition, re-expressed over constraint rows; otherwise rows
+    split evenly across ``num_workers``.
+    """
+    by_name = (
+        {a.name: a for a in schedule.assignments} if schedule is not None else {}
+    )
+    ordered = sorted(
+        (
+            (rng.start, min(rng.stop, num_rows), name)
+            for name, rng in (layer_ranges or {}).items()
+            if rng.start < min(rng.stop, num_rows)
+        ),
+    )
+    plan: List[LayerSlices] = []
+
+    def add(name: str, start: int, stop: int) -> None:
+        assignment = by_name.get(name)
+        shares = (
+            assignment.units_per_worker
+            if assignment is not None
+            else [1] * max(num_workers, 1)
+        )
+        spans = _proportional_spans(start, stop, shares)
+        if spans:
+            plan.append(LayerSlices(name, start, stop, spans))
+
+    cursor = 0
+    for start, stop, name in ordered:
+        if start > cursor:
+            add(f"rows[{cursor}:{start}]", cursor, start)
+        add(name, max(start, cursor), stop)
+        cursor = max(cursor, stop)
+    if cursor < num_rows:
+        add(f"rows[{cursor}:{num_rows}]", cursor, num_rows)
+    return plan
+
+
+# -- the executor -----------------------------------------------------------------
+
+
+@dataclass
+class WitnessEvaluation:
+    """Result of one executor-parallel witness evaluation."""
+
+    a_rows: List[int]
+    b_rows: List[int]
+    c_rows: List[int]
+    num_workers: int
+    mode: str  # "fork" | "pickle"
+    layer_seconds: Dict[str, float] = field(default_factory=dict)  # max span
+    tally: Dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+
+class ScheduleExecutor:
+    """Evaluates witness rows layer-by-layer in real worker processes.
+
+    The deterministic model (:mod:`~repro.core.schedule.simclock`) stays
+    the source of *predicted* speedups; this executor produces *measured*
+    per-layer spans that
+    :func:`~repro.core.schedule.simclock.modeled_vs_measured` compares
+    against the model.
+    """
+
+    def __init__(self, num_workers: int = 2, mode: str = "auto") -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        if mode == "auto":
+            mode = "fork" if _fork_context() is not None else "pickle"
+        if mode not in ("fork", "pickle"):
+            raise ValueError(f"unknown executor mode {mode!r}")
+        self.mode = mode
+
+    def evaluate_witness(
+        self,
+        csr: CSRSystem,
+        layer_ranges: Optional[Dict[str, range]] = None,
+        schedule: Optional[ParallelSchedule] = None,
+    ) -> WitnessEvaluation:
+        """``(A_w, B_w, C_w)`` rows via the worker pool, layers in order."""
+        if csr.z is None:
+            raise ValueError("CSR snapshot has no assignment vector")
+        began = time.perf_counter()
+        plan = plan_layer_slices(
+            csr.num_rows, layer_ranges, self.num_workers, schedule
+        )
+        result = WitnessEvaluation(
+            a_rows=[0] * csr.num_rows,
+            b_rows=[0] * csr.num_rows,
+            c_rows=[0] * csr.num_rows,
+            num_workers=self.num_workers,
+            mode=self.mode,
+            tally={key: 0 for key in TALLY_KEYS},
+        )
+        if self.num_workers == 1 or not plan:
+            with count_ops() as ops:
+                a, b, c = evaluate_rows(csr)
+            result.a_rows, result.b_rows, result.c_rows = a, b, c
+            for key in TALLY_KEYS:
+                result.tally[key] = getattr(ops, key)
+            self._merge_tally(result.tally)
+            result.wall_time = time.perf_counter() - began
+            if plan:
+                for layer in plan:
+                    result.layer_seconds[layer.name] = 0.0
+            return result
+
+        if self.mode == "fork":
+            pool = _witness_pool(csr, self.num_workers)
+            futures = [
+                (
+                    layer,
+                    [
+                        pool.submit(_eval_span_shared, span)
+                        for span in layer.spans
+                    ],
+                )
+                for layer in plan
+            ]
+            self._gather(futures, result)
+        else:
+            pool = worker_pool(self.num_workers)
+            futures = [
+                (
+                    layer,
+                    [
+                        pool.submit(
+                            _eval_span_pickled,
+                            (span[0], csr.row_span(span[0], span[1])),
+                        )
+                        for span in layer.spans
+                    ],
+                )
+                for layer in plan
+            ]
+            self._gather(futures, result)
+        self._merge_tally(result.tally)
+        result.wall_time = time.perf_counter() - began
+        return result
+
+    def _gather(self, futures, result: WitnessEvaluation) -> None:
+        for layer, layer_futures in futures:
+            span_max = 0.0
+            for future in layer_futures:
+                start, a, b, c, tally, seconds = future.result()
+                result.a_rows[start : start + len(a)] = a
+                result.b_rows[start : start + len(b)] = b
+                result.c_rows[start : start + len(c)] = c
+                for key in TALLY_KEYS:
+                    result.tally[key] += tally.get(key, 0)
+                span_max = max(span_max, seconds)
+            result.layer_seconds[layer.name] = span_max
+
+    @staticmethod
+    def _merge_tally(tally: Dict[str, int]) -> None:
+        """Fold worker op tallies into this process's active counter."""
+        counter = global_counter()
+        for key, value in tally.items():
+            setattr(counter, key, getattr(counter, key) + value)

@@ -14,7 +14,8 @@ workers) while staying deterministic.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.core.schedule.scheduler import ParallelSchedule
 
@@ -33,3 +34,52 @@ def simulate_parallel_time(
             continue
         total += layer.wall_time * assignment.span_work() / work
     return total
+
+
+@dataclass(frozen=True)
+class LayerComparison:
+    """Modeled vs measured span for one layer."""
+
+    name: str
+    modeled: float  # seconds the simclock model predicts for this layer
+    measured: float  # max worker-span seconds the executor observed
+
+    @property
+    def ratio(self) -> float:
+        """measured / modeled — 1.0 means the model was exact."""
+        return self.measured / self.modeled if self.modeled > 0 else 0.0
+
+
+def modeled_vs_measured(
+    schedule: ParallelSchedule,
+    layer_work: Sequence,
+    measured_spans: Dict[str, float],
+) -> List[LayerComparison]:
+    """Compare the simclock's predicted per-layer spans against spans the
+    :class:`~repro.core.schedule.executor.ScheduleExecutor` actually
+    measured (``WitnessEvaluation.layer_seconds``).
+
+    The model stays the deterministic source of truth for figures; this
+    hook quantifies how far real fork/IPC overhead and GIL-free worker
+    arithmetic land from it.  Layers present on only one side are skipped
+    (the executor adds anonymous filler layers the model never sees).
+    """
+    by_name = {layer.name: layer for layer in layer_work}
+    out: List[LayerComparison] = []
+    for assignment in schedule.assignments:
+        layer = by_name.get(assignment.name)
+        measured = measured_spans.get(assignment.name)
+        if layer is None or measured is None:
+            continue
+        work = assignment.total_work()
+        modeled = (
+            layer.wall_time * assignment.span_work() / work
+            if work > 0 and layer.wall_time > 0
+            else layer.wall_time
+        )
+        out.append(
+            LayerComparison(
+                name=assignment.name, modeled=modeled, measured=measured
+            )
+        )
+    return out

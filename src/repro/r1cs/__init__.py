@@ -17,17 +17,21 @@ Key properties the paper's optimizations rely on live here:
 
 from repro.r1cs.lc import ONE, LinearCombination
 from repro.r1cs.constraint import Constraint
+from repro.r1cs.csr import CSRMatrix, CSRSystem, evaluate_rows
 from repro.r1cs.system import ConstraintSystem, Violation
 from repro.r1cs.export import export_system, import_system
 from repro.r1cs.optimize import canonical_constraint_key, optimize
 
 __all__ = [
     "ONE",
+    "CSRMatrix",
+    "CSRSystem",
     "LinearCombination",
     "Constraint",
     "ConstraintSystem",
     "Violation",
     "canonical_constraint_key",
+    "evaluate_rows",
     "export_system",
     "import_system",
     "optimize",

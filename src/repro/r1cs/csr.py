@@ -1,0 +1,207 @@
+"""Compressed-sparse-row snapshot of the R1CS matrices.
+
+The prover's hot loop evaluates ``<A_j, z>``, ``<B_j, z>``, ``<C_j, z>``
+for every constraint row ``j``.  Walking the per-constraint
+:class:`~repro.r1cs.lc.LinearCombination` dicts pays a Python method call
+per term (``Assignment.__getitem__``) plus a counter bump per LC; a CSR
+snapshot replaces all of that with three flat arrays per matrix —
+
+* ``indptr``  — row offsets, ``len == num_rows + 1``;
+* ``indices`` — *dense* column positions into the Groth16-ordered
+  assignment vector ``z = [1, publics..., privates...]``;
+* ``coeffs``  — canonical field coefficients, aligned with ``indices``
+
+— and one dense assignment vector, so a row evaluates as a contiguous
+slice accumulation with no dict lookups.  The structure depends only on
+the constraints (not the witness), so batch-specialized sharing (§6.1)
+builds it once and only refreshes ``z`` per image; the parallel executor
+(:mod:`repro.core.schedule.executor`) ships row spans of the same arrays
+to worker processes.
+
+Signed variable indices (see :mod:`repro.r1cs.lc`) map to dense positions
+as ``ONE -> 0``, public ``-k -> k``, private ``+k -> num_public + k`` —
+exactly :func:`repro.snark.qap.variable_order`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+# Monotone stamp identifying one (structure, assignment) snapshot state.
+# The parallel executor keys its fork-shared worker pool on it: same stamp
+# means the workers' inherited copy is still current; a new stamp (fresh
+# structure or a re-assigned witness) forces a re-fork.
+_STAMPS = itertools.count(1)
+
+
+@dataclass
+class CSRMatrix:
+    """One constraint matrix (A, B, or C) in compressed-sparse-row form."""
+
+    indptr: List[int]
+    indices: List[int]
+    coeffs: List[int]
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    def row_span(self, start: int, stop: int) -> "CSRMatrix":
+        """A rebased copy of rows ``[start, stop)`` — the pickle fallback
+        payload for platforms where fork sharing is unavailable."""
+        lo, hi = self.indptr[start], self.indptr[stop]
+        base = self.indptr[start]
+        return CSRMatrix(
+            indptr=[p - base for p in self.indptr[start : stop + 1]],
+            indices=self.indices[lo:hi],
+            coeffs=self.coeffs[lo:hi],
+        )
+
+
+class CSRSystem:
+    """CSR snapshot of a constraint system plus its dense assignment."""
+
+    __slots__ = ("a", "b", "c", "num_rows", "num_public", "num_private",
+                 "modulus", "z", "stamp")
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix,
+        c: CSRMatrix,
+        num_public: int,
+        num_private: int,
+        modulus: int,
+        z: Optional[List[int]] = None,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.c = c
+        self.num_rows = a.num_rows
+        self.num_public = num_public
+        self.num_private = num_private
+        self.modulus = modulus
+        self.z = z  # [1, publics..., privates...] — Groth16 variable order
+        self.stamp = next(_STAMPS)
+
+    def restamp(self) -> None:
+        """Mark the snapshot state as changed (new structure or new z)."""
+        self.stamp = next(_STAMPS)
+
+    @property
+    def num_variables(self) -> int:
+        return 1 + self.num_public + self.num_private
+
+    def matrices(self) -> Tuple[CSRMatrix, CSRMatrix, CSRMatrix]:
+        return self.a, self.b, self.c
+
+    def total_terms(self) -> int:
+        return self.a.nnz + self.b.nnz + self.c.nnz
+
+    def row_span(self, start: int, stop: int) -> "CSRSystem":
+        """Rows ``[start, stop)`` with the full assignment vector attached."""
+        return CSRSystem(
+            self.a.row_span(start, stop),
+            self.b.row_span(start, stop),
+            self.c.row_span(start, stop),
+            self.num_public,
+            self.num_private,
+            self.modulus,
+            z=self.z,
+        )
+
+
+def dense_position(index: int, num_public: int) -> int:
+    """Map a signed variable index to its dense ``z`` position."""
+    if index < 0:
+        return -index
+    if index > 0:
+        return num_public + index
+    return 0
+
+
+def build_csr_structure(constraints, num_public: int, num_private: int,
+                        modulus: int) -> CSRSystem:
+    """Build the (assignment-free) CSR structure from constraint LCs.
+
+    Terms are copied exactly as stored in each LC — no filtering or
+    re-canonicalization — so CSR evaluation performs precisely the same
+    coefficient products the legacy per-LC path does, keeping the op-count
+    parity the regression tests pin down.
+    """
+    mats = []
+    for side in ("a", "b", "c"):
+        indptr = [0]
+        indices: List[int] = []
+        coeffs: List[int] = []
+        for constraint in constraints:
+            for index, coeff in getattr(constraint, side).terms.items():
+                indices.append(dense_position(index, num_public))
+                coeffs.append(coeff)
+            indptr.append(len(indices))
+        mats.append(CSRMatrix(indptr, indices, coeffs))
+    return CSRSystem(mats[0], mats[1], mats[2], num_public, num_private,
+                     modulus)
+
+
+def matrix_row_evals(
+    matrix: CSRMatrix,
+    z: List[int],
+    modulus: int,
+    out: Optional[List[int]] = None,
+    start_row: int = 0,
+    stop_row: Optional[int] = None,
+) -> List[int]:
+    """Evaluate ``<M_j, z>`` for rows ``[start_row, stop_row)``.
+
+    Single pass: all coefficient products are formed in one C-level
+    ``map(mul, ...)`` sweep, then each row reduces to a slice sum and one
+    modular reduction — no per-term Python bytecode.
+    """
+    indptr = matrix.indptr
+    stop_row = matrix.num_rows if stop_row is None else stop_row
+    lo, hi = indptr[start_row], indptr[stop_row]
+    full = lo == 0 and hi == matrix.nnz
+    coeffs = matrix.coeffs if full else matrix.coeffs[lo:hi]
+    indices = matrix.indices if full else matrix.indices[lo:hi]
+    prods = list(map(operator.mul, coeffs, map(z.__getitem__, indices)))
+    if out is None:
+        out = [0] * (stop_row - start_row)
+    begin = 0
+    for row in range(start_row, stop_row):
+        end = indptr[row + 1] - lo
+        out[row - start_row] = sum(prods[begin:end]) % modulus
+        begin = end
+    return out
+
+
+def evaluate_rows(
+    csr: CSRSystem, start_row: int = 0, stop_row: Optional[int] = None
+) -> Tuple[List[int], List[int], List[int]]:
+    """``(A_w, B_w, C_w)`` row evaluations over ``[start_row, stop_row)``.
+
+    Tallies one ``field_mul`` per materialized term, matching what the
+    legacy ``LinearCombination.evaluate`` path records.
+    """
+    from repro.field.counters import global_counter
+
+    if csr.z is None:
+        raise ValueError("CSR snapshot has no assignment vector")
+    stop_row = csr.num_rows if stop_row is None else stop_row
+    z, p = csr.z, csr.modulus
+    a = matrix_row_evals(csr.a, z, p, start_row=start_row, stop_row=stop_row)
+    b = matrix_row_evals(csr.b, z, p, start_row=start_row, stop_row=stop_row)
+    c = matrix_row_evals(csr.c, z, p, start_row=start_row, stop_row=stop_row)
+    counter = global_counter()
+    for matrix in csr.matrices():
+        counter.field_mul += (
+            matrix.indptr[stop_row] - matrix.indptr[start_row]
+        )
+    return a, b, c

@@ -46,6 +46,11 @@ class ConstraintSystem:
         self._private_values: List[Optional[int]] = []
         # Layer provenance: constraint index ranges per compiler-layer tag.
         self.layer_ranges: Dict[str, range] = {}
+        # Prover fast-path caches: the dense [1, publics..., privates...]
+        # vector (invalidated on allocate/assign) and the CSR structure
+        # (invalidated on enforce).  See repro.r1cs.csr.
+        self._dense_cache: Optional[List[int]] = None
+        self._csr_cache = None
 
     # -- allocation ----------------------------------------------------------
 
@@ -54,6 +59,8 @@ class ConstraintSystem:
         if value is not None:
             value %= self.field.modulus
         self._public_values.append(value)
+        self._dense_cache = None
+        self._csr_cache = None  # public count shifts every private position
         return -len(self._public_values)
 
     def new_private(self, value: Optional[int] = None) -> int:
@@ -61,6 +68,7 @@ class ConstraintSystem:
         if value is not None:
             value %= self.field.modulus
         self._private_values.append(value)
+        self._dense_cache = None
         return len(self._private_values)
 
     def assign(self, index: int, value: int) -> None:
@@ -72,6 +80,7 @@ class ConstraintSystem:
             self._public_values[-index - 1] = value
         else:
             self._private_values[index - 1] = value
+        self._dense_cache = None
 
     # -- LC helpers -----------------------------------------------------------
 
@@ -95,6 +104,7 @@ class ConstraintSystem:
     ) -> None:
         """Add the constraint ``a * b = c``."""
         self.constraints.append(Constraint(a, b, c, tag=tag))
+        self._csr_cache = None
 
     def enforce_equal(
         self, lc: LinearCombination, ref: LinearCombination, tag: str = ""
@@ -163,21 +173,71 @@ class ConstraintSystem:
         return self._private_values[index - 1]
 
     def assignment(self) -> Assignment:
-        """Full assignment; raises if any variable is unassigned."""
+        """Full assignment; raises if any variable is unassigned.
+
+        Returns fresh lists (callers — e.g. the witness fuzzer — mutate
+        them in place); the prover hot path uses :meth:`dense_assignment`
+        instead, which is cached.
+        """
+        dense = self.dense_assignment()
+        split = 1 + self.num_public
+        return Assignment(dense[1:split], dense[split:])
+
+    def dense_assignment(self) -> List[int]:
+        """The dense ``[1, publics..., privates...]`` vector, cached.
+
+        This is the Groth16 assignment order (see
+        :func:`repro.snark.qap.variable_order`); the cache is invalidated
+        by every allocation and :meth:`assign`, so batch re-assignment
+        (§6.1) pays one rebuild per image instead of one per evaluation.
+        Callers must not mutate the returned list.
+        """
+        dense = self._dense_cache
+        if dense is not None:
+            return dense
         for i, v in enumerate(self._public_values):
             if v is None:
                 raise ValueError(f"public variable -{i + 1} unassigned")
         for i, v in enumerate(self._private_values):
             if v is None:
                 raise ValueError(f"private variable {i + 1} unassigned")
-        return Assignment(list(self._public_values), list(self._private_values))
+        dense = [1]
+        dense.extend(self._public_values)
+        dense.extend(self._private_values)
+        self._dense_cache = dense
+        return dense
+
+    def to_csr(self, assignment: bool = True):
+        """CSR snapshot of the three constraint matrices (see
+        :mod:`repro.r1cs.csr`).
+
+        The structure (``indptr``/``indices``/``coeffs``) is cached until
+        the next :meth:`enforce` or public allocation; with ``assignment``
+        (the default) the snapshot's dense ``z`` vector is refreshed from
+        :meth:`dense_assignment` on every call, so §6.1 batch sharing
+        reuses one structure across images.
+        """
+        from repro.r1cs.csr import build_csr_structure
+
+        csr = self._csr_cache
+        if csr is None or csr.num_rows != self.num_constraints:
+            csr = build_csr_structure(
+                self.constraints, self.num_public, self.num_private,
+                self.field.modulus,
+            )
+            self._csr_cache = csr
+        csr.num_private = self.num_private  # privates may grow post-snapshot
+        z = self.dense_assignment() if assignment else None
+        if z is not csr.z:
+            csr.z = z
+            csr.restamp()  # tell pooled executor workers their fork is stale
+        return csr
 
     def public_values(self) -> List[int]:
         return [v if v is not None else 0 for v in self._public_values]
 
     def is_satisfied(self) -> bool:
-        assignment = self.assignment()
-        return all(c.is_satisfied(assignment) for c in self.constraints)
+        return not self.violations(limit=1)
 
     def first_unsatisfied(self) -> Optional[Constraint]:
         """The first violated constraint, for debugging compiler passes."""
@@ -201,9 +261,30 @@ class ConstraintSystem:
         rewritten neighbour is exactly the signal the soundness tooling
         looks for.  Pass ``assignment`` to evaluate a candidate witness
         without touching the stored values.
+
+        With the stored witness (no explicit ``assignment``) the scan runs
+        over the cached CSR snapshot + dense vector instead of per-LC dict
+        walks — the same single-pass evaluation the prover uses.
         """
-        assignment = assignment or self.assignment()
-        found: List[Violation] = []
+        if assignment is None:
+            from repro.r1cs.csr import evaluate_rows
+
+            csr = self.to_csr()
+            a_w, b_w, c_w = evaluate_rows(csr)
+            p = self.field.modulus
+            found: List[Violation] = []
+            for index in range(csr.num_rows):
+                if (a_w[index] * b_w[index] - c_w[index]) % p == 0:
+                    continue
+                found.append(
+                    Violation(
+                        index, self.constraints[index], self.layer_of(index)
+                    )
+                )
+                if limit is not None and len(found) >= limit:
+                    break
+            return found
+        found = []
         for index, constraint in enumerate(self.constraints):
             if constraint.is_satisfied(assignment):
                 continue

@@ -47,6 +47,9 @@ class ServiceConfig:
     backoff_base: float = 0.05  # retry backoff: base * 2^(attempt-1)
     backend: str = "simulated"  # "simulated" | "bn254"
     msm_parallelism: int = 1  # chunked-MSM processes per prover (bn254 G1)
+    # Prover-engine workers per proof (CSR witness rows + QAP NTT chains);
+    # None inherits msm_parallelism so one --parallelism knob drives both.
+    prove_parallelism: Optional[int] = None
     store_dir: Optional[str] = None  # None = fresh temp directory
     store_entries: int = 256  # artifact-store LRU bound
     prewarm: bool = True  # spawn all workers at startup
@@ -280,7 +283,11 @@ class ProvingService:
             "seed": batch.jobs[0].seed,
             "privacy": batch.jobs[0].privacy,
             "backend": self.config.backend,
-            "parallelism": self.config.msm_parallelism,
+            "parallelism": (
+                self.config.prove_parallelism
+                if self.config.prove_parallelism is not None
+                else self.config.msm_parallelism
+            ),
             "audit": self.config.audit,
             "gadgets": self.config.gadget_mode,
         }

@@ -151,12 +151,15 @@ def prove_batch(
         with PhaseTimer("assign", sink=phases):
             entry.prover.assign_image(payload["image"])
         with PhaseTimer("security", sink=phases):
+            # phase_sink splits "security" into witness / quotient / msm in
+            # the same phases dict the telemetry aggregates.
             proof = groth16.prove(
                 entry.setup.proving_key,
                 entry.prover.cs,
                 backend,
                 tables=entry.tables,
                 parallelism=spec.get("parallelism"),
+                phase_sink=phases,
             )
         publics = entry.prover.cs.public_values()
         verified = groth16.verify(

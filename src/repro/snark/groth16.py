@@ -17,7 +17,8 @@ construction:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ec.backend import GroupBackend, SimulatedBackend
 from repro.r1cs.system import ConstraintSystem
@@ -32,7 +33,7 @@ from repro.snark.qap import (
     Domain,
     qap_evaluations_at,
     quotient_coefficients,
-    variable_order,
+    witness_polynomial_evals,
 )
 
 
@@ -55,7 +56,7 @@ def setup(
     gamma_inv = pow(gamma, -1, p)
     delta_inv = pow(delta, -1, p)
 
-    domain = Domain(max(cs.num_constraints, 2), field)
+    domain = Domain.for_size(max(cs.num_constraints, 2), field)
     # Re-draw tau in the (probability ~d/p) event it hits the domain.
     while domain.vanishing_at(tau) == 0:
         tau = rng.randrange(1, p)
@@ -127,14 +128,21 @@ def prove(
     rng: Optional[random.Random] = None,
     tables: Optional["ProvingKeyTables"] = None,
     parallelism: Optional[int] = None,
+    schedule=None,
+    phase_sink: Optional[Dict[str, float]] = None,
 ) -> Proof:
     """Generate a proof for the (fully assigned) constraint system.
 
     ``tables`` (from :func:`repro.snark.keys.precompute_proving_tables`)
     routes the four proving MSMs through fixed-base precomputation — the
     serving path, where one CRS is queried by many proofs.  ``parallelism``
-    forwards the chunked-MSM knob to :meth:`GroupBackend.msm` for one-shot
-    proofs without tables.
+    drives the whole engine: executor-parallel witness-row evaluation over
+    the CSR snapshot (partitioned per ``schedule`` when given), worker
+    dispatch of the QAP coset-NTT chains, and the chunked-MSM knob on
+    :meth:`GroupBackend.msm`.  ``phase_sink``, if given, receives wall
+    seconds per prover phase (``witness`` / ``quotient`` / ``msm``) —
+    accumulated, so the serve telemetry can hand the same dict to every
+    proof in a batch.
     """
     backend = backend or SimulatedBackend()
     rng = rng or random.Random()
@@ -146,19 +154,34 @@ def prove(
             return table.msm(scalars)
         return backend.msm(points, scalars, parallelism=parallelism)
 
-    assignment = cs.assignment()
-    order = variable_order(cs)
-    z = [assignment[i] for i in order]
+    def tick(phase: str, since: float) -> float:
+        now = time.perf_counter()
+        if phase_sink is not None:
+            phase_sink[phase] = phase_sink.get(phase, 0.0) + (now - since)
+        return now
+
+    began = time.perf_counter()
+    # The CSR snapshot's dense z vector *is* the Groth16 variable order
+    # [ONE, publics..., privates...] (see repro.r1cs.csr).
+    csr = cs.to_csr()
+    z = csr.z
     if len(z) != pk.num_variables():
         raise ValueError(
             f"witness has {len(z)} variables but key expects "
             f"{pk.num_variables()} — was the system modified after setup?"
         )
 
-    domain = Domain(max(cs.num_constraints, 2), field)
+    domain = Domain.for_size(max(cs.num_constraints, 2), field)
     if domain.size != pk.domain_size:
         raise ValueError("constraint count changed since setup")
-    h_coeffs = quotient_coefficients(cs, domain)
+    evals = witness_polynomial_evals(
+        cs, domain, csr=csr, parallelism=parallelism, schedule=schedule
+    )
+    began = tick("witness", began)
+    h_coeffs = quotient_coefficients(
+        cs, domain, csr=csr, parallelism=parallelism, evals=evals
+    )
+    began = tick("quotient", began)
 
     r = rng.randrange(p)
     s = rng.randrange(p)
@@ -200,6 +223,7 @@ def prove(
     c_acc = backend.add(c_acc, backend.scalar_mul(proof_a, s))
     c_acc = backend.add(c_acc, backend.scalar_mul(b_g1, r))
     c_acc = backend.sub(c_acc, backend.scalar_mul(pk.delta_g1, (r * s) % p))
+    tick("msm", began)
 
     return Proof(a=proof_a, b=proof_b, c=c_acc)
 
@@ -296,9 +320,18 @@ class Groth16:
         rng=None,
         tables: Optional[ProvingKeyTables] = None,
         parallelism: Optional[int] = None,
+        schedule=None,
+        phase_sink: Optional[Dict[str, float]] = None,
     ) -> Proof:
         return prove(
-            pk, cs, self.backend, rng, tables=tables, parallelism=parallelism
+            pk,
+            cs,
+            self.backend,
+            rng,
+            tables=tables,
+            parallelism=parallelism,
+            schedule=schedule,
+            phase_sink=phase_sink,
         )
 
     def verify(self, vk: VerifyingKey, public_inputs, proof: Proof) -> bool:

@@ -13,11 +13,23 @@ Two jobs live here:
 * **prover side** — compute the quotient ``h(x) = (A_w B_w - C_w) / Z`` via
   the standard coset-NTT trick: on the coset ``g * H`` the vanishing
   polynomial is the constant ``g^d - 1``, so the division is pointwise.
+
+A :class:`Domain` precomputes everything that is witness-independent at
+construction — omega/coset power tables, per-stage butterfly twiddles, the
+bit-reversal permutation — so repeated proving (batch sharing, the serve
+loop) never rebuilds an O(d) power chain; :meth:`Domain.for_size` memoizes
+whole domains per ``(size, modulus)``.
+
+The prover-side entry points accept an optional CSR snapshot
+(:meth:`repro.r1cs.system.ConstraintSystem.to_csr`) and a ``parallelism``
+degree: witness rows evaluate through the §5.2 schedule executor
+(:mod:`repro.core.schedule.executor`) and the three independent
+INTT → coset-NTT chains of the quotient dispatch to worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.field.fp import BN254_FR, Field
 from repro.field.vector import batch_inverse
@@ -33,6 +45,12 @@ def _next_pow2(n: int) -> int:
     return 1 << max(0, (n - 1).bit_length())
 
 
+# Domains memoized per (size, modulus): the power/twiddle tables are pure
+# functions of the domain, so every prove over the same circuit size —
+# including the QAP chain workers — shares one instance.
+_DOMAIN_CACHE: Dict[Tuple[int, int], "Domain"] = {}
+
+
 class Domain:
     """A radix-2 evaluation domain ``H = {w^0, ..., w^(d-1)}`` in Fr."""
 
@@ -42,51 +60,121 @@ class Domain:
             raise ValueError(f"domain size {d} exceeds Fr 2-adicity")
         self.field = field
         self.size = d
-        exponent = (field.modulus - 1) >> (d.bit_length() - 1)
-        self.omega = pow(FR_GENERATOR, exponent, field.modulus)
-        self.omega_inv = pow(self.omega, -1, field.modulus)
-        self.size_inv = pow(d, -1, field.modulus)
+        p = field.modulus
+        exponent = (p - 1) >> (d.bit_length() - 1)
+        self.omega = pow(FR_GENERATOR, exponent, p)
+        self.omega_inv = pow(self.omega, -1, p)
+        self.size_inv = pow(d, -1, p)
         self.coset_shift = FR_GENERATOR
-        self.coset_shift_inv = pow(FR_GENERATOR, -1, field.modulus)
+        self.coset_shift_inv = pow(FR_GENERATOR, -1, p)
+        # Witness-independent tables, built once per domain:
+        self.omega_powers = self._power_table(self.omega)
+        self.coset_powers = self._power_table(self.coset_shift)
+        self.coset_inv_powers = self._power_table(self.coset_shift_inv)
+        self._bitrev = self._bitrev_table()
+        self._stage_twiddle_cache: Dict[int, List[List[int]]] = {}
+        # Fused post-NTT scale tables: INTT's 1/d folded into the coset
+        # shift (and its inverse), so each INTT -> coset hop costs one
+        # pointwise pass instead of two.
+        self._intt_coset_scale = [
+            (g * self.size_inv) % p for g in self.coset_powers
+        ]
+        self._coset_intt_scale = [
+            (g * self.size_inv) % p for g in self.coset_inv_powers
+        ]
+
+    @classmethod
+    def for_size(cls, size: int, field: Field = BN254_FR) -> "Domain":
+        """Memoized domain lookup — one table build per ``(size, modulus)``."""
+        d = _next_pow2(max(size, 2))
+        key = (d, field.modulus)
+        domain = _DOMAIN_CACHE.get(key)
+        if domain is None:
+            domain = cls(d, field)
+            _DOMAIN_CACHE[key] = domain
+        return domain
+
+    # -- cached tables -----------------------------------------------------------
+
+    def _power_table(self, base: int) -> List[int]:
+        """``[base^0, ..., base^(d-1)] mod p``."""
+        p = self.field.modulus
+        table = [1] * self.size
+        for j in range(1, self.size):
+            table[j] = (table[j - 1] * base) % p
+        return table
+
+    def _bitrev_table(self) -> List[int]:
+        """The bit-reversal permutation of ``range(d)``."""
+        d = self.size
+        log2d = d.bit_length() - 1
+        table = [0] * d
+        for i in range(1, d):
+            table[i] = (table[i >> 1] >> 1) | ((i & 1) << (log2d - 1))
+        return table
+
+    def _stage_twiddles(self, root: int) -> List[List[int]]:
+        """Per-stage butterfly twiddle tables for ``root`` (omega or its
+        inverse), cached so no NTT pays the per-butterfly ``w *= step``
+        update chain."""
+        stages = self._stage_twiddle_cache.get(root)
+        if stages is None:
+            p = self.field.modulus
+            d = self.size
+            stages = []
+            length = 2
+            while length <= d:
+                step = pow(root, d // length, p)
+                half = length >> 1
+                twiddles = [1] * half
+                for i in range(1, half):
+                    twiddles[i] = (twiddles[i - 1] * step) % p
+                stages.append(twiddles)
+                length <<= 1
+            self._stage_twiddle_cache[root] = stages
+        return stages
 
     # -- NTT core ----------------------------------------------------------------
 
     def _ntt(self, values: List[int], omega: int) -> List[int]:
-        """In-place iterative Cooley-Tukey NTT (values copied first)."""
-        field = self.field
-        p = field.modulus
+        """Iterative Cooley-Tukey NTT over cached tables (values copied).
+
+        Butterfly sums are *lazily reduced*: the twiddle product is taken
+        mod p every stage (so the odd branch stays canonical), while the
+        add/sub results are left unreduced — magnitudes grow by at most p
+        per stage, staying tiny for Python's bignums — and one cleanup
+        pass canonicalizes the output.
+
+        Cost accounting (Table 3-style): one ``field_mul`` and two
+        ``field_add`` per butterfly, ``(d/2) * log2(d)`` butterflies.
+        """
+        p = self.field.modulus
         d = self.size
         if len(values) != d:
             raise ValueError(f"expected {d} values, got {len(values)}")
         out = list(values)
-        # bit-reversal permutation
-        j = 0
-        for i in range(1, d):
-            bit = d >> 1
-            while j & bit:
-                j ^= bit
-                bit >>= 1
-            j |= bit
+        for i, j in enumerate(self._bitrev):
             if i < j:
                 out[i], out[j] = out[j], out[i]
         length = 2
-        while length <= d:
-            step = pow(omega, d // length, p)
+        for twiddles in self._stage_twiddles(omega):
+            half = length >> 1
             for start in range(0, d, length):
-                w = 1
-                half = length >> 1
-                for k in range(start, start + half):
+                k = start
+                for w in twiddles:
                     u = out[k]
                     v = (out[k + half] * w) % p
-                    out[k] = (u + v) % p
-                    out[k + half] = (u - v) % p
-                    w = (w * step) % p
+                    out[k] = u + v
+                    out[k + half] = u - v
+                    k += 1
             length <<= 1
         from repro.field.counters import global_counter
 
         counter = global_counter()
-        counter.field_mul += d * (d.bit_length() - 1)
-        return out
+        log2d = d.bit_length() - 1
+        counter.field_mul += (d >> 1) * log2d
+        counter.field_add += d * log2d
+        return [v % p for v in out]
 
     def ntt(self, coeffs: Sequence[int]) -> List[int]:
         """Coefficients -> evaluations over H (zero-padded to domain size)."""
@@ -97,28 +185,36 @@ class Domain:
         """Evaluations over H -> coefficients."""
         p = self.field.modulus
         out = self._ntt(list(evals), self.omega_inv)
-        return [(v * self.size_inv) % p for v in out]
+        size_inv = self.size_inv
+        return [(v * size_inv) % p for v in out]
 
     def coset_ntt(self, coeffs: Sequence[int]) -> List[int]:
         """Coefficients -> evaluations over the coset ``g * H``."""
         p = self.field.modulus
-        shifted = []
-        power = 1
-        for c in list(coeffs) + [0] * (self.size - len(coeffs)):
-            shifted.append((c * power) % p)
-            power = (power * self.coset_shift) % p
+        padded = list(coeffs) + [0] * (self.size - len(coeffs))
+        shifted = [(c * g) % p for c, g in zip(padded, self.coset_powers)]
         return self._ntt(shifted, self.omega)
 
     def coset_intt(self, evals: Sequence[int]) -> List[int]:
-        """Evaluations over ``g * H`` -> coefficients."""
+        """Evaluations over ``g * H`` -> coefficients (1/d and the inverse
+        coset shift applied in one fused pass)."""
         p = self.field.modulus
-        coeffs = self.intt(evals)
-        out = []
-        power = 1
-        for c in coeffs:
-            out.append((c * power) % p)
-            power = (power * self.coset_shift_inv) % p
-        return out
+        out = self._ntt(list(evals), self.omega_inv)
+        return [(v * s) % p for v, s in zip(out, self._coset_intt_scale)]
+
+    def chain_to_coset(self, evals: Sequence[int]) -> List[int]:
+        """One quotient chain: H-evaluations -> coset evaluations.
+
+        Equivalent to ``coset_ntt(intt(evals))`` with the INTT's ``1/d``
+        and the coset shift fused into a single cached pointwise table —
+        the unit of work the parallel quotient dispatches per polynomial.
+        """
+        p = self.field.modulus
+        coeffs = self._ntt(list(evals), self.omega_inv)
+        shifted = [
+            (c * s) % p for c, s in zip(coeffs, self._intt_coset_scale)
+        ]
+        return self._ntt(shifted, self.omega)
 
     # -- vanishing polynomial -------------------------------------------------------
 
@@ -141,9 +237,7 @@ class Domain:
         z_tau = self.vanishing_at(tau)
         if z_tau == 0:
             raise ValueError("tau lies inside the evaluation domain")
-        omegas = [1] * self.size
-        for j in range(1, self.size):
-            omegas[j] = (omegas[j - 1] * self.omega) % p
+        omegas = self.omega_powers
         denominators = [(tau - w) % p for w in omegas]
         inverses = batch_inverse(field, denominators)
         scale = (z_tau * self.size_inv) % p
@@ -188,9 +282,53 @@ def qap_evaluations_at(
 
 
 def witness_polynomial_evals(
+    cs: ConstraintSystem,
+    domain: Domain,
+    csr=None,
+    parallelism: Optional[int] = None,
+    schedule=None,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Evaluations of ``A_w, B_w, C_w`` over H (one value per constraint row).
+
+    Runs over the CSR snapshot (built on demand; pass ``csr`` to reuse a
+    batch-shared structure).  With ``parallelism > 1`` the rows evaluate in
+    real worker processes via the §5.2 schedule executor, partitioned by
+    the constraint system's layer ranges (and ``schedule``'s per-worker
+    unit assignment when given).
+    """
+    from repro.r1cs.csr import evaluate_rows
+
+    if csr is None:
+        csr = cs.to_csr()
+    elif csr.z is None:
+        csr.z = cs.dense_assignment()
+    if parallelism is not None and parallelism > 1:
+        from repro.core.schedule.executor import ScheduleExecutor
+
+        executor = ScheduleExecutor(num_workers=parallelism)
+        evaluation = executor.evaluate_witness(
+            csr, cs.layer_ranges, schedule=schedule
+        )
+        rows = (evaluation.a_rows, evaluation.b_rows, evaluation.c_rows)
+    else:
+        rows = evaluate_rows(csr)
+    a_evals = [0] * domain.size
+    b_evals = [0] * domain.size
+    c_evals = [0] * domain.size
+    m = csr.num_rows
+    a_evals[:m], b_evals[:m], c_evals[:m] = rows[0], rows[1], rows[2]
+    return a_evals, b_evals, c_evals
+
+
+def witness_polynomial_evals_lc(
     cs: ConstraintSystem, domain: Domain
 ) -> Tuple[List[int], List[int], List[int]]:
-    """Evaluations of ``A_w, B_w, C_w`` over H (one value per constraint row)."""
+    """Legacy per-LC reference path (dict walk per constraint term).
+
+    Kept as the equivalence oracle for the CSR/executor paths — the
+    property tests assert identical output, and ``prove_bench`` uses it as
+    the pre-CSR sequential baseline.
+    """
     assignment = cs.assignment()
     a_evals = [0] * domain.size
     b_evals = [0] * domain.size
@@ -202,8 +340,31 @@ def witness_polynomial_evals(
     return a_evals, b_evals, c_evals
 
 
+def _coset_chain(payload: Tuple[int, int, List[int]]):
+    """Worker entry for one INTT -> coset-NTT chain.
+
+    Self-contained payload (domain size, modulus, H-evaluations) so it
+    pickles to any pool; the worker-side :meth:`Domain.for_size` cache
+    amortizes table builds across the three chains and across proves.
+    Returns the coset evaluations plus the worker's op tally.
+    """
+    size, modulus, evals = payload
+    field = BN254_FR if modulus == BN254_FR.modulus else Field(modulus)
+    domain = Domain.for_size(size, field)
+    from repro.field.counters import count_ops
+
+    with count_ops() as ops:
+        coset = domain.chain_to_coset(evals)
+    return coset, {"field_mul": ops.field_mul, "field_add": ops.field_add}
+
+
 def quotient_coefficients(
-    cs: ConstraintSystem, domain: Domain
+    cs: ConstraintSystem,
+    domain: Domain,
+    csr=None,
+    parallelism: Optional[int] = None,
+    schedule=None,
+    evals: Optional[Tuple[List[int], List[int], List[int]]] = None,
 ) -> List[int]:
     """Coefficients of ``h(x) = (A_w(x) B_w(x) - C_w(x)) / Z(x)``.
 
@@ -211,15 +372,42 @@ def quotient_coefficients(
     re-evaluate on the coset ``g*H`` where Z is the nonzero constant
     ``g^d - 1``, divide pointwise, and interpolate back.  Raises if the
     witness does not satisfy the R1CS (remainder nonzero).
+
+    With ``parallelism > 1`` the witness rows evaluate through the
+    schedule executor and the three independent INTT -> coset-NTT chains
+    dispatch to worker processes (tallies merged into this process's
+    counter so the cost model matches the sequential path).
     """
     p = domain.field.modulus
-    a_evals, b_evals, c_evals = witness_polynomial_evals(cs, domain)
-    a_coeffs = domain.intt(a_evals)
-    b_coeffs = domain.intt(b_evals)
-    c_coeffs = domain.intt(c_evals)
-    a_coset = domain.coset_ntt(a_coeffs)
-    b_coset = domain.coset_ntt(b_coeffs)
-    c_coset = domain.coset_ntt(c_coeffs)
+    if evals is None:
+        evals = witness_polynomial_evals(
+            cs, domain, csr=csr, parallelism=parallelism, schedule=schedule
+        )
+    a_evals, b_evals, c_evals = evals
+    if parallelism is not None and parallelism > 1:
+        from repro.core.schedule.executor import worker_pool
+        from repro.field.counters import global_counter
+
+        # Two chains go to workers; the parent computes the third itself
+        # instead of idling on the gather.
+        pool = worker_pool(min(parallelism, 2))
+        futures = [
+            pool.submit(_coset_chain, (domain.size, p, evals))
+            for evals in (a_evals, b_evals)
+        ]
+        c_coset = domain.chain_to_coset(c_evals)
+        counter = global_counter()
+        cosets = []
+        for future in futures:
+            coset, tally = future.result()
+            cosets.append(coset)
+            counter.field_mul += tally["field_mul"]
+            counter.field_add += tally["field_add"]
+        a_coset, b_coset = cosets
+    else:
+        a_coset = domain.chain_to_coset(a_evals)
+        b_coset = domain.chain_to_coset(b_evals)
+        c_coset = domain.chain_to_coset(c_evals)
     z_inv = pow(domain.coset_vanishing_constant(), -1, p)
     h_coset = [
         ((a * b - c) % p) * z_inv % p
