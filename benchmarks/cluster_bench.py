@@ -1,0 +1,179 @@
+"""Cluster benchmark: in-process serve pool vs localhost proving cluster.
+
+Standalone harness (NOT collected by pytest) comparing the same workload
+— N deterministic proving jobs for one model profile — run through:
+
+* ``serve_pool_K``  — :class:`repro.serve.ProvingService` with K worker
+                      processes (the single-machine baseline), and
+* ``cluster_K``     — a :class:`ClusterCoordinator` + K localhost
+                      :class:`WorkerNode` daemons in ``pool`` mode (one
+                      proving process each), so every proof additionally
+                      crosses the TCP wire twice and is batch-verified by
+                      the coordinator before acking.
+
+::
+
+    PYTHONPATH=src python benchmarks/cluster_bench.py \
+        --jobs 8 --model SHAL --scale micro --workers 1,2,4 \
+        --out BENCH_cluster.json
+
+Timings include each variant's cold warm-up (circuit + CRS per proving
+process) and are reported separately from the steady-state second round.
+With ``deterministic`` blinding both paths must produce byte-identical
+proofs per job; the harness asserts it and records the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import ClusterConfig, ClusterCoordinator, WorkerNode
+from repro.serve import ProvingService
+from repro.serve.service import ServiceConfig
+
+
+def _service_config(args) -> ServiceConfig:
+    return ServiceConfig(
+        max_batch=args.max_batch,
+        max_wait=0.02,
+        deterministic=True,
+    )
+
+
+def _run_round(submit, result, args, seed0):
+    start = time.perf_counter()
+    job_ids = [
+        submit(args.model, image_seed=seed0 + i, scale=args.scale)
+        for i in range(args.jobs)
+    ]
+    proofs = {}
+    for i, job_id in enumerate(job_ids):
+        res = result(job_id, timeout=1200)
+        assert res.verified
+        proofs[seed0 + i] = res.proof
+    return time.perf_counter() - start, proofs
+
+
+def bench_serve(args, workers):
+    service = ProvingService(
+        _service_config(args), max_workers=workers
+    )
+    try:
+        cold_s, proofs = _run_round(
+            service.submit, service.result, args, args.image_seed
+        )
+        warm_s, _ = _run_round(
+            service.submit, service.result, args, args.image_seed
+        )
+    finally:
+        service.shutdown(drain=False)
+    return cold_s, warm_s, proofs
+
+
+def bench_cluster(args, workers):
+    coord = ClusterCoordinator(
+        ClusterConfig(node_window=2, service=_service_config(args))
+    )
+    coord.start()
+    nodes = [
+        WorkerNode(
+            coord.address, node_id=f"bench-n{i}", mode="pool",
+            pool_workers=1, window=2,
+        ).start()
+        for i in range(workers)
+    ]
+    try:
+        cold_s, proofs = _run_round(
+            coord.submit, coord.result, args, args.image_seed
+        )
+        warm_s, _ = _run_round(
+            coord.submit, coord.result, args, args.image_seed
+        )
+        stats = coord.stats()["cluster"]
+    finally:
+        for node in nodes:
+            node.stop()
+        coord.shutdown(drain=False)
+    return cold_s, warm_s, proofs, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="SHAL")
+    parser.add_argument("--scale", default="micro")
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=2)
+    parser.add_argument("--image-seed", type=int, default=7000)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma list of worker counts per variant")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",")]
+
+    variants = {}
+    reference_proofs = None
+    identical = True
+    for workers in worker_counts:
+        cold_s, warm_s, proofs = bench_serve(args, workers)
+        if reference_proofs is None:
+            reference_proofs = proofs
+        identical &= proofs == reference_proofs
+        variants[f"serve_pool_{workers}"] = {
+            "cold_round_s": round(cold_s, 4),
+            "warm_round_s": round(warm_s, 4),
+            "warm_jobs_per_s": round(args.jobs / warm_s, 3),
+        }
+        print(f"serve_pool_{workers}: cold {cold_s:.2f}s warm {warm_s:.2f}s")
+
+    for workers in worker_counts:
+        cold_s, warm_s, proofs, stats = bench_cluster(args, workers)
+        identical &= proofs == reference_proofs
+        variants[f"cluster_{workers}"] = {
+            "cold_round_s": round(cold_s, 4),
+            "warm_round_s": round(warm_s, 4),
+            "warm_jobs_per_s": round(args.jobs / warm_s, 3),
+            "node_deaths": stats["node_deaths"],
+            "reroutes": stats["reroutes"],
+        }
+        base = variants[f"serve_pool_{workers}"]["warm_round_s"]
+        variants[f"cluster_{workers}"]["warm_overhead_vs_serve"] = round(
+            warm_s / base, 3
+        )
+        print(
+            f"cluster_{workers}: cold {cold_s:.2f}s warm {warm_s:.2f}s "
+            f"({warm_s / base:.2f}x the serve pool)"
+        )
+
+    report = {
+        "bench": "cluster",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "model": args.model,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "max_batch": args.max_batch,
+        "deterministic_proofs_byte_identical": identical,
+        "variants": variants,
+        "notes": (
+            "cold rounds include per-process circuit+CRS warm-up; cluster "
+            "rounds add TCP framing and coordinator-side batch "
+            "verification of every proof"
+        ),
+    }
+    assert identical, "cluster proofs diverged from the serve pool"
+    print(json.dumps(report, indent=2))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

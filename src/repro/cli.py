@@ -145,7 +145,81 @@ def cmd_prove(args) -> int:
     return 0
 
 
+def _batch_verify_dir(directory: Path) -> int:
+    """Verify every ``*.claim.json`` under ``directory`` in one batch pass."""
+    from repro.cluster.verification import verify_claims
+    from repro.snark.serialize import serialize_verifying_key
+
+    claim_paths = sorted(directory.glob("*.claim.json"))
+    if not claim_paths:
+        print(f"no *.claim.json files under {directory}")
+        return 1
+
+    # Claims that share a verifying key verify together under one
+    # random-linear-combination check (k + 3 pairings for k proofs);
+    # seed-derived CRSes are rebuilt once per recipe, not per claim.
+    vk_cache: dict = {}
+    groups: dict = {}
+    for claim_path in claim_paths:
+        claim = json.loads(claim_path.read_text())
+        proof_path = claim_path.with_name(claim_path.name[: -len(".claim.json")])
+        if "vk_file" in claim:
+            vk_bytes = (claim_path.parent / claim["vk_file"]).read_bytes()
+        else:
+            recipe = (
+                claim["model"], claim["scale"], claim["seed"],
+                claim["image_seed"], claim["privacy"], claim["gadgets"],
+                claim["crs_seed"],
+            )
+            if recipe not in vk_cache:
+                ns = argparse.Namespace(
+                    model=claim["model"], scale=claim["scale"],
+                    seed=claim["seed"], image_seed=claim["image_seed"],
+                    privacy=claim["privacy"], gadgets=claim["gadgets"],
+                )
+                _, _, _, artifact = _build_artifact(ns)
+                setup = groth16.setup(
+                    artifact.cs, rng=random.Random(claim["crs_seed"])
+                )
+                vk_cache[recipe] = serialize_verifying_key(setup.verifying_key)
+            vk_bytes = vk_cache[recipe]
+        groups.setdefault(vk_bytes, []).append(
+            (
+                proof_path.name,
+                [int(v) for v in claim["public_inputs"]],
+                proof_path.read_bytes(),
+            )
+        )
+
+    failed = 0
+    for vk_bytes, entries in groups.items():
+        verdict = verify_claims(
+            vk_bytes, [(publics, proof) for _, publics, proof in entries]
+        )
+        for (name, _, _), ok, err in zip(
+            entries, verdict.per_proof, verdict.errors
+        ):
+            detail = f"  ({err})" if err else ""
+            print(f"  {name}: {'ACCEPTED' if ok else 'REJECTED'}{detail}")
+            failed += 0 if ok else 1
+        print(
+            f"aggregate ({len(entries)} proof(s), 1 key): "
+            f"{'ACCEPTED' if verdict.aggregate else 'REJECTED'}"
+        )
+    total = sum(len(entries) for entries in groups.values())
+    print(
+        f"batch verification: {total - failed}/{total} accepted "
+        f"across {len(groups)} verifying key(s)"
+    )
+    return 0 if failed == 0 else 1
+
+
 def cmd_verify(args) -> int:
+    if args.batch:
+        return _batch_verify_dir(Path(args.batch))
+    if not (args.proof and args.claim):
+        print("verify: either --batch DIR or both --proof and --claim")
+        return 2
     proof = deserialize_proof(Path(args.proof).read_bytes())
     claim = json.loads(Path(args.claim).read_text())
 
@@ -283,6 +357,126 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def _parse_address(text: str):
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def cmd_cluster_coordinator(args) -> int:
+    """Run a coordinator until interrupted; nodes/clients dial its port."""
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.serve.service import ServiceConfig
+
+    cfg = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        node_window=args.window,
+        service=ServiceConfig(
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_retries=args.max_retries,
+            deterministic=args.deterministic,
+            audit=args.audit,
+            gadget_mode=args.gadgets,
+        ),
+    )
+    coord = ClusterCoordinator(cfg)
+    host, port = coord.start()
+    print(f"coordinator listening on {host}:{port}", flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    coord.shutdown(drain=True)
+    print(json.dumps(coord.stats(), indent=2, default=repr))
+    return 0
+
+
+def cmd_cluster_worker(args) -> int:
+    """Register one proving node with a coordinator and serve batches."""
+    from repro.cluster import WorkerNode
+
+    node = WorkerNode(
+        _parse_address(args.connect),
+        node_id=args.node_id,
+        pool_workers=args.pool_workers,
+        window=args.window,
+        mode=args.mode,
+    )
+    node.start()
+    print(
+        f"worker {node.node_id} connected to {args.connect} "
+        f"[mode={args.mode} pool={args.pool_workers} window={args.window}]",
+        flush=True,
+    )
+    try:
+        node.run_forever()
+    except KeyboardInterrupt:
+        node.stop()
+    return 0
+
+
+def cmd_cluster_submit(args) -> int:
+    """Submit a batch of jobs to a running cluster and collect the proofs."""
+    from repro.cluster import ClusterClient
+
+    with ClusterClient(_parse_address(args.connect)) as client:
+        job_ids = [
+            client.submit(
+                args.model,
+                image_seed=args.image_seed + i,
+                scale=args.scale,
+                seed=args.seed,
+                privacy=args.privacy,
+            )
+            for i in range(args.jobs)
+        ]
+        out_dir = Path(args.out_dir) if args.out_dir else None
+        if out_dir:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        all_verified = True
+        for job_id in job_ids:
+            res = client.result(job_id, timeout=args.timeout)
+            all_verified &= res.verified
+            print(
+                f"{job_id}: class {int(np.argmax(res.logits))}  "
+                f"verified={res.verified}  node={res.store_keys.get('node')}  "
+                f"batch #{res.batch_id} (size {res.batch_size})  "
+                f"attempts={client.attempts(job_id)}"
+            )
+            if out_dir:
+                # Same naming contract ``verify --batch`` scans for:
+                # <name> is the proof, <name>.claim.json the claim,
+                # <name>.vk the verifying key the claim references.
+                proof_path = out_dir / f"{job_id}.proof.bin"
+                proof_path.write_bytes(res.proof)
+                vk_path = proof_path.with_suffix(proof_path.suffix + ".vk")
+                vk = client.verifying_key(job_id)
+                if vk:
+                    vk_path.write_bytes(vk)
+                claim = {
+                    "model": args.model,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "privacy": args.privacy,
+                    "public_inputs": [str(v) for v in res.public_inputs],
+                    "logits": res.logits,
+                    "vk_file": vk_path.name,
+                }
+                claim_path = proof_path.with_suffix(
+                    proof_path.suffix + ".claim.json"
+                )
+                claim_path.write_text(json.dumps(claim, indent=2))
+        if args.stats:
+            print(json.dumps(client.stats(timeout=30), indent=2, default=repr))
+        if out_dir:
+            print(f"artifacts: {out_dir} (verify with: repro verify --batch "
+                  f"{out_dir})")
+    return 0 if all_verified else 1
+
+
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="LCS", choices=MODEL_ORDER)
     parser.add_argument("--scale", default="mini",
@@ -336,9 +530,14 @@ def main(argv=None) -> int:
     )
     p_prove.set_defaults(func=cmd_prove)
 
-    p_verify = sub.add_parser("verify", help="verify a serialized proof")
-    p_verify.add_argument("--proof", required=True)
-    p_verify.add_argument("--claim", required=True)
+    p_verify = sub.add_parser("verify", help="verify serialized proof(s)")
+    p_verify.add_argument("--proof", default=None)
+    p_verify.add_argument("--claim", default=None)
+    p_verify.add_argument(
+        "--batch", default=None, metavar="DIR",
+        help="batch-verify every *.claim.json under DIR "
+             "(one k+3-pairing check per shared verifying key)",
+    )
     p_verify.set_defaults(func=cmd_verify)
 
     p_compare = sub.add_parser("compare", help="arkworks vs ZENO profiles")
@@ -375,6 +574,60 @@ def main(argv=None) -> int:
                           help=".npy image file (default: synthetic)")
     p_submit.add_argument("--out", default="proof.bin")
     p_submit.set_defaults(func=cmd_submit, model="SHAL")
+
+    p_cluster = sub.add_parser(
+        "cluster", help="distributed proving cluster (coordinator/worker/submit)"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="role", required=True)
+
+    p_coord = cluster_sub.add_parser(
+        "coordinator", help="run the scheduling/verifying coordinator"
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument("--port", type=int, default=0,
+                         help="0 = bind an ephemeral port (printed at startup)")
+    p_coord.add_argument("--max-batch", type=int, default=4)
+    p_coord.add_argument("--max-wait", type=float, default=0.05)
+    p_coord.add_argument("--max-retries", type=int, default=2)
+    p_coord.add_argument("--window", type=int, default=2,
+                         help="max in-flight batches per node")
+    p_coord.add_argument("--heartbeat-timeout", type=float, default=3.0)
+    p_coord.add_argument(
+        "--deterministic", action="store_true",
+        help="derive proof blinding from the job so every node emits "
+             "byte-identical proofs for the same job",
+    )
+    p_coord.add_argument("--audit", action="store_true",
+                         help="soundness-audit each cold circuit on the nodes")
+    p_coord.add_argument("--gadgets", choices=["lean", "strict"], default=None)
+    p_coord.set_defaults(func=cmd_cluster_coordinator)
+
+    p_worker = cluster_sub.add_parser(
+        "worker", help="run one proving node against a coordinator"
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p_worker.add_argument("--node-id", default=None)
+    p_worker.add_argument("--pool-workers", type=int, default=1,
+                          help="proving processes in this node's pool")
+    p_worker.add_argument("--window", type=int, default=2,
+                          help="batches this node accepts in flight")
+    p_worker.add_argument("--mode", choices=["pool", "inline"], default="pool")
+    p_worker.set_defaults(func=cmd_cluster_worker)
+
+    p_csubmit = cluster_sub.add_parser(
+        "submit", help="submit jobs to a running cluster"
+    )
+    _common(p_csubmit)
+    p_csubmit.add_argument("--connect", required=True, metavar="HOST:PORT")
+    p_csubmit.add_argument("--jobs", type=int, default=4)
+    p_csubmit.add_argument("--timeout", type=float, default=600.0)
+    p_csubmit.add_argument(
+        "--out-dir", default=None,
+        help="write proof/vk/claim files scannable by `verify --batch`",
+    )
+    p_csubmit.add_argument("--stats", action="store_true",
+                           help="print the coordinator telemetry snapshot")
+    p_csubmit.set_defaults(func=cmd_cluster_submit, model="SHAL")
 
     args = parser.parse_args(argv)
     return args.func(args)

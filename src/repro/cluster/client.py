@@ -1,0 +1,217 @@
+"""Client for submitting proving jobs to a cluster coordinator.
+
+One persistent TCP connection carries request/response pairs (``SUBMIT``/
+``SUBMIT_ACK``, ``STATS``/``STATS_REPLY``, matched by a ``req`` counter)
+interleaved with ``JOB_DONE`` pushes the coordinator sends when a
+submitted job reaches a terminal state.  A background receive thread
+demultiplexes them; :meth:`ClusterClient.result` blocks on the push.
+
+Results mirror :class:`repro.serve.jobs.JobResult` and additionally carry
+the serialized verifying key, so a client can re-verify and archive the
+proof with no further round trips.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    MsgType,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.serve.jobs import JobResult, JobState
+from repro.serve.service import JobFailedError
+
+
+class ClusterError(RuntimeError):
+    """Submission failed or the coordinator connection was lost."""
+
+
+class RemoteJobFailedError(JobFailedError):
+    """A cluster job ended FAILED/TIMED_OUT; carries the remote error."""
+
+    def __init__(self, job_id: str, state: str, error: Optional[str]) -> None:
+        RuntimeError.__init__(
+            self, f"{job_id} ended {state}: {error or 'unknown'}"
+        )
+        self.job_id = job_id
+        self.state = JobState(state)
+        self.remote_error = error
+
+
+class ClusterClient:
+    """Thread-safe client bound to one coordinator."""
+
+    def __init__(
+        self, address: Tuple[str, int], connect_timeout: float = 10.0
+    ) -> None:
+        self.address = tuple(address)
+        self._sock = socket.create_connection(self.address, connect_timeout)
+        self._sock.settimeout(None)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._req_ids = itertools.count(1)
+        self._replies: Dict[int, Dict[str, Any]] = {}
+        self._done: Dict[str, Dict[str, Any]] = {}  # job_id -> JOB_DONE payload
+        self._closed = False
+        self._recv_thread = threading.Thread(
+            target=self._recv_loop, name="repro-cluster-client", daemon=True
+        )
+        self._recv_thread.start()
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                msg_type, payload = read_frame(self._sock)
+            except (ProtocolError, OSError):
+                with self._cond:
+                    self._closed = True
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                if msg_type is MsgType.JOB_DONE:
+                    self._done[payload["job_id"]] = payload
+                else:
+                    self._replies[payload.get("req", 0)] = payload
+                self._cond.notify_all()
+
+    def _request(
+        self,
+        msg_type: MsgType,
+        payload: Dict[str, Any],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        req = next(self._req_ids)
+        payload = dict(payload, req=req)
+        with self._send_lock:
+            write_frame(self._sock, msg_type, payload)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while req not in self._replies:
+                if self._closed:
+                    raise ClusterError("coordinator connection lost")
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(f"no reply to {msg_type.name}")
+                self._cond.wait(timeout=remaining)
+            return self._replies.pop(req)
+
+    # -- API -------------------------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        image: Optional[np.ndarray] = None,
+        *,
+        image_seed: Optional[int] = None,
+        scale: str = "mini",
+        seed: int = 0,
+        privacy: str = "one-private",
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """Enqueue one job on the coordinator; returns its job id."""
+        reply = self._request(
+            MsgType.SUBMIT,
+            {
+                "model": model,
+                "image": image,
+                "image_seed": image_seed,
+                "scale": scale,
+                "seed": seed,
+                "privacy": privacy,
+                "priority": priority,
+                "timeout": timeout,
+                "extra": extra or {},
+            },
+        )
+        if "error" in reply:
+            raise ClusterError(f"submit rejected: {reply['error']}")
+        return reply["job_id"]
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> JobResult:
+        """Block until ``job_id`` finishes; return its verified result.
+
+        Raises :class:`RemoteJobFailedError` for FAILED/TIMED_OUT jobs and
+        ``TimeoutError`` if nothing arrives within ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while job_id not in self._done:
+                if self._closed:
+                    raise ClusterError("coordinator connection lost")
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(f"{job_id} still pending")
+                self._cond.wait(timeout=remaining)
+            payload = self._done[job_id]
+        if payload["state"] != JobState.DONE.value:
+            raise RemoteJobFailedError(
+                job_id, payload["state"], payload.get("error")
+            )
+        res = payload["result"]
+        result = JobResult(
+            proof=res["proof"],
+            public_inputs=[int(v) for v in res["public_inputs"]],
+            logits=[int(v) for v in res["logits"]],
+            verified=bool(res["verified"]),
+            worker_pid=int(res["worker_pid"]),
+            batch_id=int(res["batch_id"]),
+            batch_size=int(res["batch_size"]),
+            store_keys=dict(res["store_keys"]),
+        )
+        return result
+
+    def verifying_key(self, job_id: str) -> Optional[bytes]:
+        """Serialized VK shipped with a finished job's JOB_DONE push."""
+        with self._cond:
+            payload = self._done.get(job_id)
+        if payload is None or "result" not in payload:
+            return None
+        return payload["result"].get("vk")
+
+    def attempts(self, job_id: str) -> Optional[int]:
+        """How many dispatch attempts a finished job consumed."""
+        with self._cond:
+            payload = self._done.get(job_id)
+        return None if payload is None else payload.get("attempts")
+
+    def stats(self, timeout: Optional[float] = None) -> dict:
+        """The coordinator's merged telemetry + per-node snapshot."""
+        return self._request(MsgType.STATS, {}, timeout=timeout)["stats"]
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+        try:
+            with self._send_lock:
+                write_frame(self._sock, MsgType.BYE, {})
+        except (OSError, ProtocolError):
+            pass
+        self._sock.close()
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

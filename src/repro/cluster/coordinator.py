@@ -1,0 +1,853 @@
+"""The cluster coordinator: one queue, many nodes, zero trust.
+
+The coordinator owns the same scheduling machinery as the in-process
+:class:`repro.serve.service.ProvingService` — a :class:`JobQueue` with
+priorities/deadlines/backoff, the §6.1 :class:`MicroBatcher`, the
+content-addressed :class:`ArtifactStore`, and :class:`ServiceTelemetry` —
+but dispatches ready batches over TCP to registered
+:class:`repro.cluster.node.WorkerNode` daemons instead of a local process
+pool.  All the batching/retry knobs come from the embedded
+:class:`~repro.serve.service.ServiceConfig`, so the local pool and the
+cluster share one scheduling code path.
+
+Robustness model:
+
+* **liveness** — every frame from a node refreshes ``last_seen``; a
+  monitor thread declares a node dead after ``heartbeat_timeout`` silent
+  seconds (socket EOF/reset is detected immediately);
+* **failover** — a dead node's in-flight jobs reroute: each job re-enters
+  the queue with :meth:`ProofJob.next_backoff` until its retry budget is
+  spent, so killing a node mid-batch loses nothing;
+* **backpressure** — a node never holds more than ``node_window``
+  batches; ready batches queue at the coordinator until a node has room;
+* **circuit breaking** — ``breaker_threshold`` *consecutive* faults
+  (errors, bad proofs) open a node's breaker for ``breaker_reset``
+  seconds: it keeps its warm caches but receives no new work;
+* **verification** — every returned proof is checked against the VK
+  (:func:`repro.cluster.verification.verify_claims`, the ``k+3``-pairing
+  batch check) before the job is acked, so a faulty node can never
+  corrupt results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import verification
+from repro.cluster.protocol import (
+    ConnectionClosed,
+    MsgType,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.jobs import JobQueue, JobResult, JobState, ProofJob
+from repro.serve.service import JobFailedError, ServiceConfig
+from repro.serve.store import ArtifactStore
+from repro.serve.telemetry import ServiceTelemetry
+
+
+@dataclass
+class ClusterConfig:
+    """Coordinator tunables; scheduling knobs live in ``service``."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = bind an ephemeral port (reported by start())
+    heartbeat_interval: float = 0.5  # expected node heartbeat period
+    heartbeat_timeout: float = 3.0  # silent seconds before a node is dead
+    node_window: int = 2  # max in-flight batches per node
+    breaker_threshold: int = 3  # consecutive faults to open the breaker
+    breaker_reset: float = 5.0  # seconds the breaker stays open
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+
+class _Node:
+    """Coordinator-side handle for one registered worker node."""
+
+    def __init__(
+        self, node_id: str, sock: socket.socket, payload: Dict[str, Any]
+    ) -> None:
+        self.node_id = node_id
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.pid = int(payload.get("pid", 0))
+        self.window = max(int(payload.get("window", 1)), 1)
+        self.pool_workers = int(payload.get("pool_workers", 1))
+        self.mode = str(payload.get("mode", "pool"))
+        self.registered_at = time.monotonic()
+        self.last_seen = self.registered_at
+        self.alive = True
+        self.inflight: Dict[int, Batch] = {}
+        self.consecutive_faults = 0
+        self.breaker_open_until = 0.0
+        self.breaker_opens = 0
+        self.batches_done = 0
+        self.jobs_done = 0
+        self.faults = 0
+        self.last_heartbeat: Dict[str, Any] = {}
+
+    def breaker_open(self, now: float) -> bool:
+        return now < self.breaker_open_until
+
+    def has_room(self, now: float) -> bool:
+        return (
+            self.alive
+            and not self.breaker_open(now)
+            and len(self.inflight) < self.window
+        )
+
+    def stats(self, now: float) -> Dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "mode": self.mode,
+            "pool_workers": self.pool_workers,
+            "window": self.window,
+            "alive": self.alive,
+            "inflight_batches": len(self.inflight),
+            "inflight_jobs": sum(len(b) for b in self.inflight.values()),
+            "batches_done": self.batches_done,
+            "jobs_done": self.jobs_done,
+            "faults": self.faults,
+            "breaker_open": self.breaker_open(now),
+            "breaker_opens": self.breaker_opens,
+            "last_seen_age_seconds": now - self.last_seen,
+            "heartbeat": dict(self.last_heartbeat),
+        }
+
+
+class ClusterCoordinator:
+    """TCP coordinator sharding proof batches across registered nodes."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
+        self.config = replace(config or ClusterConfig(), **overrides)
+        cfg = self.config.service
+        self._queue = JobQueue()
+        self._batcher = MicroBatcher(cfg.max_batch, cfg.max_wait)
+        self.telemetry = ServiceTelemetry()
+        store_dir = cfg.store_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+        self.store = ArtifactStore(store_dir, max_entries=cfg.store_entries)
+
+        self._jobs: Dict[str, ProofJob] = {}
+        self._job_ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._terminal = threading.Condition(self._lock)
+        self._wake = threading.Event()
+        self._stop = False
+        self._drain = False
+        self._input_shapes: Dict[Tuple[str, str, int], Tuple[int, ...]] = {}
+
+        self._nodes: Dict[str, _Node] = {}
+        self._dead_nodes: Dict[str, Dict[str, Any]] = {}
+        self._pending: Deque[Batch] = deque()  # ready batches awaiting a node
+        # job_id -> (client socket, its send lock): where to push JOB_DONE
+        self._watchers: Dict[str, Tuple[socket.socket, threading.Lock]] = {}
+        self.node_deaths = 0
+        self.reroutes = 0  # jobs requeued off a dead/faulty node
+        self.late_results = 0  # results from nodes already declared dead
+        self.bad_proof_batches = 0  # batches failing coordinator verification
+
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, listen, and start the accept/dispatch/monitor threads."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname()
+        for target, name in (
+            (self._accept_loop, "accept"),
+            (self._dispatch_loop, "dispatch"),
+            (self._monitor_loop, "monitor"),
+        ):
+            thread = threading.Thread(
+                target=target, name=f"repro-cluster-{name}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the cluster; with ``drain`` wait for in-flight jobs first."""
+        with self._lock:
+            if drain:
+                self._drain = True
+            else:
+                self._stop = True
+        self._wake.set()
+        if drain:
+            self.wait_all(timeout=timeout)
+        with self._lock:
+            self._stop = True
+        self._wake.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+        with self._lock:
+            nodes = list(self._nodes.values())
+        for node in nodes:
+            self._send_to_node(node, MsgType.BYE, {})
+            try:
+                node.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ClusterCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # -- submission / results (mirrors ProvingService) -------------------------------
+
+    def submit(
+        self,
+        model: str,
+        image: Optional[np.ndarray] = None,
+        *,
+        image_seed: Optional[int] = None,
+        scale: str = "mini",
+        seed: int = 0,
+        privacy: str = "one-private",
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """Enqueue one proving job; returns its job id immediately."""
+        with self._lock:
+            if self._stop or self._drain:
+                raise RuntimeError("cluster is shutting down")
+        if image is None:
+            if image_seed is None:
+                raise ValueError("provide an image or an image_seed")
+            image = self._synthesize(model, scale, seed, image_seed)
+        cfg = self.config.service
+        job = ProofJob(
+            job_id=f"job-{next(self._job_ids):06d}",
+            model=model,
+            image=image,
+            scale=scale,
+            seed=seed,
+            privacy=privacy,
+            priority=priority,
+            timeout=cfg.default_timeout if timeout is None else timeout,
+            max_retries=cfg.max_retries if max_retries is None else max_retries,
+            extra=extra or {},
+        )
+        job.submitted_at = time.monotonic()
+        with self._lock:
+            self._jobs[job.job_id] = job
+        self._queue.push(job)
+        self.telemetry.record_submit()
+        self.telemetry.record_queue_depth(max(1, self._queue.depth()))
+        self._wake.set()
+        return job.job_id
+
+    def _synthesize(
+        self, model: str, scale: str, seed: int, image_seed: int
+    ) -> np.ndarray:
+        from repro.nn.data import synthetic_images
+        from repro.nn.models import build_model
+
+        key = (model, scale, seed)
+        shape = self._input_shapes.get(key)
+        if shape is None:
+            shape = build_model(model, scale=scale, seed=seed).input_shape
+            self._input_shapes[key] = shape
+        return synthetic_images(shape, n=1, seed=image_seed)[0]
+
+    def job(self, job_id: str) -> ProofJob:
+        with self._lock:
+            return self._jobs[job_id]
+
+    def status(self, job_id: str) -> JobState:
+        return self.job(job_id).state
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> JobResult:
+        """Block until ``job_id`` is terminal; return its verified result."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            job = self._jobs[job_id]
+            while not job.state.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(f"{job_id} still {job.state.value}")
+                self._terminal.wait(timeout=remaining)
+            if job.state is not JobState.DONE:
+                raise JobFailedError(job)
+            assert job.result is not None
+            return job.result
+
+    def wait_all(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            while any(not j.state.terminal for j in self._jobs.values()):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._terminal.wait(timeout=remaining)
+            return True
+
+    def stats(self) -> dict:
+        """Service telemetry merged with per-node cluster state."""
+        now = time.monotonic()
+        snap = self.telemetry.snapshot()
+        snap["store"] = self.store.stats()
+        with self._lock:
+            snap["cluster"] = {
+                "nodes": {
+                    node_id: node.stats(now)
+                    for node_id, node in self._nodes.items()
+                },
+                "dead_nodes": {k: dict(v) for k, v in self._dead_nodes.items()},
+                "node_deaths": self.node_deaths,
+                "reroutes": self.reroutes,
+                "late_results": self.late_results,
+                "bad_proof_batches": self.bad_proof_batches,
+                "pending_batches": len(self._pending),
+            }
+        return snap
+
+    def live_nodes(self) -> List[str]:
+        with self._lock:
+            return [n.node_id for n in self._nodes.values() if n.alive]
+
+    # -- accept / per-connection handlers --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed during shutdown
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-cluster-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """Dispatch a fresh connection: worker node or submitting client."""
+        try:
+            msg_type, payload = read_frame(conn)
+        except (ProtocolError, OSError):
+            conn.close()
+            return
+        if msg_type is MsgType.HELLO:
+            self._serve_node(conn, payload)
+        else:
+            self._serve_client(conn, msg_type, payload)
+
+    # -- node side -------------------------------------------------------------------
+
+    def _serve_node(self, conn: socket.socket, hello: Dict[str, Any]) -> None:
+        node_id = str(hello.get("node_id") or f"node-{id(conn):x}")
+        node = _Node(node_id, conn, hello)
+        with self._lock:
+            if node_id in self._nodes:  # reconnect: replace the stale handle
+                self._node_died(self._nodes[node_id], "replaced by reconnect")
+            self._nodes[node_id] = node
+            self._dead_nodes.pop(node_id, None)
+        try:
+            write_frame(conn, MsgType.HELLO_ACK, {"node_id": node_id})
+        except OSError:
+            self._node_died(node, "handshake failed")
+            return
+        self._wake.set()
+        while node.alive:
+            try:
+                msg_type, payload = read_frame(conn)
+            except (ProtocolError, OSError):
+                self._node_died(node, "connection lost")
+                return
+            node.last_seen = time.monotonic()
+            if msg_type is MsgType.HEARTBEAT:
+                node.last_heartbeat = {
+                    k: v for k, v in payload.items() if k != "node_id"
+                }
+                self._send_to_node(node, MsgType.HEARTBEAT_ACK, {})
+            elif msg_type is MsgType.JOB_RESULT:
+                self._on_job_result(node, payload)
+            elif msg_type is MsgType.JOB_ERROR:
+                self._on_job_error(node, payload)
+            elif msg_type is MsgType.BYE:
+                self._node_died(node, "deregistered", graceful=True)
+                return
+
+    def _send_to_node(
+        self, node: _Node, msg_type: MsgType, payload: Dict[str, Any]
+    ) -> bool:
+        try:
+            with node.send_lock:
+                write_frame(node.sock, msg_type, payload)
+            return True
+        except (OSError, ProtocolError):
+            self._node_died(node, "send failed")
+            return False
+
+    def _node_died(
+        self, node: _Node, reason: str, graceful: bool = False
+    ) -> None:
+        """Mark a node dead and reroute everything it was proving."""
+        with self._lock:
+            if not node.alive:
+                return
+            node.alive = False
+            if self._nodes.get(node.node_id) is node:
+                del self._nodes[node.node_id]
+            stranded = list(node.inflight.values())
+            node.inflight.clear()
+            if not graceful:
+                self.node_deaths += 1
+            self._dead_nodes[node.node_id] = {
+                "reason": reason,
+                "graceful": graceful,
+                "batches_done": node.batches_done,
+                "jobs_done": node.jobs_done,
+                "rerouted_jobs": sum(len(b) for b in stranded),
+            }
+        try:
+            node.sock.close()
+        except OSError:
+            pass
+        for batch in stranded:
+            with self._lock:
+                self.reroutes += len(batch.jobs)
+            self._requeue_or_fail(batch, f"node {node.node_id} died: {reason}")
+        self._wake.set()
+
+    def _take_batch(self, node: _Node, payload: Dict[str, Any]) -> Optional[Batch]:
+        batch_id = payload.get("batch_id")
+        with self._lock:
+            batch = node.inflight.pop(batch_id, None)
+            if batch is None:
+                # Already rerouted (node was declared dead, then answered).
+                self.late_results += 1
+        return batch
+
+    def _on_job_result(self, node: _Node, payload: Dict[str, Any]) -> None:
+        batch = self._take_batch(node, payload)
+        if batch is None:
+            return
+        out = payload["out"]
+        if out.get("audit_rejected"):
+            self._audit_reject(node, batch, out)
+            return
+        by_id = {r["job_id"]: r for r in out["results"]}
+        claims = []
+        for job in batch.jobs:
+            res = by_id.get(job.job_id)
+            claims.append(
+                (res["public_inputs"], res["proof"]) if res else ([], b"")
+            )
+        try:
+            verdict = verification.verify_claims(out["vk"], claims)
+        except verification.SerializationError as exc:
+            self._node_fault(node)
+            self._requeue_or_fail(
+                batch, f"node {node.node_id} returned a malformed VK: {exc}"
+            )
+            return
+
+        self.telemetry.record_batch(
+            len(batch), out["cold"], out["phases"], out.get("msm_tables")
+        )
+        vk_key = self.store.put("vk", out["vk"])
+        bad_jobs = []
+        with self._lock:
+            node.batches_done += 1
+        for job, ok in zip(batch.jobs, verdict.per_proof):
+            if not ok:
+                bad_jobs.append(job)
+                continue
+            res = by_id[job.job_id]
+            proof_key = self.store.put("proof", res["proof"])
+            job.result = JobResult(
+                proof=res["proof"],
+                public_inputs=[int(v) for v in res["public_inputs"]],
+                logits=[int(v) for v in res["logits"]],
+                verified=True,
+                worker_pid=int(out["pid"]),
+                batch_id=batch.batch_id,
+                batch_size=len(batch),
+                store_keys={
+                    "proof": proof_key,
+                    "vk": vk_key,
+                    "node": node.node_id,
+                },
+            )
+            with self._lock:
+                node.jobs_done += 1
+            self._finalize(job, JobState.DONE)
+        if bad_jobs:
+            with self._lock:
+                self.bad_proof_batches += 1
+                self.reroutes += len(bad_jobs)
+            self._node_fault(node)
+            self._requeue_or_fail(
+                Batch(batch.batch_id, batch.key, bad_jobs, batch.created_at),
+                f"node {node.node_id} returned proofs that fail verification",
+            )
+        else:
+            with self._lock:
+                node.consecutive_faults = 0
+        self._wake.set()
+
+    def _audit_reject(self, node: _Node, batch: Batch, out: Dict) -> None:
+        """Audit rejections are circuit properties — fail without retry."""
+        rejected = out["audit_rejected"]
+        self.telemetry.record_audit_rejection(len(batch))
+        for phase, seconds in out.get("phases", {}).items():
+            self.telemetry.phases.add(phase, seconds)
+        error = (
+            f"circuit audit rejected batch: {rejected['errors']} error(s); "
+            f"first: {rejected['first']}"
+        )
+        with self._lock:
+            node.consecutive_faults = 0  # the circuit's fault, not the node's
+        for job in batch.jobs:
+            job.result = None
+            self._finalize(job, JobState.FAILED, error=error)
+        self._wake.set()
+
+    def _on_job_error(self, node: _Node, payload: Dict[str, Any]) -> None:
+        batch = self._take_batch(node, payload)
+        if batch is None:
+            return
+        self._node_fault(node)
+        with self._lock:
+            self.reroutes += len(batch.jobs)
+        self._requeue_or_fail(
+            batch,
+            f"node {node.node_id} failed batch: {payload.get('error')}",
+        )
+        self._wake.set()
+
+    def _node_fault(self, node: _Node) -> None:
+        """Count one fault; open the circuit breaker on a streak."""
+        cfg = self.config
+        with self._lock:
+            node.faults += 1
+            node.consecutive_faults += 1
+            if node.consecutive_faults >= cfg.breaker_threshold:
+                node.breaker_open_until = time.monotonic() + cfg.breaker_reset
+                node.breaker_opens += 1
+                node.consecutive_faults = 0
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        cfg = self.config.service
+        while True:
+            self._wake.clear()
+            now = time.monotonic()
+            for job in self._queue.expire(now):
+                self._finalize(
+                    job, JobState.TIMED_OUT,
+                    error="deadline exceeded before dispatch",
+                )
+            while True:
+                job = self._queue.pop(now)
+                if job is None:
+                    break
+                if job.expired(now):
+                    self._finalize(
+                        job, JobState.TIMED_OUT,
+                        error="deadline exceeded before dispatch",
+                    )
+                    continue
+                self._batcher.add(job, now)
+            with self._lock:
+                force = self._drain or self._stop
+            for batch in self._batcher.take_ready(now, force=force):
+                self._pending.append(batch)
+            self._expire_pending(now)
+            self._assign_pending(now)
+            inflight = self._inflight_jobs()
+            self.telemetry.record_queue_depth(
+                self._queue.depth()
+                + self._batcher.pending()
+                + sum(len(b) for b in self._pending)
+            )
+            with self._lock:
+                if self._stop:
+                    return
+                idle = (
+                    self._queue.depth() == 0
+                    and self._batcher.pending() == 0
+                    and not self._pending
+                    and inflight == 0
+                )
+                if self._drain and idle:
+                    return
+            self._wake.wait(timeout=cfg.poll_interval)
+
+    def _inflight_jobs(self) -> int:
+        with self._lock:
+            return sum(
+                len(b)
+                for node in self._nodes.values()
+                for b in node.inflight.values()
+            )
+
+    def _pick_node(self, now: float) -> Optional[_Node]:
+        """Least-loaded live node with window room (fraction of window used)."""
+        with self._lock:
+            candidates = [n for n in self._nodes.values() if n.has_room(now)]
+            if not candidates:
+                return None
+            return min(
+                candidates,
+                key=lambda n: (len(n.inflight) / n.window, n.registered_at),
+            )
+
+    def _expire_pending(self, now: float) -> None:
+        """Reap deadline-overrun jobs parked in batches awaiting a node.
+
+        ``JobQueue.expire`` only sees queued jobs; with no live node a
+        flushed batch can sit in ``_pending`` past every deadline, which
+        must surface as TIMED_OUT rather than waiting forever.
+        """
+        if not self._pending:
+            return
+        still = deque()
+        for batch in self._pending:
+            live = []
+            for job in batch.jobs:
+                if job.expired(now):
+                    self._finalize(
+                        job, JobState.TIMED_OUT,
+                        error="deadline exceeded before dispatch",
+                    )
+                else:
+                    live.append(job)
+            if live:
+                batch.jobs = live
+                still.append(batch)
+        self._pending = still
+
+    def _assign_pending(self, now: float) -> None:
+        while self._pending:
+            node = self._pick_node(now)
+            if node is None:
+                return
+            batch = self._pending.popleft()
+            self._dispatch(node, batch, now)
+
+    def _dispatch(self, node: _Node, batch: Batch, now: float) -> None:
+        cfg = self.config.service
+        spec = {
+            "model": batch.jobs[0].model,
+            "scale": batch.jobs[0].scale,
+            "seed": batch.jobs[0].seed,
+            "privacy": batch.jobs[0].privacy,
+            "backend": cfg.backend,
+            "parallelism": (
+                cfg.prove_parallelism
+                if cfg.prove_parallelism is not None
+                else cfg.msm_parallelism
+            ),
+            "audit": cfg.audit,
+            "gadgets": cfg.gadget_mode,
+            "deterministic": cfg.deterministic,
+        }
+        payloads = []
+        for job in batch.jobs:
+            job.state = JobState.RUNNING
+            job.started_at = now
+            job.attempts += 1
+            payload = {"job_id": job.job_id, "image": job.image}
+            if "crash_token" in job.extra:
+                payload["crash_token"] = job.extra["crash_token"]
+            payloads.append(payload)
+        with self._lock:
+            node.inflight[batch.batch_id] = batch
+        # A failed send marks the node dead, which reroutes this batch too.
+        self._send_to_node(
+            node,
+            MsgType.JOB,
+            {"batch_id": batch.batch_id, "spec": spec, "payloads": payloads},
+        )
+
+    def _requeue_or_fail(self, batch: Batch, error: str) -> None:
+        cfg = self.config.service
+        now = time.monotonic()
+        for job in batch.jobs:
+            if job.expired(now):
+                self._finalize(
+                    job, JobState.TIMED_OUT, error="deadline exceeded"
+                )
+            elif job.attempts > job.max_retries:
+                self._finalize(job, JobState.FAILED, error=error)
+            else:
+                self.telemetry.record_retry()
+                job.state = JobState.QUEUED
+                self._queue.push(job, delay=job.next_backoff(cfg.backoff_base))
+
+    def _monitor_loop(self) -> None:
+        cfg = self.config
+        period = max(cfg.heartbeat_interval / 2, 0.05)
+        while True:
+            time.sleep(period)
+            with self._lock:
+                if self._stop:
+                    return
+                now = time.monotonic()
+                silent = [
+                    node
+                    for node in self._nodes.values()
+                    if now - node.last_seen > cfg.heartbeat_timeout
+                ]
+            for node in silent:
+                self._node_died(node, "heartbeat timeout")
+
+    # -- client side -----------------------------------------------------------------
+
+    def _serve_client(
+        self, conn: socket.socket, msg_type: MsgType, payload: Dict[str, Any]
+    ) -> None:
+        send_lock = threading.Lock()
+        try:
+            while True:
+                self._handle_client_frame(conn, send_lock, msg_type, payload)
+                msg_type, payload = read_frame(conn)
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            with self._lock:
+                stale = [
+                    job_id
+                    for job_id, (sock, _) in self._watchers.items()
+                    if sock is conn
+                ]
+                for job_id in stale:
+                    del self._watchers[job_id]
+            conn.close()
+
+    def _handle_client_frame(
+        self,
+        conn: socket.socket,
+        send_lock: threading.Lock,
+        msg_type: MsgType,
+        payload: Dict[str, Any],
+    ) -> None:
+        req = payload.get("req", 0)
+        if msg_type is MsgType.SUBMIT:
+            try:
+                job_id = self.submit(
+                    payload["model"],
+                    payload.get("image"),
+                    image_seed=payload.get("image_seed"),
+                    scale=payload.get("scale", "mini"),
+                    seed=payload.get("seed", 0),
+                    privacy=payload.get("privacy", "one-private"),
+                    priority=payload.get("priority", 0),
+                    timeout=payload.get("timeout"),
+                    extra=payload.get("extra") or {},
+                )
+            except Exception as exc:  # shutting down, bad args, missing keys
+                with send_lock:
+                    write_frame(
+                        conn, MsgType.SUBMIT_ACK, {"req": req, "error": str(exc)}
+                    )
+                return
+            with self._lock:
+                self._watchers[job_id] = (conn, send_lock)
+                job = self._jobs[job_id]
+                already_terminal = job.state.terminal
+            with send_lock:
+                write_frame(
+                    conn, MsgType.SUBMIT_ACK, {"req": req, "job_id": job_id}
+                )
+            if already_terminal:  # raced to terminal before we registered
+                self._push_done(job)
+        elif msg_type is MsgType.STATS:
+            with send_lock:
+                write_frame(
+                    conn,
+                    MsgType.STATS_REPLY,
+                    {"req": req, "stats": _jsonable(self.stats())},
+                )
+        elif msg_type is MsgType.BYE:
+            raise ConnectionClosed("client said BYE")
+        else:
+            raise ProtocolError(
+                f"unexpected {msg_type.name} frame from a client"
+            )
+
+    def _push_done(self, job: ProofJob) -> None:
+        with self._lock:
+            watcher = self._watchers.pop(job.job_id, None)
+        if watcher is None:
+            return
+        conn, send_lock = watcher
+        payload: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "error": job.error,
+            "attempts": job.attempts,
+        }
+        if job.result is not None:
+            res = job.result
+            payload["result"] = {
+                "proof": res.proof,
+                "public_inputs": list(res.public_inputs),
+                "logits": list(res.logits),
+                "verified": res.verified,
+                "worker_pid": res.worker_pid,
+                "batch_id": res.batch_id,
+                "batch_size": res.batch_size,
+                "store_keys": dict(res.store_keys),
+            }
+            try:
+                payload["result"]["vk"] = self.store.get(res.store_keys["vk"])
+            except KeyError:  # evicted by the LRU bound under heavy churn
+                payload["result"]["vk"] = None
+        try:
+            with send_lock:
+                write_frame(conn, MsgType.JOB_DONE, payload)
+        except (OSError, ProtocolError):
+            pass  # client went away; the result stays in self._jobs
+
+    def _finalize(
+        self, job: ProofJob, state: JobState, error: Optional[str] = None
+    ) -> None:
+        with self._terminal:
+            job.state = state
+            job.error = error
+            job.finished_at = time.monotonic()
+            self._terminal.notify_all()
+        self.telemetry.record_terminal(state.value)
+        self._push_done(job)
+
+
+def _jsonable(obj: Any) -> Any:
+    """Strip non-codec types (tuples become lists) for the STATS reply."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj

@@ -55,6 +55,12 @@ class ServiceConfig:
     prewarm: bool = True  # spawn all workers at startup
     audit: bool = False  # pre-prove soundness audit of each cold circuit
     gadget_mode: Optional[str] = None  # None = worker default; "strict" w/ audit
+    # Derive each proof's (r, s) blinding from the CRS seed + image digest
+    # instead of fresh OS randomness.  Proofs become a pure function of the
+    # job, so any two nodes proving the same job emit byte-identical bytes
+    # — the cluster's cross-node equivalence checks depend on this.  Leave
+    # False for deployments that want fresh per-proof blinding.
+    deterministic: bool = False
 
 
 class JobFailedError(RuntimeError):
@@ -142,6 +148,10 @@ class ProvingService:
             self._jobs[job.job_id] = job
         self._queue.push(job)
         self.telemetry.record_submit()
+        # Sample depth at submit time too: a fast dispatcher can otherwise
+        # drain the queue between its own (poll-interval) samples and
+        # report a zero peak for a workload that really queued.
+        self.telemetry.record_queue_depth(max(1, self._queue.depth()))
         self._wake.set()
         return job.job_id
 
@@ -290,6 +300,7 @@ class ProvingService:
             ),
             "audit": self.config.audit,
             "gadgets": self.config.gadget_mode,
+            "deterministic": self.config.deterministic,
         }
         payloads = []
         for job in batch.jobs:

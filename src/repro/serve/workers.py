@@ -18,6 +18,7 @@ attempt only.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import random
@@ -46,6 +47,9 @@ class _WarmEntry:
         # Fixed-base CRS tables built once per key; every proof in every
         # later batch for this key queries them instead of raw MSMs.
         self.tables = tables
+        # Audit-gate latch: a warm entry only skips the pre-prove audit
+        # after it has actually passed it once under some audited spec.
+        self.audited = False
 
 
 _PRIVACY = {
@@ -88,6 +92,22 @@ def _warm_up(key: Tuple, spec: Dict[str, Any], base_image) -> _WarmEntry:
     return entry
 
 
+def _proof_rng(spec: Dict[str, Any], image) -> Optional[random.Random]:
+    """Per-proof randomness source; None = fresh OS-seeded blinding.
+
+    With ``spec["deterministic"]`` the (r, s) blinding factors are derived
+    from the CRS seed and the image digest, making the proof bytes a pure
+    function of the job — the property the cluster's cross-node
+    byte-identity checks (and its rerouted retries) rely on.
+    """
+    if not spec.get("deterministic"):
+        return None
+    digest = hashlib.sha256(image.tobytes()).digest()
+    return random.Random(
+        int.from_bytes(digest, "big") ^ spec.get("crs_seed", 0x5E70)
+    )
+
+
 def prove_batch(
     spec: Dict[str, Any], payloads: List[Dict[str, Any]]
 ) -> Dict[str, Any]:
@@ -114,32 +134,36 @@ def prove_batch(
         phases["generate"] = entry.prover.stats.generate_time
         phases["circuit"] = entry.prover.stats.circuit_time
         phases["setup"] = entry.prover.stats.setup_time
-        if spec.get("audit"):
-            # Pre-prove soundness gate: lint + determinism over the shared
-            # constraint system, once per cold key.  On rejection the warm
-            # entry is evicted so a resubmitted key re-audits (and fails
-            # again) instead of silently proving on the tainted circuit.
-            from repro.analysis import assume_from_recipe, audit_system
-
-            with PhaseTimer("audit", sink=phases):
-                audit = audit_system(
-                    entry.prover.cs,
-                    assume=assume_from_recipe(entry.prover.result.recipe),
-                )
-            if not audit.ok:
-                del _WARM[key]
-                return {
-                    "pid": os.getpid(),
-                    "cold": cold,
-                    "phases": phases,
-                    "audit_rejected": {
-                        "errors": len(audit.errors),
-                        "first": audit.errors[0].message,
-                        "report": audit.to_json(),
-                    },
-                }
     else:
         entry = _WARM[key]
+    if spec.get("audit") and not entry.audited:
+        # Pre-prove soundness gate: lint + determinism over the shared
+        # constraint system, once per key.  Keyed on the entry, not the
+        # cold path: a forked worker can inherit a warm entry that was
+        # built under a spec without the gate, and an audited spec must
+        # not trust it unaudited.  On rejection the warm entry is evicted
+        # so a resubmitted key re-audits (and fails again) instead of
+        # silently proving on the tainted circuit.
+        from repro.analysis import assume_from_recipe, audit_system
+
+        with PhaseTimer("audit", sink=phases):
+            audit = audit_system(
+                entry.prover.cs,
+                assume=assume_from_recipe(entry.prover.result.recipe),
+            )
+        if not audit.ok:
+            del _WARM[key]
+            return {
+                "pid": os.getpid(),
+                "cold": cold,
+                "phases": phases,
+                "audit_rejected": {
+                    "errors": len(audit.errors),
+                    "first": audit.errors[0].message,
+                    "report": audit.to_json(),
+                },
+            }
+        entry.audited = True
 
     tables_uses_before = entry.tables.uses() if entry.tables else 0
     results = []
@@ -157,6 +181,7 @@ def prove_batch(
                 entry.setup.proving_key,
                 entry.prover.cs,
                 backend,
+                rng=_proof_rng(spec, payload["image"]),
                 tables=entry.tables,
                 parallelism=spec.get("parallelism"),
                 phase_sink=phases,

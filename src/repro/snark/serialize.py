@@ -23,10 +23,11 @@ from repro.ec.bn254 import BN254_G1, BN254_G2
 from repro.ec.curve import Point
 from repro.ec.simulated import G1_TAG, G2_TAG, GT_TAG, SimPoint
 from repro.ec.tower import FQ2
-from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS
+from repro.field.fp import BN254_FQ, BN254_FQ_MODULUS, BN254_FR_MODULUS
 from repro.snark.proof import Proof
 
 _Q = BN254_FQ_MODULUS
+_R = BN254_FR_MODULUS
 
 FLAG_INFINITY = 0x40
 FLAG_Y_ODD = 0x01
@@ -36,7 +37,17 @@ _SIM_TAGS_REV = {v: k for k, v in _SIM_TAGS.items()}
 
 
 class SerializationError(ValueError):
-    """Raised on malformed or off-curve encodings."""
+    """Raised on malformed, off-curve, or non-canonical encodings."""
+
+
+def _check_flag(flag: int, what: str) -> None:
+    # Encodings are canonical: decode-success implies the re-serialized
+    # bytes are identical.  Stray flag bits would survive a round trip as
+    # a second encoding of the same point, so they are rejected outright.
+    if flag & ~(FLAG_INFINITY | FLAG_Y_ODD):
+        raise SerializationError(f"{what} flag byte has unknown bits set")
+    if flag & FLAG_INFINITY and flag & FLAG_Y_ODD:
+        raise SerializationError(f"{what} infinity flag with parity bit set")
 
 
 # -- square roots ------------------------------------------------------------------
@@ -98,7 +109,10 @@ def deserialize_g1(data: bytes) -> Point:
     if len(data) != 33:
         raise SerializationError(f"G1 encoding must be 33 bytes, got {len(data)}")
     flag = data[0]
+    _check_flag(flag, "G1")
     if flag & FLAG_INFINITY:
+        if any(data[1:]):
+            raise SerializationError("G1 infinity with nonzero coordinate")
         return BN254_G1.infinity()
     x = int.from_bytes(data[1:], "big")
     if x >= _Q:
@@ -128,7 +142,10 @@ def deserialize_g2(data: bytes) -> Point:
     if len(data) != 65:
         raise SerializationError(f"G2 encoding must be 65 bytes, got {len(data)}")
     flag = data[0]
+    _check_flag(flag, "G2")
     if flag & FLAG_INFINITY:
+        if any(data[1:]):
+            raise SerializationError("G2 infinity with nonzero coordinate")
         return BN254_G2.infinity()
     x0 = int.from_bytes(data[1:33], "big")
     x1 = int.from_bytes(data[33:], "big")
@@ -158,7 +175,13 @@ def deserialize_sim(data: bytes) -> SimPoint:
     tag = _SIM_TAGS_REV.get(data[0])
     if tag is None:
         raise SerializationError(f"unknown simulated group tag {data[0]:#x}")
-    return SimPoint(tag, int.from_bytes(data[1:], "big"))
+    log = int.from_bytes(data[1:], "big")
+    if log >= _R:
+        # SimPoint reduces its exponent mod r on construction, so a log
+        # >= r would decode fine but re-serialize to different bytes —
+        # a non-canonical second encoding of the same point.
+        raise SerializationError("SimPoint exponent out of scalar-field range")
+    return SimPoint(tag, log)
 
 
 # -- proofs ---------------------------------------------------------------------------
@@ -210,7 +233,19 @@ def deserialize_verifying_key(data: bytes):
 
     sim_header = 4 * 33 + 4
     real_header = 33 + 3 * 65 + 4
-    if len(data) >= sim_header and data[0] in _SIM_TAGS_REV:
+
+    # Dispatch on exact layout consistency, not the first byte alone: a
+    # real-curve alpha with an odd y serializes with flag 0x01, which
+    # collides with the sim G1 tag.  The recorded IC count pins the total
+    # length (136 + 33k vs 232 + 33k differ mod 33), so at most one
+    # layout can match.
+    def _sim_layout() -> bool:
+        if len(data) < sim_header or data[0] not in _SIM_TAGS_REV:
+            return False
+        count = int.from_bytes(data[132:136], "big")
+        return len(data) == sim_header + 33 * count
+
+    if _sim_layout():
         alpha = deserialize_sim(data[:33])
         beta = deserialize_sim(data[33:66])
         gamma = deserialize_sim(data[66:99])
