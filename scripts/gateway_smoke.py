@@ -1,0 +1,190 @@
+"""CI smoke test for the durable HTTP gateway.
+
+Runs a REAL ``zeno gateway`` subprocess (journal + coordinator + 2
+autoscaled inline worker nodes) on localhost, then:
+
+1. submits a mixed batch over HTTP and asserts acks are durable (200 +
+   job id only after the WAL fsync);
+2. SIGKILLs the gateway process mid-batch — in-flight and queued jobs
+   die with the coordinator's memory, completed ones exist only in the
+   WAL;
+3. restarts the gateway on the same ``--data-dir`` and asserts the
+   exactly-once contract: every acked job completes (zero lost), the
+   journal records zero duplicate terminal states (zero double-proved),
+   pre-crash results replay byte-identical, and re-submitting every
+   request id mints zero new jobs.
+
+Exit code 0 on success.  Used by the CI "Gateway smoke" step::
+
+    PYTHONPATH=src python scripts/gateway_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+N_JOBS = 24
+MODELS = ["SHAL", "LCS"]  # alternate: shallow CNN + the larger circuit
+SCALE = "micro"
+
+
+def start_gateway(data_dir: str, port_file: str) -> subprocess.Popen:
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "gateway",
+            "--data-dir", data_dir, "--port-file", port_file,
+            "--min-nodes", "2", "--max-nodes", "3",
+            "--node-mode", "inline", "--max-wait", "0.02",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 120
+    while not os.path.exists(port_file):
+        if proc.poll() is not None:
+            raise AssertionError(
+                "gateway died at startup:\n" + proc.stdout.read().decode()
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("gateway never wrote its port file")
+        time.sleep(0.05)
+    return proc
+
+
+def base_url(port_file: str) -> str:
+    host, port = open(port_file).read().split()
+    return f"http://{host}:{port}"
+
+
+def request(method: str, url: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def submit(base: str, i: int) -> str:
+    status, body = request(
+        "POST", base + "/submit",
+        {
+            "model": MODELS[i % len(MODELS)],
+            "scale": SCALE,
+            "image_seed": 4000 + i,
+            "request_id": f"smoke-{i}",
+        },
+    )
+    assert status == 200, (status, body)
+    return body["job_id"]
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="gateway-smoke-")
+    data_dir = os.path.join(workdir, "data")
+    port_file = os.path.join(workdir, "port.txt")
+
+    proc = start_gateway(data_dir, port_file)
+    base = base_url(port_file)
+    print(f"gateway on {base} (2 inline worker nodes)")
+    try:
+        gids = [submit(base, i) for i in range(N_JOBS)]
+        print(f"submitted {N_JOBS} jobs (durable acks)")
+
+        # Snapshot pre-crash completions for the byte-identical check.
+        pre = {}
+        for i, gid in enumerate(gids):
+            status, body = request("GET", f"{base}/result/{gid}")
+            if status == 200:
+                pre[i] = body["proof"]
+        _, health = request("GET", base + "/healthz")
+        assert health["ok"]
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    print(f"SIGKILLed the gateway mid-batch ({len(pre)} jobs had finished)")
+
+    proc = start_gateway(data_dir, port_file)
+    base = base_url(port_file)
+    try:
+        _, metrics = request("GET", base + "/metrics")
+        recovered = metrics["gateway_jobs"]
+        print(
+            "restarted: recovered "
+            f"pending={recovered.get('recovered_pending', 0)} "
+            f"completed={recovered.get('recovered_completed', 0)}"
+        )
+
+        # Idempotent resubmission: every request id maps to its old job.
+        for i in range(N_JOBS):
+            status, body = request(
+                "POST", base + "/submit",
+                {
+                    "model": MODELS[i % len(MODELS)],
+                    "scale": SCALE,
+                    "image_seed": 4000 + i,
+                    "request_id": f"smoke-{i}",
+                },
+            )
+            assert status == 200 and body["job_id"] == gids[i], (
+                f"smoke-{i} re-minted: {body} != {gids[i]}"
+            )
+
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            states = {}
+            for gid in gids:
+                _, view = request("GET", f"{base}/status/{gid}")
+                states[gid] = view["state"]
+            if all(s == "done" for s in states.values()):
+                break
+            time.sleep(0.25)
+        missing = [g for g, s in states.items() if s != "done"]
+        assert not missing, f"jobs lost across the crash: {missing}"
+        print(f"all {N_JOBS} jobs done after restart (zero lost)")
+
+        for i, proof in pre.items():
+            _, body = request("GET", f"{base}/result/{gids[i]}")
+            assert body["proof"] == proof, (
+                f"job {gids[i]} proof changed across restart"
+            )
+        print(f"{len(pre)} pre-crash proofs byte-identical after replay")
+
+        _, metrics = request("GET", base + "/metrics")
+        journal = metrics["gateway_jobs"]
+        assert metrics["journal"]["duplicate_done"] == 0, metrics["journal"]
+        assert journal["done"] == N_JOBS, journal
+        print(
+            "exactly-once held: done="
+            f"{journal['done']}/{N_JOBS}, duplicate_done=0, "
+            f"journal fsyncs={metrics['journal']['fsyncs']}"
+        )
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    print("gateway smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

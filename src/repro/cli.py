@@ -477,6 +477,101 @@ def cmd_cluster_submit(args) -> int:
     return 0 if all_verified else 1
 
 
+def cmd_gateway(args) -> int:
+    """Run the durable HTTP gateway: journal + coordinator + autoscaler."""
+    from repro.cluster import ClusterConfig, ClusterCoordinator
+    from repro.gateway import (
+        Autoscaler,
+        AutoscalerConfig,
+        DurableCoordinator,
+        GatewayConfig,
+        GatewayServer,
+        InProcessNodeLauncher,
+        JobJournal,
+        SubprocessNodeLauncher,
+    )
+    from repro.serve.service import ServiceConfig
+
+    data_dir = Path(args.data_dir)
+    data_dir.mkdir(parents=True, exist_ok=True)
+
+    cluster_cfg = ClusterConfig(
+        host="127.0.0.1",
+        port=args.cluster_port,
+        node_window=args.window,
+        service=ServiceConfig(
+            max_batch=args.max_batch,
+            max_wait=args.max_wait,
+            max_retries=args.max_retries,
+            deterministic=True,  # recovery re-proves must be byte-identical
+            gadget_mode=args.gadgets,
+        ),
+    )
+    coordinator = ClusterCoordinator(cluster_cfg)
+    chost, cport = coordinator.start()
+
+    journal = JobJournal(data_dir / "journal.wal")
+    durable = DurableCoordinator(coordinator, journal)
+
+    if args.node_mode == "subprocess":
+        launcher = SubprocessNodeLauncher(
+            (chost, cport), pool_workers=args.pool_workers,
+            window=args.window,
+        )
+    else:
+        launcher = InProcessNodeLauncher(
+            (chost, cport), mode=args.node_mode,
+            pool_workers=args.pool_workers, window=args.window,
+        )
+    autoscaler = Autoscaler(
+        coordinator, launcher,
+        AutoscalerConfig(
+            min_nodes=args.min_nodes, max_nodes=args.max_nodes,
+            scale_up_backlog=args.scale_up_backlog,
+            scale_down_idle=args.scale_down_idle,
+        ),
+    ).start()
+
+    api_keys = dict(kv.split("=", 1) for kv in args.api_key or [])
+    weights = {
+        t: float(w)
+        for t, w in (kv.split("=", 1) for kv in args.tenant_weight or [])
+    }
+    gateway = GatewayServer(
+        durable,
+        GatewayConfig(
+            host=args.host, port=args.port, api_keys=api_keys,
+            tenant_weights=weights, rate=args.rate, burst=args.burst,
+        ),
+        autoscaler=autoscaler,
+    ).start()
+
+    if args.port_file:
+        # Atomic: the smoke/bench harness polls for this file to learn
+        # the bound port, and must never read a half-written one.
+        tmp_path = Path(args.port_file + ".tmp")
+        tmp_path.write_text(f"{gateway.host} {gateway.port}\n")
+        tmp_path.replace(args.port_file)
+    print(
+        f"gateway listening on {gateway.host}:{gateway.port} "
+        f"(cluster {chost}:{cport}, journal {journal.path}, "
+        f"recovered pending={durable.recovered_pending} "
+        f"completed={durable.recovered_completed})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    gateway.stop()
+    autoscaler.stop()
+    coordinator.shutdown(drain=True)
+    durable.close()
+    print(json.dumps(durable.stats(), indent=2, default=repr))
+    return 0
+
+
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="LCS", choices=MODEL_ORDER)
     parser.add_argument("--scale", default="mini",
@@ -628,6 +723,50 @@ def main(argv=None) -> int:
     p_csubmit.add_argument("--stats", action="store_true",
                            help="print the coordinator telemetry snapshot")
     p_csubmit.set_defaults(func=cmd_cluster_submit, model="SHAL")
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="durable HTTP front door: WAL journal + coordinator + autoscaler",
+    )
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=0,
+                           help="HTTP port (0 = ephemeral)")
+    p_gateway.add_argument("--cluster-port", type=int, default=0,
+                           help="coordinator TCP port for external workers")
+    p_gateway.add_argument("--data-dir", default="gateway-data",
+                           help="journal directory (reused across restarts)")
+    p_gateway.add_argument("--port-file", default=None,
+                           help="write '<host> <port>' here once bound")
+    p_gateway.add_argument("--min-nodes", type=int, default=1)
+    p_gateway.add_argument("--max-nodes", type=int, default=4)
+    p_gateway.add_argument(
+        "--node-mode", choices=["inline", "pool", "subprocess"],
+        default="inline",
+        help="autoscaled workers: in-process threads, in-process pools, "
+             "or `cluster worker` subprocesses",
+    )
+    p_gateway.add_argument("--pool-workers", type=int, default=1)
+    p_gateway.add_argument("--window", type=int, default=2)
+    p_gateway.add_argument("--max-batch", type=int, default=4)
+    p_gateway.add_argument("--max-wait", type=float, default=0.05)
+    p_gateway.add_argument("--max-retries", type=int, default=2)
+    p_gateway.add_argument("--scale-up-backlog", type=float, default=8.0)
+    p_gateway.add_argument("--scale-down-idle", type=float, default=10.0)
+    p_gateway.add_argument(
+        "--api-key", action="append", metavar="KEY=TENANT",
+        help="repeatable; enables X-API-Key auth when given",
+    )
+    p_gateway.add_argument(
+        "--tenant-weight", action="append", metavar="TENANT=WEIGHT",
+        help="repeatable; fair-share admission weights (default 1)",
+    )
+    p_gateway.add_argument("--rate", type=float, default=0.0,
+                           help="per-tenant token-bucket refill, req/s "
+                                "(0 = unlimited)")
+    p_gateway.add_argument("--burst", type=int, default=64)
+    p_gateway.add_argument("--gadgets", choices=["lean", "strict"],
+                           default=None)
+    p_gateway.set_defaults(func=cmd_gateway)
 
     args = parser.parse_args(argv)
     return args.func(args)

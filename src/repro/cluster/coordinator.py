@@ -38,7 +38,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -145,12 +145,14 @@ class ClusterCoordinator:
         self._stop = False
         self._drain = False
         self._input_shapes: Dict[Tuple[str, str, int], Tuple[int, ...]] = {}
+        self._terminal_callbacks: List[Callable[[ProofJob], None]] = []
 
         self._nodes: Dict[str, _Node] = {}
         self._dead_nodes: Dict[str, Dict[str, Any]] = {}
         self._pending: Deque[Batch] = deque()  # ready batches awaiting a node
         # job_id -> (client socket, its send lock): where to push JOB_DONE
         self._watchers: Dict[str, Tuple[socket.socket, threading.Lock]] = {}
+        self._client_conns: set = set()
         self.node_deaths = 0
         self.reroutes = 0  # jobs requeued off a dead/faulty node
         self.late_results = 0  # results from nodes already declared dead
@@ -196,13 +198,34 @@ class ClusterCoordinator:
         self._wake.set()
         listener, self._listener = self._listener, None
         if listener is not None:
+            # close() alone does not wake a thread blocked in accept():
+            # the syscall pins the kernel socket, leaving the port in
+            # LISTEN and an immediate restart on the same address with
+            # EADDRINUSE.  shutdown() aborts the pending accept first.
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             listener.close()
         with self._lock:
             nodes = list(self._nodes.values())
+            clients = list(self._client_conns)
         for node in nodes:
             self._send_to_node(node, MsgType.BYE, {})
             try:
                 node.sock.close()
+            except OSError:
+                pass
+        # Sever client connections too: a lingering handler thread from
+        # this epoch must not keep answering requests after a restart
+        # takes over the address.
+        for conn in clients:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
             except OSError:
                 pass
 
@@ -227,6 +250,7 @@ class ClusterCoordinator:
         priority: int = 0,
         timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        tenant: str = "default",
         extra: Optional[dict] = None,
     ) -> str:
         """Enqueue one proving job; returns its job id immediately."""
@@ -248,13 +272,14 @@ class ClusterCoordinator:
             priority=priority,
             timeout=cfg.default_timeout if timeout is None else timeout,
             max_retries=cfg.max_retries if max_retries is None else max_retries,
+            tenant=tenant,
             extra=extra or {},
         )
         job.submitted_at = time.monotonic()
         with self._lock:
             self._jobs[job.job_id] = job
         self._queue.push(job)
-        self.telemetry.record_submit()
+        self.telemetry.record_submit(tenant=tenant)
         self.telemetry.record_queue_depth(max(1, self._queue.depth()))
         self._wake.set()
         return job.job_id
@@ -271,6 +296,15 @@ class ClusterCoordinator:
             shape = build_model(model, scale=scale, seed=seed).input_shape
             self._input_shapes[key] = shape
         return synthetic_images(shape, n=1, seed=image_seed)[0]
+
+    def add_terminal_callback(
+        self, callback: Callable[[ProofJob], None]
+    ) -> None:
+        """Invoke ``callback(job)`` after every job reaches a terminal
+        state (called on the finalizing thread; must not block long).
+        The gateway's crash journal records terminal transitions here."""
+        with self._lock:
+            self._terminal_callbacks.append(callback)
 
     def job(self, job_id: str) -> ProofJob:
         with self._lock:
@@ -350,13 +384,28 @@ class ClusterCoordinator:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        """Dispatch a fresh connection: worker node or submitting client."""
+        """Dispatch a fresh connection: worker node or submitting client.
+
+        The conn is tracked from accept time (not first frame) so that
+        shutdown can sever even connections still awaiting their HELLO —
+        a handler thread from a dead epoch must never keep answering
+        after a restarted coordinator takes over the address.
+        """
+        with self._lock:
+            if self._stop:
+                conn.close()
+                return
+            self._client_conns.add(conn)
         try:
             msg_type, payload = read_frame(conn)
         except (ProtocolError, OSError):
+            with self._lock:
+                self._client_conns.discard(conn)
             conn.close()
             return
         if msg_type is MsgType.HELLO:
+            with self._lock:
+                self._client_conns.discard(conn)
             self._serve_node(conn, payload)
         else:
             self._serve_client(conn, msg_type, payload)
@@ -592,6 +641,11 @@ class ClusterCoordinator:
                 + self._batcher.pending()
                 + sum(len(b) for b in self._pending)
             )
+            self.telemetry.record_gauges(
+                batcher_pending=self._batcher.pending()
+                + sum(len(b) for b in self._pending),
+                inflight_jobs=inflight,
+            )
             with self._lock:
                 if self._stop:
                     return
@@ -730,6 +784,8 @@ class ClusterCoordinator:
         self, conn: socket.socket, msg_type: MsgType, payload: Dict[str, Any]
     ) -> None:
         send_lock = threading.Lock()
+        with self._lock:
+            self._client_conns.add(conn)
         try:
             while True:
                 self._handle_client_frame(conn, send_lock, msg_type, payload)
@@ -738,6 +794,7 @@ class ClusterCoordinator:
             pass
         finally:
             with self._lock:
+                self._client_conns.discard(conn)
                 stale = [
                     job_id
                     for job_id, (sock, _) in self._watchers.items()
@@ -766,6 +823,7 @@ class ClusterCoordinator:
                     privacy=payload.get("privacy", "one-private"),
                     priority=payload.get("priority", 0),
                     timeout=payload.get("timeout"),
+                    tenant=payload.get("tenant", "default"),
                     extra=payload.get("extra") or {},
                 )
             except Exception as exc:  # shutting down, bad args, missing keys
@@ -783,6 +841,39 @@ class ClusterCoordinator:
                     conn, MsgType.SUBMIT_ACK, {"req": req, "job_id": job_id}
                 )
             if already_terminal:  # raced to terminal before we registered
+                self._push_done(job)
+        elif msg_type is MsgType.WATCH:
+            # A reconnected client re-registers for its outstanding jobs:
+            # live ones get a watcher entry (JOB_DONE will push later),
+            # already-terminal ones re-push immediately, and ids this
+            # coordinator has never seen (e.g. it restarted) are reported
+            # back so the client can fail or resubmit them.
+            job_ids = [str(j) for j in payload.get("job_ids") or []]
+            unknown, terminal = [], []
+            with self._lock:
+                for job_id in job_ids:
+                    job = self._jobs.get(job_id)
+                    if job is None:
+                        unknown.append(job_id)
+                    elif job.state.terminal:
+                        terminal.append(job)
+                    else:
+                        self._watchers[job_id] = (conn, send_lock)
+            with send_lock:
+                write_frame(
+                    conn,
+                    MsgType.WATCH_ACK,
+                    {
+                        "req": req,
+                        "watching": [
+                            j for j in job_ids if j not in unknown
+                        ],
+                        "unknown": unknown,
+                    },
+                )
+            for job in terminal:
+                with self._lock:
+                    self._watchers[job.job_id] = (conn, send_lock)
                 self._push_done(job)
         elif msg_type is MsgType.STATS:
             with send_lock:
@@ -840,7 +931,14 @@ class ClusterCoordinator:
             job.error = error
             job.finished_at = time.monotonic()
             self._terminal.notify_all()
-        self.telemetry.record_terminal(state.value)
+        self.telemetry.record_terminal(state.value, tenant=job.tenant)
+        with self._lock:
+            callbacks = list(self._terminal_callbacks)
+        for callback in callbacks:
+            try:
+                callback(job)
+            except Exception:  # observers must never break finalization
+                pass
         self._push_done(job)
 
 

@@ -66,6 +66,8 @@ class MsgType(enum.IntEnum):
     JOB_DONE = 11  # pushed when a submitted job reaches a terminal state
     STATS = 12  # telemetry snapshot request
     STATS_REPLY = 13
+    WATCH = 14  # re-register for JOB_DONE pushes after a reconnect
+    WATCH_ACK = 15  # echoes known/unknown job ids; terminal ones re-push
 
 
 # -- value codec -------------------------------------------------------------------

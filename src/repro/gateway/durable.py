@@ -1,0 +1,403 @@
+""":class:`DurableCoordinator`: a crash-safe shell around the cluster.
+
+The cluster coordinator keeps every job in memory; this wrapper gives it
+a memory that survives SIGKILL:
+
+* every accepted submission is appended to the :class:`JobJournal`
+  (durable — the fsync happens before the caller gets its job id back);
+* queue and dispatch transitions stream into the journal through the
+  ``serve.JobQueue`` / ``serve.MicroBatcher`` observer hooks (non-durable
+  — they ride along with the next group commit);
+* terminal states land through the coordinator's terminal callback as
+  durable ``done`` / ``failed`` records carrying the full result (proof
+  bytes, public inputs, logits, artifact-store keys);
+* on construction, the WAL is replayed: completed jobs come back as
+  served-from-journal results (never re-proved), pending jobs re-enter
+  the coordinator's ``serve.JobQueue`` via
+  :func:`repro.gateway.journal.replay_into_queue` semantics — zero jobs
+  lost, zero jobs double-proved.
+
+Gateway job ids (``g-...``) are stable across restarts; the coordinator
+ids they map to are an implementation detail of one coordinator epoch.
+Submissions may carry a client ``request_id`` for idempotency: retrying
+a submit whose ack was lost returns the original job instead of proving
+twice.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.gateway.journal import (
+    JobJournal,
+    JournalError,
+    decode_image,
+    encode_image,
+)
+from repro.serve.jobs import JobState, ProofJob
+
+
+class GatewayJob:
+    """Gateway-side view of one durable job."""
+
+    __slots__ = (
+        "gid", "tenant", "request_id", "spec", "state", "attempts",
+        "result", "error", "coordinator_id", "recovered",
+    )
+
+    def __init__(
+        self,
+        gid: str,
+        tenant: str,
+        request_id: Optional[str],
+        spec: Dict[str, Any],
+    ) -> None:
+        self.gid = gid
+        self.tenant = tenant
+        self.request_id = request_id
+        self.spec = spec
+        self.state = "queued"
+        self.attempts = 0
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.coordinator_id: Optional[str] = None
+        self.recovered = False  # replayed from the WAL after a restart
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "timed_out")
+
+    def public_view(self) -> Dict[str, Any]:
+        """JSON-safe status payload for the HTTP layer."""
+        view = {
+            "job_id": self.gid,
+            "state": self.state,
+            "tenant": self.tenant,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+        }
+        if self.error:
+            view["error"] = self.error
+        return view
+
+
+class DurableCoordinator:
+    """Journal + coordinator + recovery, behind one synchronous API."""
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        journal: JobJournal,
+    ) -> None:
+        self.coordinator = coordinator
+        self.journal = journal
+        self._lock = threading.Lock()
+        self._terminal_cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, GatewayJob] = {}
+        self._by_coordinator_id: Dict[str, str] = {}
+        self._request_index: Dict[str, str] = {}
+        self._seq = 0
+        self.recovered_pending = 0  # jobs requeued by WAL replay
+        self.recovered_completed = 0  # results served from the journal
+
+        # Journal hooks: queue transitions (serve.JobQueue observer),
+        # dispatch transitions (serve.MicroBatcher observer), terminal
+        # records (coordinator terminal callback).
+        coordinator._queue.observer = self._on_queued
+        coordinator._batcher.observer = self._on_dispatched
+        coordinator.add_terminal_callback(self._on_terminal)
+
+        self._recover()
+
+    # -- recovery --------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        state = self.journal.state
+        pending = sorted(
+            state.pending(), key=lambda j: j.spec.get("seq", 0)
+        )
+        for rec in state.jobs.values():
+            job = GatewayJob(
+                gid=rec.gid,
+                tenant=rec.spec.get("tenant", "default"),
+                request_id=rec.spec.get("request_id"),
+                spec=rec.spec,
+            )
+            job.state = rec.state if rec.terminal else "queued"
+            job.attempts = rec.attempts
+            job.result = rec.result
+            job.error = rec.error
+            job.recovered = True
+            self._jobs[job.gid] = job
+            if job.request_id:
+                self._request_index[job.request_id] = job.gid
+            self._seq = max(self._seq, int(rec.spec.get("seq", 0)))
+        self.recovered_completed = sum(
+            1 for j in self._jobs.values() if j.state == "done"
+        )
+        # Re-enqueue every non-terminal job into the (fresh) coordinator:
+        # this IS the WAL-replay-into-serve.JobQueue path — submit()
+        # pushes into the coordinator's JobQueue with a new epoch-local
+        # id that we map back to the stable gateway id.
+        for rec in pending:
+            self._enqueue(self._jobs[rec.gid], self._image_for(rec.spec))
+            self.recovered_pending += 1
+
+    @staticmethod
+    def _image_for(spec: Dict[str, Any]) -> np.ndarray:
+        if "image" in spec:
+            return decode_image(spec["image"])
+        from repro.nn.data import synthetic_images
+        from repro.nn.models import build_model
+
+        shape = build_model(
+            spec["model"], scale=spec["scale"], seed=spec["seed"]
+        ).input_shape
+        return synthetic_images(shape, n=1, seed=spec["image_seed"])[0]
+
+    def _enqueue(self, job: GatewayJob, image: np.ndarray) -> None:
+        spec = job.spec
+        cid = self.coordinator.submit(
+            spec["model"],
+            image,
+            scale=spec["scale"],
+            seed=spec["seed"],
+            privacy=spec["privacy"],
+            priority=spec.get("priority", 0),
+            timeout=spec.get("timeout"),
+            tenant=job.tenant,
+        )
+        with self._lock:
+            job.coordinator_id = cid
+            self._by_coordinator_id[cid] = job.gid
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        *,
+        image: Optional[np.ndarray] = None,
+        image_seed: Optional[int] = None,
+        scale: str = "mini",
+        seed: int = 0,
+        privacy: str = "one-private",
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        tenant: str = "default",
+        request_id: Optional[str] = None,
+    ) -> str:
+        """Durably accept one job; returns its stable gateway id.
+
+        The id is handed back only after the submit record is fsynced:
+        an acked job survives any later crash.  A ``request_id`` seen
+        before (this run or any previous one) returns the original job.
+        """
+        if request_id:
+            with self._lock:
+                gid = self._request_index.get(request_id)
+                if gid is not None:
+                    return gid
+        if image is None and image_seed is None:
+            raise ValueError("provide an image or an image_seed")
+        gid = f"g-{uuid.uuid4().hex[:12]}"
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        spec: Dict[str, Any] = {
+            "t": "submit",
+            "gid": gid,
+            "seq": seq,
+            "ts": time.time(),
+            "tenant": tenant,
+            "request_id": request_id,
+            "model": model,
+            "scale": scale,
+            "seed": seed,
+            "privacy": privacy,
+            "priority": priority,
+            "timeout": timeout,
+        }
+        if image is not None:
+            spec["image"] = encode_image(image)
+        else:
+            spec["image_seed"] = int(image_seed)
+        job = GatewayJob(gid, tenant, request_id, spec)
+        with self._lock:
+            self._jobs[gid] = job
+            if request_id:
+                self._request_index[request_id] = gid
+        # Durable ack: the record is on disk before the caller sees gid.
+        self.journal.append(spec, durable=True)
+        self._enqueue(job, image if image is not None
+                      else self._image_for(spec))
+        return gid
+
+    # -- journal hooks (coordinator threads) -----------------------------------------
+
+    def _gid_for(self, coordinator_id: str) -> Optional[str]:
+        with self._lock:
+            return self._by_coordinator_id.get(coordinator_id)
+
+    def _on_queued(self, proof_job: ProofJob, delay: float) -> None:
+        gid = self._gid_for(proof_job.job_id)
+        if gid is None:
+            return
+        self._append_observability(
+            {"t": "queued", "gid": gid, "attempts": proof_job.attempts,
+             "delay": round(delay, 4)}
+        )
+
+    def _on_dispatched(self, batch) -> None:
+        for proof_job in batch.jobs:
+            gid = self._gid_for(proof_job.job_id)
+            if gid is None:
+                continue
+            self._append_observability(
+                {"t": "dispatched", "gid": gid,
+                 "batch_id": batch.batch_id}
+            )
+
+    def _append_observability(self, record: Dict[str, Any]) -> None:
+        """Transition records are best-effort: coordinator threads may
+        still be draining when the journal closes at shutdown, and a
+        dropped queued/dispatched record only loses telemetry, never
+        correctness (recovery re-proves anything non-terminal)."""
+        try:
+            self.journal.append(record)
+        except JournalError:
+            pass
+
+    def _on_terminal(self, proof_job: ProofJob) -> None:
+        gid = self._gid_for(proof_job.job_id)
+        if gid is None:
+            return
+        with self._lock:
+            job = self._jobs.get(gid)
+            if job is None or job.terminal:
+                return  # never write a second terminal record
+        state = proof_job.state
+        if state is JobState.DONE and proof_job.result is not None:
+            res = proof_job.result
+            record = {
+                "t": "done",
+                "gid": gid,
+                "attempts": proof_job.attempts,
+                "proof": res.proof.hex(),
+                "public_inputs": [str(v) for v in res.public_inputs],
+                "logits": [int(v) for v in res.logits],
+                "batch_size": res.batch_size,
+                "worker_pid": res.worker_pid,
+                "store_keys": dict(res.store_keys),
+            }
+        else:
+            record = {
+                "t": "failed",
+                "gid": gid,
+                "state": state.value,
+                "error": proof_job.error,
+                "attempts": proof_job.attempts,
+            }
+        # Durable before visible: a client must never observe a result
+        # that a crash could take back.
+        self.journal.append(record, durable=True)
+        with self._terminal_cond:
+            job.attempts = proof_job.attempts
+            if record["t"] == "done":
+                job.state = "done"
+                job.result = record
+            else:
+                job.state = state.value
+                job.error = proof_job.error
+            self._terminal_cond.notify_all()
+        self.journal.compact()  # no-op below the size threshold
+
+    # -- queries ---------------------------------------------------------------------
+
+    def job(self, gid: str) -> Optional[GatewayJob]:
+        with self._lock:
+            return self._jobs.get(gid)
+
+    def status(self, gid: str) -> Optional[Dict[str, Any]]:
+        job = self.job(gid)
+        if job is None:
+            return None
+        view = job.public_view()
+        if not job.terminal and job.coordinator_id is not None:
+            try:
+                live = self.coordinator.status(job.coordinator_id)
+                view["state"] = (
+                    live.value if not live.terminal else view["state"]
+                )
+            except KeyError:
+                pass
+        return view
+
+    def result_view(self, gid: str) -> Optional[Dict[str, Any]]:
+        """JSON-safe result payload, or None if not DONE yet."""
+        job = self.job(gid)
+        if job is None or job.state != "done" or job.result is None:
+            return None
+        res = job.result
+        payload = {
+            "job_id": gid,
+            "state": "done",
+            "proof": res["proof"],
+            "public_inputs": list(res["public_inputs"]),
+            "logits": list(res["logits"]),
+            "attempts": res.get("attempts", job.attempts),
+            "batch_size": res.get("batch_size"),
+            "store_keys": res.get("store_keys", {}),
+            "recovered": job.recovered,
+        }
+        vk_key = (res.get("store_keys") or {}).get("vk")
+        if vk_key:
+            try:
+                payload["vk"] = self.coordinator.store.get(vk_key).hex()
+            except KeyError:
+                payload["vk"] = None  # evicted / pre-restart artifact
+        return payload
+
+    def wait_terminal(
+        self, gid: str, timeout: Optional[float] = None
+    ) -> Optional[GatewayJob]:
+        """Block until ``gid`` is terminal (or timeout); returns the job."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal_cond:
+            job = self._jobs.get(gid)
+            if job is None:
+                return None
+            while not job.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return job
+                self._terminal_cond.wait(timeout=remaining)
+            return job
+
+    def jobs_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return counts
+
+    def stats(self) -> Dict[str, Any]:
+        snap = self.coordinator.stats()
+        snap["journal"] = self.journal.stats()
+        snap["gateway_jobs"] = dict(
+            self.jobs_snapshot(),
+            recovered_pending=self.recovered_pending,
+            recovered_completed=self.recovered_completed,
+        )
+        return snap
+
+    def close(self) -> None:
+        self.journal.close()

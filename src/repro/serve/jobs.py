@@ -26,7 +26,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +70,7 @@ class ProofJob:
     priority: int = 0  # higher pops first
     timeout: Optional[float] = None  # seconds from submission to deadline
     max_retries: int = 2
+    tenant: str = "default"  # fair-share / telemetry attribution
     extra: Dict[str, Any] = field(default_factory=dict)  # e.g. fault injection
 
     # -- mutable bookkeeping (owned by the service) --
@@ -108,13 +109,22 @@ class JobQueue:
     Higher ``priority`` pops first; ties pop in submission order.  Jobs
     pushed with ``delay > 0`` (retry backoff) stay in the delayed lane and
     only become poppable after the delay elapses.
+
+    An optional ``observer`` (settable after construction) is invoked as
+    ``observer(job, delay)`` after every push — first enqueue and retry
+    requeues alike — outside the queue lock.  The gateway's crash journal
+    hooks here to record every queue transition.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        observer: Optional[Callable[["ProofJob", float], None]] = None,
+    ) -> None:
         self._lock = threading.Lock()
         self._seq = itertools.count()
         self._ready: List[Tuple[int, int, ProofJob]] = []  # (-prio, seq, job)
         self._delayed: List[Tuple[float, int, ProofJob]] = []  # (not_before, ...)
+        self.observer = observer
 
     def push(self, job: ProofJob, delay: float = 0.0) -> None:
         now = time.monotonic()
@@ -124,6 +134,8 @@ class JobQueue:
                 heapq.heappush(self._delayed, (now + delay, seq, job))
             else:
                 heapq.heappush(self._ready, (-job.priority, seq, job))
+        if self.observer is not None:
+            self.observer(job, delay)
 
     def _promote(self, now: float) -> None:
         """Move delayed jobs whose backoff has elapsed into the ready heap."""

@@ -23,7 +23,7 @@ import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -95,6 +95,7 @@ class ProvingService:
         self._stop = False
         self._drain = False
         self._input_shapes: Dict[Tuple[str, str, int], Tuple[int, ...]] = {}
+        self._terminal_callbacks: List[Callable[[ProofJob], None]] = []
 
         if cfg.prewarm:
             self.worker_pids = self._pool.prewarm()
@@ -120,6 +121,7 @@ class ProvingService:
         priority: int = 0,
         timeout: Optional[float] = None,
         max_retries: Optional[int] = None,
+        tenant: str = "default",
         extra: Optional[dict] = None,
     ) -> str:
         """Enqueue one proving job; returns its job id immediately."""
@@ -141,13 +143,14 @@ class ProvingService:
             priority=priority,
             timeout=cfg.default_timeout if timeout is None else timeout,
             max_retries=cfg.max_retries if max_retries is None else max_retries,
+            tenant=tenant,
             extra=extra or {},
         )
         job.submitted_at = time.monotonic()
         with self._lock:
             self._jobs[job.job_id] = job
         self._queue.push(job)
-        self.telemetry.record_submit()
+        self.telemetry.record_submit(tenant=tenant)
         # Sample depth at submit time too: a fast dispatcher can otherwise
         # drain the queue between its own (poll-interval) samples and
         # report a zero peak for a workload that really queued.
@@ -169,6 +172,14 @@ class ProvingService:
         return synthetic_images(shape, n=1, seed=image_seed)[0]
 
     # -- inspection ------------------------------------------------------------------
+
+    def add_terminal_callback(
+        self, callback: Callable[[ProofJob], None]
+    ) -> None:
+        """Invoke ``callback(job)`` after every job reaches a terminal
+        state (called on the finalizing thread; must not block long)."""
+        with self._lock:
+            self._terminal_callbacks.append(callback)
 
     def job(self, job_id: str) -> ProofJob:
         with self._lock:
@@ -272,6 +283,12 @@ class ProvingService:
                 self._launch(batch)
             self.telemetry.record_queue_depth(
                 self._queue.depth() + self._batcher.pending()
+            )
+            with self._lock:
+                inflight = self._inflight
+            self.telemetry.record_gauges(
+                batcher_pending=self._batcher.pending(),
+                inflight_jobs=inflight,
             )
             with self._lock:
                 if self._stop:
@@ -408,4 +425,11 @@ class ProvingService:
             job.error = error
             job.finished_at = time.monotonic()
             self._terminal.notify_all()
-        self.telemetry.record_terminal(state.value)
+        self.telemetry.record_terminal(state.value, tenant=job.tenant)
+        with self._lock:
+            callbacks = list(self._terminal_callbacks)
+        for callback in callbacks:
+            try:
+                callback(job)
+            except Exception:  # observers must never break finalization
+                pass

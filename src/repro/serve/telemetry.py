@@ -4,6 +4,9 @@ Tracks what an operator of the paper's imagined deployment ("a service
 that the public can easily access" serving millions of users) would watch:
 
 * queue depth (current / peak) and terminal-state counters;
+* live gauges — queue depth, batcher backlog, in-flight jobs, and
+  per-tenant in-flight/terminal counts — exported under ``gauges`` for
+  the gateway's ``/metrics`` endpoint and the autoscaler's policy loop;
 * the batch-size histogram — how well the micro-batcher is filling;
 * per-phase latency matching Fig. 4's split: Generate, Circuit
   Computation, setup, per-image assign, and Security Computation (prove);
@@ -88,17 +91,44 @@ class ServiceTelemetry:
         self.msm_table_uses = 0  # table-backed MSM queries served
         self.audit_rejected_batches = 0  # pre-prove audit gate rejections
         self.audit_rejected_jobs = 0
+        self.batcher_pending = 0  # jobs parked in the micro-batcher
+        self.inflight_jobs = 0  # jobs dispatched and not yet terminal
         self.batch_sizes = Histogram()
         self.phases = PhaseLatency()
+        # tenant -> {"submitted", "completed", "failed", "timed_out"};
+        # in-flight is derived (submitted - terminal) at snapshot time.
+        self._tenants: Dict[str, Dict[str, int]] = {}
 
-    def record_submit(self, n: int = 1) -> None:
+    def _tenant(self, tenant: str) -> Dict[str, int]:
+        bucket = self._tenants.get(tenant)
+        if bucket is None:
+            bucket = {"submitted": 0, "completed": 0, "failed": 0,
+                      "timed_out": 0}
+            self._tenants[tenant] = bucket
+        return bucket
+
+    def record_submit(self, n: int = 1, tenant: Optional[str] = None) -> None:
         with self._lock:
             self.submitted += n
+            if tenant is not None:
+                self._tenant(tenant)["submitted"] += n
 
     def record_queue_depth(self, depth: int) -> None:
         with self._lock:
             self.queue_depth = depth
             self.queue_peak = max(self.queue_peak, depth)
+
+    def record_gauges(
+        self,
+        batcher_pending: Optional[int] = None,
+        inflight_jobs: Optional[int] = None,
+    ) -> None:
+        """Update the dispatcher-sampled live gauges."""
+        with self._lock:
+            if batcher_pending is not None:
+                self.batcher_pending = batcher_pending
+            if inflight_jobs is not None:
+                self.inflight_jobs = inflight_jobs
 
     def record_batch(
         self,
@@ -120,7 +150,9 @@ class ServiceTelemetry:
             for phase, seconds in phases.items():
                 self.phases.add(phase, seconds)
 
-    def record_terminal(self, state_name: str) -> None:
+    def record_terminal(
+        self, state_name: str, tenant: Optional[str] = None
+    ) -> None:
         with self._lock:
             if state_name == "done":
                 self.completed += 1
@@ -128,6 +160,12 @@ class ServiceTelemetry:
                 self.failed += 1
             elif state_name == "timed_out":
                 self.timed_out += 1
+            if tenant is not None and state_name in (
+                "done", "failed", "timed_out"
+            ):
+                bucket = self._tenant(tenant)
+                key = "completed" if state_name == "done" else state_name
+                bucket[key] += 1
 
     def record_retry(self, n: int = 1) -> None:
         with self._lock:
@@ -145,8 +183,23 @@ class ServiceTelemetry:
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             elapsed = max(time.monotonic() - self.started_at, 1e-9)
+            tenants = {}
+            for tenant, bucket in sorted(self._tenants.items()):
+                terminal = (
+                    bucket["completed"] + bucket["failed"]
+                    + bucket["timed_out"]
+                )
+                tenants[tenant] = dict(
+                    bucket, in_flight=bucket["submitted"] - terminal
+                )
             return {
                 "uptime_seconds": elapsed,
+                "gauges": {
+                    "queue_depth": self.queue_depth,
+                    "batcher_pending": self.batcher_pending,
+                    "inflight_jobs": self.inflight_jobs,
+                    "tenants": tenants,
+                },
                 "jobs": {
                     "submitted": self.submitted,
                     "completed": self.completed,

@@ -1,0 +1,520 @@
+"""Integration tests for the durable gateway: journal + HTTP + autoscaler.
+
+The in-process tests wire a real ClusterCoordinator, a WAL journal, the
+asyncio HTTP server, and inline worker nodes together on localhost.  The
+crash tests simulate SIGKILL by abandoning the journal without closing
+it (epoch tests), and — for the real thing — SIGKILL an actual
+``zeno gateway`` subprocess and assert exactly-once, byte-identical
+results across the restart.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterCoordinator, WorkerNode
+from repro.gateway import (
+    Autoscaler,
+    AutoscalerConfig,
+    DurableCoordinator,
+    GatewayConfig,
+    GatewayServer,
+    InProcessNodeLauncher,
+    JobJournal,
+)
+from repro.gateway.http import StrideScheduler, TokenBucket
+from repro.serve.service import ServiceConfig
+
+MODEL, SCALE = "SHAL", "micro"
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def make_coordinator():
+    cfg = ClusterConfig(
+        heartbeat_interval=0.1,
+        heartbeat_timeout=2.0,
+        node_window=1,
+        service=ServiceConfig(
+            max_batch=2, max_wait=0.02, poll_interval=0.005,
+            backoff_base=0.01, deterministic=True,
+        ),
+    )
+    coord = ClusterCoordinator(cfg)
+    coord.start()
+    return coord
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def http_post(url, payload, headers=None):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers=headers or {}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """coordinator + node + journal + durable + HTTP server."""
+    coord = make_coordinator()
+    node = WorkerNode(coord.address, node_id="n1", mode="inline").start()
+    journal = JobJournal(tmp_path / "journal.wal", batch_window=0.001)
+    durable = DurableCoordinator(coord, journal)
+    server = GatewayServer(durable, GatewayConfig()).start()
+    yield coord, durable, server, f"http://{server.host}:{server.port}"
+    server.stop()
+    node.stop()
+    coord.shutdown(drain=False)
+    journal.close()
+
+
+class TestDurableCoordinator:
+    def test_submit_prove_result(self, stack):
+        _, durable, _, _ = stack
+        gid = durable.submit(MODEL, image_seed=1, scale=SCALE)
+        job = durable.wait_terminal(gid, timeout=60)
+        assert job.state == "done"
+        view = durable.result_view(gid)
+        assert view["job_id"] == gid
+        assert len(bytes.fromhex(view["proof"])) > 0
+        assert view["vk"]  # verifying key served from the artifact store
+
+    def test_request_id_idempotent(self, stack):
+        _, durable, _, _ = stack
+        a = durable.submit(MODEL, image_seed=2, scale=SCALE,
+                           request_id="req-1")
+        b = durable.submit(MODEL, image_seed=3, scale=SCALE,
+                           request_id="req-1")
+        assert a == b
+        assert durable.journal.state.submits == 1
+
+    def test_terminal_journaled_exactly_once(self, stack):
+        _, durable, _, _ = stack
+        gids = [
+            durable.submit(MODEL, image_seed=10 + i, scale=SCALE)
+            for i in range(6)
+        ]
+        for gid in gids:
+            assert durable.wait_terminal(gid, timeout=60).state == "done"
+        assert durable.journal.state.done_records == 6
+        assert durable.journal.state.duplicate_done == 0
+
+
+class TestCrashRecovery:
+    def test_epoch_restart_reproves_pending_only(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        # Epoch 1: no workers; everything stays queued.  Abandon the
+        # journal without close() — as a SIGKILL would.
+        c1 = make_coordinator()
+        d1 = DurableCoordinator(c1, JobJournal(path, batch_window=0))
+        gids = [
+            d1.submit(MODEL, image_seed=20 + i, scale=SCALE)
+            for i in range(4)
+        ]
+        c1.shutdown(drain=False)
+
+        # Epoch 2: fresh coordinator, same WAL -> all 4 re-enqueued.
+        c2 = make_coordinator()
+        j2 = JobJournal(path, batch_window=0.001)
+        d2 = DurableCoordinator(c2, j2)
+        assert d2.recovered_pending == 4
+        node = WorkerNode(c2.address, node_id="n1", mode="inline").start()
+        proofs = {}
+        for gid in gids:
+            job = d2.wait_terminal(gid, timeout=60)
+            assert job.state == "done"
+            proofs[gid] = job.result["proof"]
+        assert j2.state.duplicate_done == 0
+        node.stop()
+        c2.shutdown(drain=False)
+
+        # Epoch 3: everything terminal; results come from the WAL,
+        # byte-identical, with nothing re-enqueued.
+        c3 = make_coordinator()
+        j3 = JobJournal(path, batch_window=0)
+        d3 = DurableCoordinator(c3, j3)
+        assert d3.recovered_pending == 0
+        assert d3.recovered_completed == 4
+        for gid in gids:
+            view = d3.result_view(gid)
+            assert view["recovered"] is True
+            assert view["proof"] == proofs[gid]
+        assert j3.state.duplicate_done == 0
+        c3.shutdown(drain=False)
+        j3.close()
+
+    def test_recovery_skips_done_reproves_running(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        c1 = make_coordinator()
+        d1 = DurableCoordinator(c1, JobJournal(path, batch_window=0.001))
+        node = WorkerNode(c1.address, node_id="n1", mode="inline").start()
+        done_gid = d1.submit(MODEL, image_seed=30, scale=SCALE)
+        assert d1.wait_terminal(done_gid, timeout=60).state == "done"
+        node.stop()
+        pending_gid = d1.submit(MODEL, image_seed=31, scale=SCALE)
+        c1.shutdown(drain=False)
+
+        c2 = make_coordinator()
+        d2 = DurableCoordinator(c2, JobJournal(path, batch_window=0.001))
+        assert d2.recovered_completed == 1
+        assert d2.recovered_pending == 1
+        assert d2.job(done_gid).state == "done"
+        assert d2.job(pending_gid).state == "queued"
+        c2.shutdown(drain=False)
+        d2.close()
+
+    def test_request_index_survives_restart(self, tmp_path):
+        path = tmp_path / "journal.wal"
+        c1 = make_coordinator()
+        d1 = DurableCoordinator(c1, JobJournal(path, batch_window=0))
+        gid = d1.submit(MODEL, image_seed=40, scale=SCALE,
+                        request_id="retry-me")
+        c1.shutdown(drain=False)
+
+        c2 = make_coordinator()
+        d2 = DurableCoordinator(c2, JobJournal(path, batch_window=0))
+        # The client retries the same request against the new process:
+        # it must get the original job back, not a duplicate.
+        assert d2.submit(MODEL, image_seed=40, scale=SCALE,
+                         request_id="retry-me") == gid
+        assert d2.journal.state.submits == 1
+        c2.shutdown(drain=False)
+        d2.close()
+
+
+class TestHTTP:
+    def test_healthz_and_404(self, stack):
+        _, _, _, base = stack
+        status, body = http_get(base + "/healthz")
+        assert status == 200 and body["ok"]
+        assert http_get(base + "/nope")[0] == 404
+        assert http_get(base + "/status/g-unknown")[0] == 404
+        assert http_get(base + "/result/g-unknown")[0] == 404
+
+    def test_submit_status_result_metrics(self, stack):
+        _, durable, _, base = stack
+        status, body = http_post(
+            base + "/submit",
+            {"model": MODEL, "scale": SCALE, "image_seed": 50},
+        )
+        assert status == 200 and body["durable"]
+        gid = body["job_id"]
+        assert durable.wait_terminal(gid, timeout=60).state == "done"
+        status, view = http_get(base + "/status/" + gid)
+        assert status == 200 and view["state"] == "done"
+        status, res = http_get(base + "/result/" + gid)
+        assert status == 200
+        assert res["proof"] and res["logits"]
+        status, metrics = http_get(base + "/metrics")
+        assert status == 200
+        assert metrics["journal"]["duplicate_done"] == 0
+        assert metrics["http"]["submitted"] >= 1
+        assert "gauges" in metrics  # telemetry snapshot incl. new gauges
+
+    def test_pending_result_is_202(self, tmp_path):
+        coord = make_coordinator()  # no workers: jobs never finish
+        journal = JobJournal(tmp_path / "j.wal", batch_window=0)
+        durable = DurableCoordinator(coord, journal)
+        server = GatewayServer(durable, GatewayConfig()).start()
+        base = f"http://{server.host}:{server.port}"
+        try:
+            _, body = http_post(
+                base + "/submit",
+                {"model": MODEL, "scale": SCALE, "image_seed": 51},
+            )
+            status, view = http_get(base + "/result/" + body["job_id"])
+            assert status == 202
+            assert view["state"] in ("queued", "running")
+        finally:
+            server.stop()
+            coord.shutdown(drain=False)
+            journal.close()
+
+    def test_submit_validation(self, stack):
+        _, _, _, base = stack
+        assert http_post(base + "/submit", {"scale": SCALE})[0] == 400
+        assert http_post(base + "/submit", {"model": MODEL})[0] == 400
+
+    def test_api_key_auth(self, tmp_path):
+        coord = make_coordinator()
+        journal = JobJournal(tmp_path / "j.wal", batch_window=0)
+        durable = DurableCoordinator(coord, journal)
+        server = GatewayServer(
+            durable,
+            GatewayConfig(api_keys={"sekrit": "acme"}),
+        ).start()
+        base = f"http://{server.host}:{server.port}"
+        try:
+            # healthz never needs auth; everything else does.
+            assert http_get(base + "/healthz")[0] == 200
+            assert http_get(base + "/metrics")[0] == 401
+            status, body = http_post(
+                base + "/submit",
+                {"model": MODEL, "scale": SCALE, "image_seed": 60},
+                headers={"X-API-Key": "sekrit"},
+            )
+            assert status == 200
+            assert body["tenant"] == "acme"  # tenant comes from the key
+            assert http_post(
+                base + "/submit",
+                {"model": MODEL, "scale": SCALE, "image_seed": 61},
+                headers={"X-API-Key": "wrong"},
+            )[0] == 401
+        finally:
+            server.stop()
+            coord.shutdown(drain=False)
+            journal.close()
+
+    def test_rate_limit_429(self, tmp_path):
+        coord = make_coordinator()
+        journal = JobJournal(tmp_path / "j.wal", batch_window=0)
+        durable = DurableCoordinator(coord, journal)
+        server = GatewayServer(
+            durable, GatewayConfig(rate=0.001, burst=2)
+        ).start()
+        base = f"http://{server.host}:{server.port}"
+        try:
+            codes = [http_get(base + "/metrics")[0] for _ in range(4)]
+            assert codes[:2] == [200, 200]
+            assert 429 in codes[2:]
+        finally:
+            server.stop()
+            coord.shutdown(drain=False)
+            journal.close()
+
+
+class TestFairShare:
+    def test_token_bucket(self):
+        bucket = TokenBucket(rate=0.0, burst=3)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_stride_weights_admission_ratio(self):
+        sched = StrideScheduler({"big": 3.0, "small": 1.0})
+        for i in range(40):
+            sched.push("big", i)
+            sched.push("small", i)
+        first = [sched.pop()[0] for _ in range(24)]
+        # Weight 3 tenant gets ~3x the early admission slots.
+        assert first.count("big") == 18
+        assert first.count("small") == 6
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        sched = StrideScheduler({})
+        for i in range(10):
+            sched.push("busy", i)
+        for _ in range(10):
+            assert sched.pop()[0] == "busy"
+        # "late" was idle the whole time; on arrival it competes fairly
+        # instead of draining its backlog first forever.
+        sched.push("late", 0)
+        sched.push("busy", 99)
+        winners = {sched.pop()[0], sched.pop()[0]}
+        assert winners == {"late", "busy"}
+        assert sched.pop() is None
+
+
+class _StubCoordinator:
+    """Telemetry-only coordinator stand-in for pure policy tests."""
+
+    def __init__(self):
+        self.gauges = {"queue_depth": 0, "batcher_pending": 0,
+                       "inflight_jobs": 0}
+        self.telemetry = self
+
+    def snapshot(self):
+        return {"gauges": dict(self.gauges)}
+
+
+class _StubLauncher:
+    def __init__(self):
+        self.launched = []
+        self.drained = []
+
+    def launch(self):
+        token = object()
+        self.launched.append(token)
+        return token
+
+    def drain(self, node):
+        self.drained.append(node)
+
+
+class TestAutoscaler:
+    def make(self, **cfg):
+        coord = _StubCoordinator()
+        launcher = _StubLauncher()
+        scaler = Autoscaler(coord, launcher, AutoscalerConfig(**cfg))
+        return coord, launcher, scaler
+
+    def test_scale_up_on_backlog(self):
+        _, launcher, scaler = self.make(
+            min_nodes=1, max_nodes=3, scale_up_backlog=4.0, cooldown=0.0
+        )
+        scaler._scale_up()  # the min_nodes baseline
+        scaler._last_scale_up = 0.0  # decide() runs on a fake clock
+        assert scaler.decide(backlog=10, inflight=0, now=100.0) == 1
+        scaler._scale_up()
+        scaler._last_scale_up = 0.0
+        # 10 outstanding / 2 nodes = 5 > 4 -> keep growing
+        assert scaler.decide(backlog=10, inflight=0, now=101.0) == 1
+        scaler._scale_up()
+        scaler._last_scale_up = 0.0
+        # at max_nodes: never exceed the bound
+        assert scaler.decide(backlog=100, inflight=0, now=102.0) == 0
+
+    def test_cooldown_throttles_scale_up(self):
+        _, _, scaler = self.make(
+            min_nodes=1, max_nodes=4, scale_up_backlog=1.0, cooldown=5.0
+        )
+        scaler._scale_up()
+        scaler._last_scale_up = 100.0
+        assert scaler.decide(backlog=50, inflight=0, now=101.0) == 0
+        assert scaler.decide(backlog=50, inflight=0, now=106.0) == 1
+
+    def test_scale_down_after_idle(self):
+        _, _, scaler = self.make(
+            min_nodes=1, max_nodes=3, scale_down_idle=2.0
+        )
+        scaler._scale_up()
+        scaler._scale_up()
+        assert scaler.decide(backlog=0, inflight=0, now=10.0) == 0
+        assert scaler.decide(backlog=0, inflight=0, now=11.0) == 0
+        assert scaler.decide(backlog=0, inflight=0, now=12.5) == -1
+        scaler._scale_down()
+        # at min_nodes: drain no further
+        assert scaler.decide(backlog=0, inflight=0, now=20.0) == 0
+
+    def test_work_resets_idle_window(self):
+        _, _, scaler = self.make(
+            min_nodes=1, max_nodes=3, scale_down_idle=2.0,
+            scale_up_backlog=100.0,
+        )
+        scaler._scale_up()
+        scaler._scale_up()
+        assert scaler.decide(backlog=0, inflight=0, now=10.0) == 0
+        assert scaler.decide(backlog=1, inflight=0, now=11.9) == 0
+        # idle clock restarted by the burst of work
+        assert scaler.decide(backlog=0, inflight=0, now=12.5) == 0
+        assert scaler.decide(backlog=0, inflight=0, now=14.6) == -1
+
+    def test_live_loop_scales_real_nodes(self, tmp_path):
+        coord = make_coordinator()
+        scaler = Autoscaler(
+            coord,
+            InProcessNodeLauncher(coord.address),
+            AutoscalerConfig(min_nodes=1, max_nodes=2, poll_interval=0.05),
+        ).start()
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if len(coord.live_nodes()) == 1:
+                    break
+                time.sleep(0.05)
+            assert len(coord.live_nodes()) == 1
+            assert scaler.node_count == 1
+        finally:
+            scaler.stop()
+            coord.shutdown(drain=False)
+        assert scaler.node_count == 0
+
+
+class TestGatewayProcessCrash:
+    """The real thing: SIGKILL a `zeno gateway` subprocess mid-batch."""
+
+    def _start(self, data_dir, port_file):
+        if os.path.exists(port_file):
+            os.unlink(port_file)
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "gateway",
+                "--data-dir", str(data_dir), "--port-file", str(port_file),
+                "--min-nodes", "1", "--max-nodes", "2",
+                "--node-mode", "inline", "--max-wait", "0.02",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + 60
+        while not os.path.exists(port_file):
+            if proc.poll() is not None:
+                raise AssertionError(
+                    "gateway died: " + proc.stdout.read().decode()
+                )
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise AssertionError("gateway never wrote its port file")
+            time.sleep(0.05)
+        host, port = open(port_file).read().split()
+        return proc, f"http://{host}:{port}"
+
+    def test_sigkill_restart_exactly_once_byte_identical(self, tmp_path):
+        data_dir = tmp_path / "data"
+        port_file = str(tmp_path / "port.txt")
+        proc, base = self._start(data_dir, port_file)
+        try:
+            jobs = [
+                {"model": MODEL, "scale": SCALE, "image_seed": 70 + i}
+                for i in range(12)
+            ]
+            gids = [
+                http_post(base + "/submit", job)[1]["job_id"]
+                for job in jobs
+            ]
+            # Capture proofs for whatever completed pre-crash.
+            pre = {}
+            for gid in gids[:3]:
+                for _ in range(300):
+                    status, view = http_get(base + "/result/" + gid)
+                    if status == 200:
+                        pre[gid] = view["proof"]
+                        break
+                    time.sleep(0.1)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        proc, base = self._start(data_dir, port_file)
+        try:
+            deadline = time.monotonic() + 120
+            states = {}
+            while time.monotonic() < deadline:
+                states = {
+                    gid: http_get(base + "/status/" + gid)[1]["state"]
+                    for gid in gids
+                }
+                if all(s == "done" for s in states.values()):
+                    break
+                time.sleep(0.2)
+            # Zero lost: every acked submit survived the SIGKILL.
+            assert all(s == "done" for s in states.values()), states
+            # Byte-identical: pre-crash results replay unchanged.
+            for gid, proof in pre.items():
+                assert http_get(base + "/result/" + gid)[1]["proof"] == proof
+            # Zero double-proved, across BOTH epochs' records.
+            _, metrics = http_get(base + "/metrics")
+            assert metrics["journal"]["duplicate_done"] == 0
+            assert metrics["gateway_jobs"]["done"] == len(gids)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)

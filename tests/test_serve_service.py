@@ -298,3 +298,54 @@ class TestAuditGate:
         service, _, _ = served
         snap = service.stats()
         assert snap["audit"] == {"rejected_batches": 0, "rejected_jobs": 0}
+
+
+class TestTelemetryGauges:
+    """Queue-depth / in-flight gauges and per-tenant counters (gateway
+    observability satellite)."""
+
+    def test_gauges_section_shape(self, served):
+        service, _, _ = served
+        gauges = service.stats()["gauges"]
+        assert set(gauges) >= {
+            "queue_depth", "batcher_pending", "inflight_jobs", "tenants",
+        }
+        # Drained service: nothing queued, nothing in flight.
+        assert gauges["queue_depth"] == 0
+        assert gauges["inflight_jobs"] == 0
+
+    def test_default_tenant_counters(self, served):
+        service, _, _ = served
+        tenants = service.stats()["gauges"]["tenants"]
+        assert tenants["default"]["submitted"] == N_JOBS
+        assert tenants["default"]["completed"] == N_JOBS
+        assert tenants["default"]["in_flight"] == 0
+
+    def test_per_tenant_attribution(self):
+        with ProvingService(max_workers=1, max_batch=2) as service:
+            a = service.submit("SHAL", image_seed=500, scale="micro",
+                               tenant="acme")
+            b = service.submit("SHAL", image_seed=501, scale="micro",
+                               tenant="acme")
+            c = service.submit("SHAL", image_seed=502, scale="micro",
+                               tenant="globex")
+            for job_id in (a, b, c):
+                service.result(job_id, timeout=300)
+            tenants = service.stats()["gauges"]["tenants"]
+        assert tenants["acme"]["submitted"] == 2
+        assert tenants["acme"]["completed"] == 2
+        assert tenants["globex"]["submitted"] == 1
+        assert tenants["globex"]["in_flight"] == 0
+
+    def test_terminal_callback_fires_per_job(self):
+        seen = []
+        with ProvingService(max_workers=1, max_batch=2) as service:
+            service.add_terminal_callback(lambda job: seen.append(job))
+            job_ids = [
+                service.submit("SHAL", image_seed=510 + i, scale="micro")
+                for i in range(3)
+            ]
+            for job_id in job_ids:
+                service.result(job_id, timeout=300)
+        assert sorted(j.job_id for j in seen) == sorted(job_ids)
+        assert all(j.state is JobState.DONE for j in seen)
