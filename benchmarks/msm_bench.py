@@ -124,6 +124,44 @@ def bench_size(n: int, repeat: int, parallelism: int, seed: int) -> dict:
     return row
 
 
+def bench_batch_inverse(n: int, repeat: int, seed: int) -> dict:
+    """The batch-inversion hot path: naive per-element inversion (what an
+    unbatched affine formula would pay per addition) vs the Montgomery
+    batched trick the bucket fold actually uses, through the active field
+    backend.  ``zero_ok`` lanes are exercised too."""
+    from repro.field.backend import backend_name
+    from repro.field.vector import batch_inverse
+
+    rng = random.Random(seed)
+    values = [rng.randrange(1, BN254_FQ.modulus) for _ in range(n)]
+    naive_s, naive = best_of(
+        lambda: [BN254_FQ.inv(v) for v in values], repeat
+    )
+    batched_s, batched = best_of(
+        lambda: batch_inverse(BN254_FQ, values), repeat
+    )
+    if naive != batched:
+        raise AssertionError("batched inversion disagrees with naive")
+    with_zeros = list(values)
+    with_zeros[:: max(n // 16, 1)] = [
+        0 for _ in with_zeros[:: max(n // 16, 1)]
+    ]
+    zero_ok_s, zero_ok = best_of(
+        lambda: batch_inverse(BN254_FQ, with_zeros, zero_ok=True), repeat
+    )
+    for v, i in zip(with_zeros, zero_ok):
+        if (v == 0) != (i == 0) or (v and v * i % BN254_FQ.modulus != 1):
+            raise AssertionError("zero_ok lane mismatch")
+    return {
+        "n": n,
+        "backend": backend_name(),
+        "naive_inv_s": naive_s,
+        "batched_s": batched_s,
+        "batched_zero_ok_s": zero_ok_s,
+        "speedup_batched_vs_naive": round(naive_s / batched_s, 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -156,6 +194,17 @@ def main(argv=None) -> int:
         )
         print(
             f"n={n:>6d}  pippenger {row['pippenger_s']:.3f}s  [{speed}]",
+            flush=True,
+        )
+
+    report["batch_inverse"] = []
+    for n in sizes:
+        inv_row = bench_batch_inverse(n, args.repeat, args.seed)
+        report["batch_inverse"].append(inv_row)
+        print(
+            f"batch_inverse n={n:>6d}  naive {inv_row['naive_inv_s']:.4f}s"
+            f"  batched {inv_row['batched_s']:.4f}s"
+            f"  {inv_row['speedup_batched_vs_naive']:.2f}x",
             flush=True,
         )
 

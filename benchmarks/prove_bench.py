@@ -206,6 +206,34 @@ def bench_model(abbr: str, scale: str, levels, repeat: int, seed: int) -> dict:
             "witness_s": wit_s, "quotient_s": quo_s, "total_s": wit_s + quo_s
         }
 
+    # Forced scalar field backend (parallelism 1): isolates what the
+    # vectorized limb backend buys on the same witness+quotient path.
+    from repro.field.backend import backend_name, set_backend
+
+    default_backend = backend_name()
+    try:
+        set_backend("scalar")
+        wit_s, evals = best_of(
+            lambda: witness_polynomial_evals(cs, domain, csr=csr,
+                                             parallelism=1),
+            repeat,
+        )
+        quo_s, h = best_of(
+            lambda: quotient_coefficients(cs, domain, csr=csr,
+                                          parallelism=1, evals=evals),
+            repeat,
+        )
+    finally:
+        set_backend(default_backend)
+    if evals != ref_evals or h != ref_h:
+        raise AssertionError(
+            f"{abbr}:{scale} scalar-backend results diverge from legacy"
+        )
+    row["phases"]["scalar_backend"] = {
+        "witness_s": wit_s, "quotient_s": quo_s, "total_s": wit_s + quo_s
+    }
+    row["field_backend"] = default_backend
+
     base = row["phases"]["legacy"]["total_s"]
     row["speedup_vs_legacy"] = {
         name: round(base / phases["total_s"], 3)
@@ -228,6 +256,23 @@ def bench_model(abbr: str, scale: str, levels, repeat: int, seed: int) -> dict:
         raise AssertionError(f"{abbr}:{scale} proofs differ seq vs parallel")
     if not groth16.verify(setup.verifying_key, cs.public_values(), par):
         raise AssertionError(f"{abbr}:{scale} proof failed verification")
+
+    # Cross-field-backend identity: the scalar reference backend and the
+    # vectorized backend must produce the same bytes for the same rng.
+    try:
+        set_backend("scalar")
+        scalar_proof = serialize_proof(
+            groth16.prove(setup.proving_key, cs, rng=random.Random(seed + 1))
+        )
+    finally:
+        set_backend(default_backend)
+    row["proofs_byte_identical_backends"] = (
+        scalar_proof == serialize_proof(seq)
+    )
+    if not row["proofs_byte_identical_backends"]:
+        raise AssertionError(
+            f"{abbr}:{scale} proofs differ between field backends"
+        )
     return row
 
 

@@ -67,9 +67,13 @@ def _batch_reduce(buckets: List[List[Affine]]) -> List[Optional[Affine]]:
     remaining in every bucket, computes all pair denominators, inverts
     them with **one** field inversion (Montgomery batching across the
     whole bucket array), and applies the chord/tangent formulas.  A pair
-    ``P, -P`` cancels to nothing; a pair ``P, P`` takes the tangent
-    (doubling) branch.  ``y == 0`` cannot occur: BN254 G1 has prime order,
-    hence no 2-torsion.
+    ``P, -P`` cancels: its denominator is zero, so its lane comes back
+    zero from ``batch_inverse(..., zero_ok=True)`` and the slot is
+    dropped after the sweep — no per-pair branch-out of the batch, which
+    is the contract the vectorized inversion backend needs (every
+    scheduled lane stays in the array).  ``y == 0`` cannot occur
+    otherwise: BN254 G1 has prime order, hence no 2-torsion, so a zero
+    inverse *only* marks a cancelled pair.
     """
     total_adds = 0
     while any(len(lst) > 1 for lst in buckets):
@@ -81,7 +85,7 @@ def _batch_reduce(buckets: List[List[Affine]]) -> List[Optional[Affine]]:
             m = len(lst)
             if m < 2:
                 continue
-            out: List[Affine] = []
+            out: List[Optional[Affine]] = []
             i = 0
             while i + 1 < m:
                 x1, y1 = lst[i]
@@ -89,26 +93,38 @@ def _batch_reduce(buckets: List[List[Affine]]) -> List[Optional[Affine]]:
                 if x1 != x2:
                     num = y2 - y1
                     den = x2 - x1
-                elif (y1 + y2) % _Q == 0:
-                    i += 2  # P + (-P): the pair vanishes
-                    continue
-                else:  # same point twice: tangent slope 3x^2 / 2y
+                else:
+                    # Same x: either P + (-P) (den = 2y1 = y1 + y2 = 0 mod
+                    # q -> zero lane, pair vanishes) or a doubling with
+                    # tangent slope 3x^2 / 2y.
                     num = 3 * x1 * x1
-                    den = 2 * y1
+                    den = (y1 + y2) % _Q
                 ops.append((out, len(out), x1, y1, x2, num % _Q))
-                out.append((0, 0))  # placeholder, filled after inversion
+                out.append(None)  # placeholder, filled after inversion
                 dens.append(den % _Q)
                 i += 2
             if i < m:
                 out.append(lst[i])  # odd leftover rides to the next round
             buckets[bi] = out
         if dens:
-            invs = batch_inverse(BN254_FQ, dens)
+            invs = batch_inverse(BN254_FQ, dens, zero_ok=True)
+            applied = 0
+            touched = set()
             for (out, slot, x1, y1, x2, num), inv in zip(ops, invs):
+                if inv == 0:
+                    touched.add(id(out))
+                    continue  # cancelled pair: leave the slot empty
                 s = num * inv % _Q
                 x3 = (s * s - x1 - x2) % _Q
                 out[slot] = (x3, (s * (x1 - x3) - y1) % _Q)
-            total_adds += len(ops)
+                applied += 1
+            total_adds += applied
+            if touched:
+                for bi in range(len(buckets)):
+                    if id(buckets[bi]) in touched:
+                        buckets[bi] = [
+                            pt for pt in buckets[bi] if pt is not None
+                        ]
     if total_adds:
         global_counter().group_add += total_adds
     return [lst[0] if lst else None for lst in buckets]

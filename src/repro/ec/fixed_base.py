@@ -46,15 +46,20 @@ SCALAR_BITS = 254
 
 
 def batch_normalize(jacobians: Sequence[JPoint]) -> List[Optional[Affine]]:
-    """Jacobian -> affine for many points with one field inversion."""
-    zs = [z for _, _, z in jacobians if z != 0]
-    inv_iter = iter(batch_inverse(BN254_FQ, zs))
+    """Jacobian -> affine for many points with one field inversion.
+
+    Identity points (``z == 0``) come back as ``None``: ``batch_inverse``'s
+    ``zero_ok`` mode maps their lanes to zero, so no caller-side pre-filter
+    / re-zip is needed (the fragile contract this replaces).
+    """
+    invs = batch_inverse(
+        BN254_FQ, [z for _, _, z in jacobians], zero_ok=True
+    )
     out: List[Optional[Affine]] = []
-    for x, y, z in jacobians:
+    for (x, y, z), zi in zip(jacobians, invs):
         if z == 0:
             out.append(None)
             continue
-        zi = next(inv_iter)
         zi2 = zi * zi % _Q
         out.append(((x * zi2) % _Q, (y * zi2 * zi) % _Q))
     return out

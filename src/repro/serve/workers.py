@@ -201,11 +201,18 @@ def prove_batch(
                 "verified": bool(verified),
             }
         )
+    from repro.field.backend import backend_name
+
     return {
         "pid": os.getpid(),
         "cold": cold,
         "phases": phases,
         "vk": entry.vk_bytes,
+        # Which field-arithmetic backend this worker proved with
+        # (scalar / numpy / gmpy2) — proofs are byte-identical across
+        # backends, so this is telemetry for capacity planning, not
+        # correctness.
+        "field_backend": backend_name(),
         # Fixed-base table telemetry: `built` marks the one-time table
         # construction, `uses` counts table queries served by THIS batch —
         # nonzero on a warm batch proves the CRS tables were reused.

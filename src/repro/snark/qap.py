@@ -29,6 +29,9 @@ INTT → coset-NTT chains of the quotient dispatch to worker processes.
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.field.fp import BN254_FR, Field
@@ -48,7 +51,28 @@ def _next_pow2(n: int) -> int:
 # Domains memoized per (size, modulus): the power/twiddle tables are pure
 # functions of the domain, so every prove over the same circuit size —
 # including the QAP chain workers — shares one instance.
-_DOMAIN_CACHE: Dict[Tuple[int, int], "Domain"] = {}
+#
+# The cache is a bounded LRU: long-running serve/gateway processes see an
+# unbounded variety of circuit sizes (one entry per (size, modulus), each
+# holding O(d) tables), so an unbounded dict is a slow leak.  Eviction
+# drops the least-recently-proved domain; rebuilding one is O(d) and rare.
+# Fork-inherited copies in worker pools are independent after the fork —
+# each process evicts only its own copy, so a worker churning through
+# sizes never invalidates the parent's hot domains (regression-tested in
+# tests/test_field_backend.py).
+_DOMAIN_CACHE: "OrderedDict[Tuple[int, int], Domain]" = OrderedDict()
+_DOMAIN_CACHE_LOCK = threading.Lock()
+_DOMAIN_CACHE_MAX = max(2, int(os.environ.get("ZENO_DOMAIN_CACHE_MAX", "8")))
+
+
+def domain_cache_info() -> Tuple[int, int]:
+    """``(entries, capacity)`` of the process-wide domain LRU."""
+    return len(_DOMAIN_CACHE), _DOMAIN_CACHE_MAX
+
+
+# Below this domain size the per-call numpy dispatch overhead beats the
+# vectorized butterfly win; the scalar lazy-reduction path stays faster.
+_VECTOR_NTT_MIN = int(os.environ.get("ZENO_VECTOR_NTT_MIN", "256"))
 
 
 class Domain:
@@ -82,16 +106,32 @@ class Domain:
         self._coset_intt_scale = [
             (g * self.size_inv) % p for g in self.coset_inv_powers
         ]
+        # Limb-resident twiddle/scale tables for the vectorized backend,
+        # built lazily on first vector-path transform.
+        self._vec: Optional["_VectorTables"] = None
 
     @classmethod
     def for_size(cls, size: int, field: Field = BN254_FR) -> "Domain":
-        """Memoized domain lookup — one table build per ``(size, modulus)``."""
+        """Memoized domain lookup — one table build per ``(size, modulus)``,
+        bounded LRU with least-recently-used eviction."""
         d = _next_pow2(max(size, 2))
         key = (d, field.modulus)
-        domain = _DOMAIN_CACHE.get(key)
-        if domain is None:
-            domain = cls(d, field)
+        with _DOMAIN_CACHE_LOCK:
+            domain = _DOMAIN_CACHE.get(key)
+            if domain is not None:
+                _DOMAIN_CACHE.move_to_end(key)
+                return domain
+        # Build outside the lock (O(d) table construction); racing builders
+        # may duplicate work but the cache stays consistent.
+        domain = cls(d, field)
+        with _DOMAIN_CACHE_LOCK:
+            existing = _DOMAIN_CACHE.get(key)
+            if existing is not None:
+                _DOMAIN_CACHE.move_to_end(key)
+                return existing
             _DOMAIN_CACHE[key] = domain
+            while len(_DOMAIN_CACHE) > _DOMAIN_CACHE_MAX:
+                _DOMAIN_CACHE.popitem(last=False)
         return domain
 
     # -- cached tables -----------------------------------------------------------
@@ -133,6 +173,73 @@ class Domain:
                 length <<= 1
             self._stage_twiddle_cache[root] = stages
         return stages
+
+    # -- vectorized backend plumbing ---------------------------------------------
+
+    def _vector_tables(self) -> Optional["_VectorTables"]:
+        """The limb-resident table bundle, or ``None`` when the active
+        backend is scalar / the domain is below the vector threshold."""
+        if self.size < _VECTOR_NTT_MIN:
+            return None
+        from repro.field.backend import get_backend
+
+        if not getattr(get_backend(), "supports_ntt", False):
+            return None
+        vec = self._vec
+        if vec is None:
+            vec = _VectorTables(self)
+            self._vec = vec
+        return vec
+
+    @staticmethod
+    def _all_canonical(values: List[int], p: int) -> bool:
+        return not values or (min(values) >= 0 and max(values) < p)
+
+    def _bump_ntt_counters(self, transforms: int) -> None:
+        """Charge the cost-model counters for ``transforms`` NTT passes —
+        identical totals to the scalar butterfly loop, so backends are
+        indistinguishable to the op-count benchmarks."""
+        from repro.field.counters import global_counter
+
+        counter = global_counter()
+        log2d = self.size.bit_length() - 1
+        counter.field_mul += (self.size >> 1) * log2d * transforms
+        counter.field_add += self.size * log2d * transforms
+
+    def _vec_transform(
+        self,
+        vectors: List[List[int]],
+        root: int,
+        pre_scale=None,
+        post_scale=None,
+    ) -> List[List[int]]:
+        """Batched NTT of ``vectors`` through the limb backend.
+
+        ``pre_scale``/``post_scale`` are canonical mont-form pointwise
+        tables (the coset shift and fused INTT scales), applied in natural
+        order before bit-reversal / after the butterflies — mirroring the
+        scalar methods exactly, including which passes the cost model
+        counts (only the butterflies)."""
+        from repro.field import backend as fb
+
+        vec = self._vec
+        plan = vec.plan
+        d = self.size
+        C = len(vectors)
+        flat = [x for v in vectors for x in v]
+        arr = fb.to_limbs(plan, flat).reshape(plan.limbs, C, d)
+        bound = 1
+        if pre_scale is not None:
+            arr = fb.pointwise_mont(plan, arr, pre_scale)
+            bound = 2
+        arr = fb.bit_reverse_gather(arr, vec.bitrev)
+        fb.ntt_stages(plan, arr, vec.tiled_stages(root, C), bound)
+        if post_scale is not None:
+            arr = fb.pointwise_mont(plan, arr, post_scale)
+        fb.canonicalize(plan, arr)
+        out = fb.from_limbs(plan, arr)
+        self._bump_ntt_counters(C)
+        return [out[c * d : (c + 1) * d] for c in range(C)]
 
     # -- NTT core ----------------------------------------------------------------
 
@@ -179,12 +286,21 @@ class Domain:
     def ntt(self, coeffs: Sequence[int]) -> List[int]:
         """Coefficients -> evaluations over H (zero-padded to domain size)."""
         padded = list(coeffs) + [0] * (self.size - len(coeffs))
+        vec = self._vector_tables()
+        if vec is not None and self._all_canonical(padded, self.field.modulus):
+            return self._vec_transform([padded], self.omega)[0]
         return self._ntt(padded, self.omega)
 
     def intt(self, evals: Sequence[int]) -> List[int]:
         """Evaluations over H -> coefficients."""
         p = self.field.modulus
-        out = self._ntt(list(evals), self.omega_inv)
+        values = list(evals)
+        vec = self._vector_tables()
+        if vec is not None and self._all_canonical(values, p):
+            return self._vec_transform(
+                [values], self.omega_inv, post_scale=vec.size_inv_mont
+            )[0]
+        out = self._ntt(values, self.omega_inv)
         size_inv = self.size_inv
         return [(v * size_inv) % p for v in out]
 
@@ -192,6 +308,11 @@ class Domain:
         """Coefficients -> evaluations over the coset ``g * H``."""
         p = self.field.modulus
         padded = list(coeffs) + [0] * (self.size - len(coeffs))
+        vec = self._vector_tables()
+        if vec is not None and self._all_canonical(padded, p):
+            return self._vec_transform(
+                [padded], self.omega, pre_scale=vec.coset_mont
+            )[0]
         shifted = [(c * g) % p for c, g in zip(padded, self.coset_powers)]
         return self._ntt(shifted, self.omega)
 
@@ -199,7 +320,13 @@ class Domain:
         """Evaluations over ``g * H`` -> coefficients (1/d and the inverse
         coset shift applied in one fused pass)."""
         p = self.field.modulus
-        out = self._ntt(list(evals), self.omega_inv)
+        values = list(evals)
+        vec = self._vector_tables()
+        if vec is not None and self._all_canonical(values, p):
+            return self._vec_transform(
+                [values], self.omega_inv, post_scale=vec.coset_intt_mont
+            )[0]
+        out = self._ntt(values, self.omega_inv)
         return [(v * s) % p for v, s in zip(out, self._coset_intt_scale)]
 
     def chain_to_coset(self, evals: Sequence[int]) -> List[int]:
@@ -208,13 +335,51 @@ class Domain:
         Equivalent to ``coset_ntt(intt(evals))`` with the INTT's ``1/d``
         and the coset shift fused into a single cached pointwise table —
         the unit of work the parallel quotient dispatches per polynomial.
+        On the vector backend both transforms run limb-resident with one
+        fused mont-form scale pass between them.
         """
         p = self.field.modulus
-        coeffs = self._ntt(list(evals), self.omega_inv)
+        values = list(evals)
+        vec = self._vector_tables()
+        if vec is not None and self._all_canonical(values, p):
+            from repro.field import backend as fb
+
+            plan = vec.plan
+            arr = fb.to_limbs(plan, values).reshape(plan.limbs, 1, self.size)
+            arr, _ = self._vec_intt_to_coset(arr)
+            fb.canonicalize(plan, arr)
+            self._bump_ntt_counters(2)
+            return fb.from_limbs(plan, arr)
+        coeffs = self._ntt(values, self.omega_inv)
         shifted = [
             (c * s) % p for c, s in zip(coeffs, self._intt_coset_scale)
         ]
         return self._ntt(shifted, self.omega)
+
+    def _vec_intt_to_coset(self, arr, scale=None):
+        """Limb-resident INTT -> fused scale -> coset NTT (lazy output).
+
+        ``arr`` is canonical ``(L, C, d)``; ``scale`` defaults to the
+        mont-form fused table (per-chain tables may mix in a plain-form
+        column — the quotient's ``1/R`` trick).  Returns the un-canonical
+        coset evaluations and their lazy value bound (in multiples of p);
+        callers canonicalize (or feed the pointwise quotient step, which
+        tolerates the bound) and charge the 2-NTT counter cost."""
+        from repro.field import backend as fb
+
+        vec = self._vec
+        plan = vec.plan
+        batch = arr.shape[1] if arr.ndim == 3 else 1
+        arr = fb.bit_reverse_gather(arr, vec.bitrev)
+        fb.ntt_stages(plan, arr, vec.tiled_stages(self.omega_inv, batch), 1)
+        arr = fb.pointwise_mont(
+            plan, arr, vec.intt_coset_mont if scale is None else scale
+        )
+        arr = fb.bit_reverse_gather(arr, vec.bitrev)
+        bound = fb.ntt_stages(
+            plan, arr, vec.tiled_stages(self.omega, batch), 2
+        )
+        return arr, bound
 
     # -- vanishing polynomial -------------------------------------------------------
 
@@ -242,6 +407,146 @@ class Domain:
         inverses = batch_inverse(field, denominators)
         scale = (z_tau * self.size_inv) % p
         return [(scale * w * inv) % p for w, inv in zip(omegas, inverses)]
+
+
+class _VectorTables:
+    """Per-domain limb-resident tables for the vectorized NTT backend.
+
+    Twiddles and fused scale tables are stored as canonical Montgomery-form
+    ``(L, n)`` int64 arrays so every butterfly/scale pass is a single
+    ``mont_mul`` with plain data — no per-transform Montgomery conversion.
+    Built once per (domain, process) and cached on the Domain, so they
+    ride the domain LRU and fork into worker pools for free.
+    """
+
+    __slots__ = (
+        "plan", "bitrev", "stages", "coset_mont", "intt_coset_mont",
+        "intt_coset_plain", "coset_intt_mont", "size_inv_mont",
+        "_tiled", "size",
+    )
+
+    def __init__(self, domain: "Domain") -> None:
+        import numpy as np
+
+        from repro.field import backend as fb
+
+        plan = fb.plan_for(domain.field)
+        p = domain.field.modulus
+        rm = plan.R_mod_p
+        self.plan = plan
+        self.bitrev = np.array(domain._bitrev, dtype=np.int64)
+        self.size = domain.size
+        self.stages = {}
+        self._tiled = {}
+        for root in (domain.omega, domain.omega_inv):
+            scalar_stages = domain._stage_twiddles(root)
+            tables = [None]  # stage 0 twiddle is 1: pure add/sub butterfly
+            for s in range(1, len(scalar_stages)):
+                tables.append(
+                    fb.to_limbs(
+                        plan, [w * rm % p for w in scalar_stages[s]]
+                    )
+                )
+            self.stages[root] = tables
+        self.coset_mont = fb.to_limbs(
+            plan, [v * rm % p for v in domain.coset_powers]
+        )
+        self.intt_coset_mont = fb.to_limbs(
+            plan, [v * rm % p for v in domain._intt_coset_scale]
+        )
+        # Plain-form variant: multiplying by it through mont_mul leaves an
+        # extra 1/R on the chain — the quotient pipeline runs its C chain
+        # through this table so (A*B - C) needs no Montgomery conversion.
+        self.intt_coset_plain = fb.to_limbs(plan, domain._intt_coset_scale)
+        self.coset_intt_mont = fb.to_limbs(
+            plan, [v * rm % p for v in domain._coset_intt_scale]
+        )
+        self.size_inv_mont = fb.to_limbs(plan, [domain.size_inv * rm % p])
+
+    def tiled_stages(self, root: int, batch: int):
+        """Stage twiddles pre-tiled to the full ``(L, batch * d/2)`` lane
+        width, memoized per (root, batch).
+
+        Tiling once per domain (a few MB per batch width, riding the
+        domain LRU) lets every butterfly stage feed the Montgomery kernel
+        a single contiguous operand instead of materializing a broadcast
+        copy on each of the ~log2(d) stages of every transform.
+        """
+        import numpy as np
+
+        key = (root, batch)
+        cached = self._tiled.get(key)
+        if cached is not None:
+            return cached
+        lanes = batch * (self.size // 2)
+        tables = [None]
+        for s, base in enumerate(self.stages[root]):
+            if s == 0:
+                continue
+            reps = lanes // base.shape[1]
+            tables.append(
+                np.ascontiguousarray(np.tile(base, reps))
+                if reps > 1
+                else base
+            )
+        self._tiled[key] = tables
+        return tables
+
+
+def _vector_quotient(
+    domain: Domain,
+    a_evals: List[int],
+    b_evals: List[int],
+    c_evals: List[int],
+) -> List[int]:
+    """Array-resident quotient: all three chains batched as ``(L, 3, d)``.
+
+    The A/B chains run through the mont-form fused scale table, the C
+    chain through the plain-form one, so on the coset the stored values
+    are ``A``, ``B`` and ``C/R``; then ``mont_mul(A, B) - C/R`` is
+    ``(AB - C)/R`` with zero conversion passes, and one final multiply by
+    the canonical constant ``z_inv * R^2`` yields ``(AB - C) * z_inv``
+    exactly.  Counter totals equal the scalar path's seven NTTs.
+    """
+    import numpy as np
+
+    from repro.field import backend as fb
+
+    vec = domain._vector_tables()
+    plan = vec.plan
+    p = domain.field.modulus
+    d = domain.size
+    L = plan.limbs
+    flat = list(a_evals) + list(b_evals) + list(c_evals)
+    arr = fb.to_limbs(plan, flat).reshape(L, 3, d)
+    scale = np.stack(
+        [vec.intt_coset_mont, vec.intt_coset_mont, vec.intt_coset_plain],
+        axis=1,
+    )
+    arr, bound = domain._vec_intt_to_coset(arr, scale=scale)
+    a_c = np.ascontiguousarray(arr[:, 0])
+    b_c = np.ascontiguousarray(arr[:, 1])
+    c_c = np.ascontiguousarray(arr[:, 2])
+    fb.canonicalize(plan, b_c)  # the mont-multiply's B operand
+    u = fb.mont_mul(plan, a_c, b_c)  # stored: A*B/R, value < 2p
+    if bound + 2 >= len(plan.kp_cols):
+        fb.canonicalize(plan, c_c)
+        bound = 1
+    u -= c_c
+    u += plan.kp_cols[bound]  # keep the subtraction nonnegative
+    fb._ripple_norm(u)
+    z_inv = pow(domain.coset_vanishing_constant(), -1, p)
+    z_col = fb.to_limbs(plan, [z_inv * plan.R2 % p])
+    h = fb.mont_mul(plan, u, z_col).reshape(L, 1, d)
+    h = fb.bit_reverse_gather(h, vec.bitrev)
+    fb.ntt_stages(plan, h, vec.tiled_stages(domain.omega_inv, 1), 2)
+    h = fb.pointwise_mont(plan, h, vec.coset_intt_mont)
+    fb.canonicalize(plan, h)
+    h_coeffs = fb.from_limbs(plan, h)
+    domain._bump_ntt_counters(7)
+    if h_coeffs[-1] != 0:
+        raise ValueError("witness does not satisfy the constraint system")
+    return h_coeffs[:-1]
 
 
 # -- QAP over a constraint system --------------------------------------------------------
@@ -384,6 +689,18 @@ def quotient_coefficients(
             cs, domain, csr=csr, parallelism=parallelism, schedule=schedule
         )
     a_evals, b_evals, c_evals = evals
+    vec = domain._vector_tables()
+    if vec is not None and all(
+        Domain._all_canonical(list(v), p)
+        for v in (a_evals, b_evals, c_evals)
+    ):
+        # Vectorized backend: all three chains batch through one
+        # limb-resident pipeline — faster than forking the chain workers,
+        # so the pool is bypassed (witness rows still parallelize
+        # upstream).  Counter totals match the scalar path exactly.
+        return _vector_quotient(
+            domain, list(a_evals), list(b_evals), list(c_evals)
+        )
     if parallelism is not None and parallelism > 1:
         from repro.core.schedule.executor import worker_pool
         from repro.field.counters import global_counter

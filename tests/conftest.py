@@ -45,3 +45,25 @@ def tiny_conv_model(seed: int = 0) -> Model:
 @pytest.fixture
 def tiny_model() -> Model:
     return tiny_conv_model()
+
+
+def tiny_proof_bytes() -> bytes:
+    """Serialize one deterministic proof of the tiny conv model.
+
+    Seeded setup and blinding make the bytes a stable function of the
+    proving pipeline alone, so equality across runs asserts byte-identical
+    proving (used by the cross-field-backend parity tests).
+    """
+    from repro.core.compiler import PrivacySetting, ZenoCompiler, zeno_options
+    from repro.snark import groth16
+    from repro.snark.serialize import serialize_proof
+
+    compiler = ZenoCompiler(
+        zeno_options(PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS)
+    )
+    artifact = compiler.compile_model(tiny_conv_model(), tiny_image())
+    cs = artifact.cs
+    setup = groth16.setup(cs, rng=random.Random(5))
+    proof = groth16.prove(setup.proving_key, cs, rng=random.Random(6))
+    assert groth16.verify(setup.verifying_key, cs.public_values(), proof)
+    return serialize_proof(proof)
