@@ -1,0 +1,218 @@
+"""Per-layer aggregate proving benchmark: split vs whole-model.
+
+Standalone harness (NOT collected by pytest) measuring what the
+`repro.aggregate` subsystem buys:
+
+* **prove latency** — one whole-model Groth16 prove vs the same
+  inference split at layer boundaries and proved as independent
+  instances, sequentially and through a process pool.  With
+  ``parallelism >= 2`` the split path runs complete *prove pipelines*
+  concurrently (witness, quotient, MSMs — not just the inner phases),
+  so wall time approaches max(layer) instead of sum(layer).
+* **verify cost** — naive per-proof verification (4 pairings each) vs
+  one `verify_aggregate` batched multi-pairing (``P + 3L`` pairings for
+  ``P`` proofs over ``L`` layers), swept over a growing batch of
+  inferences to expose the sub-linear growth.
+* **determinism** — sequential and pooled proofs must be byte-identical
+  under the deterministic blinding derivation (asserted, recorded).
+
+::
+
+    PYTHONPATH=src python benchmarks/aggregate_bench.py \
+        --model LCS --scale mini --segments 4 \
+        --parallelism 1,2,4 --inferences 1,2,4 --out BENCH_aggregate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregate import (
+    fold,
+    prove_split,
+    setup_split,
+    split_model,
+    verify_aggregate,
+)
+from repro.core.reuse.batch import BatchProver
+from repro.field.counters import count_ops
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from repro.snark import groth16
+from repro.snark.serialize import serialize_proof
+
+CRS_SEED = 0xBE7C4
+
+
+def _best_of(repeat, fn):
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def bench_prove(args, prover, split, setups):
+    whole_setup = groth16.setup(prover.cs, rng=random.Random(CRS_SEED))
+    rows = {}
+    for par in args.parallelism:
+        seconds, _ = _best_of(
+            args.repeat,
+            lambda par=par: groth16.prove(
+                whole_setup.proving_key, prover.cs,
+                rng=random.Random(1), parallelism=par,
+            ),
+        )
+        rows[f"whole_model_p{par}"] = seconds
+
+    reference = None
+    for par in args.parallelism:
+        seconds, proofs = _best_of(
+            args.repeat,
+            lambda par=par: prove_split(
+                split, setups, crs_seed=CRS_SEED, parallelism=par
+            ),
+        )
+        rows[f"per_layer_p{par}"] = seconds
+        encoded = [serialize_proof(p) for p in proofs]
+        if reference is None:
+            reference = encoded
+        else:
+            assert encoded == reference, (
+                f"per-layer proofs at parallelism={par} not byte-identical"
+            )
+    return rows, reference is not None
+
+
+def bench_verify(args, prover, split, setups, images):
+    """Grow the inference batch; record naive vs aggregate verify cost."""
+    proof_sets, publics_sets = [], []
+    sweep = []
+    for count in args.inferences:
+        while len(proof_sets) < count:
+            image = images[len(proof_sets)]
+            prover.assign_image(image)
+            split.refresh_from(prover.cs)
+            proof_sets.append(prove_split(split, setups, crs_seed=CRS_SEED))
+            publics_sets.append(
+                [inst.cs.public_values() for inst in split.instances]
+            )
+        agg = fold(
+            split, setups, proof_sets[:count],
+            crs_seed=CRS_SEED, publics_sets=publics_sets[:count],
+        )
+
+        def naive():
+            for proofs, publics in zip(proof_sets[:count], publics_sets[:count]):
+                for k, (proof, vals) in enumerate(zip(proofs, publics)):
+                    assert groth16.verify(
+                        setups[k].verifying_key, vals, proof
+                    )
+
+        naive_s, _ = _best_of(args.repeat, naive)
+        with count_ops() as naive_ops:
+            naive()
+
+        agg_s, verdict = _best_of(args.repeat, lambda: verify_aggregate(agg))
+        assert verdict.ok, verdict.reason
+        with count_ops() as agg_ops:
+            verify_aggregate(agg)
+
+        sweep.append(
+            {
+                "inferences": count,
+                "proofs": verdict.num_proofs,
+                "naive_seconds": naive_s,
+                "aggregate_seconds": agg_s,
+                "naive_pairings": naive_ops.pairing,
+                "aggregate_pairings": agg_ops.pairing,
+                "pairings_per_proof": agg_ops.pairing / verdict.num_proofs,
+                "artifact_bytes": len(agg.to_json()),
+            }
+        )
+        assert naive_ops.pairing == 4 * verdict.num_proofs
+        assert agg_ops.pairing == verdict.num_proofs + 3 * verdict.num_layers
+    return sweep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="LCS")
+    parser.add_argument("--scale", default="mini")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--segments", type=int, default=4)
+    parser.add_argument("--parallelism", default="1,2,4")
+    parser.add_argument("--inferences", default="1,2,4")
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+    args.parallelism = [int(v) for v in args.parallelism.split(",")]
+    args.inferences = sorted(int(v) for v in args.inferences.split(","))
+
+    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    images = synthetic_images(
+        model.input_shape, n=max(args.inferences), seed=9000
+    )
+    prover = BatchProver(model, images[0])
+    split = split_model(prover.cs, num_segments=args.segments)
+    setups = setup_split(split, crs_seed=CRS_SEED)
+    print(
+        f"{args.model}/{args.scale}: {prover.cs.num_constraints} constraints "
+        f"-> {split.num_instances} instances "
+        f"({', '.join(i.name for i in split.instances)})"
+    )
+
+    prove_rows, byte_identical = bench_prove(args, prover, split, setups)
+    for name, seconds in prove_rows.items():
+        print(f"  {name:18s} {seconds:8.3f}s")
+
+    verify_sweep = bench_verify(args, prover, split, setups, images)
+    for row in verify_sweep:
+        print(
+            f"  verify x{row['inferences']}: naive {row['naive_seconds']:.3f}s"
+            f"/{row['naive_pairings']}p, aggregate "
+            f"{row['aggregate_seconds']:.3f}s/{row['aggregate_pairings']}p "
+            f"({row['pairings_per_proof']:.2f} pairings/proof)"
+        )
+
+    par = max(p for p in args.parallelism if p >= 2)
+    speedup = prove_rows["whole_model_p1"] / prove_rows[f"per_layer_p{par}"]
+    doc = {
+        "bench": "aggregate",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "model": args.model,
+        "scale": args.scale,
+        "num_constraints": prover.cs.num_constraints,
+        "num_segments": split.num_instances,
+        "segment_constraints": {
+            inst.name: inst.cs.num_constraints for inst in split.instances
+        },
+        "repeat": args.repeat,
+        "prove_seconds": prove_rows,
+        "per_layer_parallel_vs_whole_model": round(speedup, 3),
+        "proofs_byte_identical_seq_vs_pool": byte_identical,
+        "verify_sweep": verify_sweep,
+    }
+    print(
+        f"per-layer @{par} workers vs whole-model @1: {speedup:.2f}x "
+        f"({'meets' if speedup >= 1.0 else 'MISSES'} the <= criterion)"
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

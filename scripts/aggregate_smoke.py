@@ -1,0 +1,202 @@
+"""CI smoke test for per-layer aggregate proving, local and clustered.
+
+Exercises the full `repro.aggregate` acceptance path on a small
+(>= 3-layer) model:
+
+1. **local** — split at layer boundaries, prove every instance through
+   the process pool, fold into one `AggregateProof`, verify with the
+   single batched pairing check, and assert a byte-flip anywhere in the
+   artifact (proof, boundary commitment, public input) rejects;
+2. **cluster** — run an in-process coordinator with two REAL worker
+   subprocesses (``python -m repro.cli cluster worker``), submit one job
+   per layer carrying the ``aggregate`` job extra, and assert the
+   cluster-produced proofs are byte-identical to the local ones under
+   deterministic blinding, then fold + verify those too.
+
+Exit code 0 on success.  Used by the CI "Aggregate smoke" step::
+
+    PYTHONPATH=src python scripts/aggregate_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregate import (
+    AggregateProof,
+    fold,
+    prove_split,
+    setup_split,
+    split_model,
+    verify_aggregate,
+)
+from repro.cluster import ClusterConfig, ClusterCoordinator
+from repro.core.reuse.batch import BatchProver
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from repro.serve.service import ServiceConfig
+from repro.snark.serialize import deserialize_proof, serialize_proof
+
+MODEL, SCALE, SEED, IMAGE_SEED = "LCS", "micro", 0, 451
+SEGMENTS = 3
+CRS_SEED = 0xA66C1
+
+
+def wait_for(predicate, timeout, what, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def spawn_worker(address, node_id):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    host, port = address
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "cluster", "worker",
+            "--connect", f"{host}:{port}", "--node-id", node_id,
+            "--pool-workers", "1", "--window", "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def tampered_rejects(agg, mutate, what):
+    doc = json.loads(agg.to_json())
+    mutate(doc)
+    verdict = verify_aggregate(AggregateProof.from_json(json.dumps(doc)))
+    assert not verdict.ok, f"tampered artifact accepted ({what})"
+
+
+def main() -> int:
+    # -- phase 1: local split -> pooled prove -> fold -> verify ------------------
+    model = build_model(MODEL, scale=SCALE, seed=SEED)
+    image = synthetic_images(model.input_shape, n=1, seed=IMAGE_SEED)[0]
+    prover = BatchProver(model, image)
+    split = split_model(prover.cs, num_segments=SEGMENTS)
+    assert split.num_instances >= 3, "smoke model must split into >= 3 layers"
+    setups = setup_split(split, crs_seed=CRS_SEED)
+    local_proofs = prove_split(split, setups, crs_seed=CRS_SEED, parallelism=2)
+    agg = fold(split, setups, [local_proofs], crs_seed=CRS_SEED)
+    verdict = verify_aggregate(agg)
+    assert verdict.ok, f"local aggregate rejected: {verdict.reason}"
+    assert verdict.globals_out, "aggregate carries no model-level claims"
+    print(
+        f"phase 1 ok: {split.num_instances} layer proofs "
+        f"({prover.cs.num_constraints} constraints) folded and verified "
+        f"in {verdict.num_pairings} pairings ({verdict.naive_pairings} naive)"
+    )
+
+    def flip_proof(doc):
+        raw = bytearray(bytes.fromhex(doc["inferences"][0]["proofs"][1]))
+        raw[len(raw) // 2] ^= 1
+        doc["inferences"][0]["proofs"][1] = raw.hex()
+
+    def flip_boundary(doc):
+        raw = bytearray(bytes.fromhex(doc["inferences"][0]["boundaries"][0]))
+        raw[0] ^= 1
+        doc["inferences"][0]["boundaries"][0] = raw.hex()
+
+    def flip_public(doc):
+        publics = doc["inferences"][0]["publics"][-1]
+        publics[-1] = str(int(publics[-1]) ^ 1)
+
+    tampered_rejects(agg, flip_proof, "flipped proof byte")
+    tampered_rejects(agg, flip_boundary, "flipped boundary commitment")
+    tampered_rejects(agg, flip_public, "flipped public input")
+    print("phase 1 ok: proof/boundary/public tampering all rejected")
+
+    # -- phase 2: same inference through two real cluster workers ----------------
+    coord = ClusterCoordinator(
+        ClusterConfig(
+            heartbeat_interval=0.1,
+            heartbeat_timeout=2.0,
+            node_window=1,
+            service=ServiceConfig(
+                max_batch=2, max_wait=0.02, poll_interval=0.005,
+                backoff_base=0.02, deterministic=True,
+            ),
+        )
+    )
+    address = coord.start()
+    print(f"coordinator on {address[0]}:{address[1]}")
+    workers = {
+        node_id: spawn_worker(address, node_id)
+        for node_id in ("agg-w0", "agg-w1")
+    }
+    try:
+        wait_for(
+            lambda: len(coord.live_nodes()) == 2, 60, "both workers to register"
+        )
+        job_ids = [
+            coord.submit(
+                MODEL,
+                image_seed=IMAGE_SEED,
+                scale=SCALE,
+                seed=SEED,
+                extra={
+                    "aggregate": {
+                        "mode": "public",
+                        "num_segments": SEGMENTS,
+                        "crs_seed": CRS_SEED,
+                        "layer": k,
+                    }
+                },
+            )
+            for k in range(split.num_instances)
+        ]
+        results = [coord.result(j, timeout=300) for j in job_ids]
+        assert all(r.verified for r in results), "a cluster layer proof failed"
+        nodes_used = sorted({r.store_keys["node"] for r in results})
+
+        local_bytes = [serialize_proof(p) for p in local_proofs]
+        assert [r.proof for r in results] == local_bytes, (
+            "cluster per-layer proofs != local prove_split bytes"
+        )
+        cluster_agg = fold(
+            split, setups,
+            [[deserialize_proof(r.proof) for r in results]],
+            crs_seed=CRS_SEED,
+        )
+        cluster_verdict = verify_aggregate(cluster_agg)
+        assert cluster_verdict.ok, (
+            f"cluster aggregate rejected: {cluster_verdict.reason}"
+        )
+        assert cluster_agg.to_json() == agg.to_json(), (
+            "cluster aggregate artifact != local artifact"
+        )
+        print(
+            f"phase 2 ok: {len(results)} layer proofs via nodes {nodes_used}, "
+            "byte-identical to local, folded and verified"
+        )
+        print("AGGREGATE SMOKE PASSED")
+        return 0
+    finally:
+        for proc in workers.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers.values():
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        coord.shutdown(drain=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

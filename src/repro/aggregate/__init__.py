@@ -1,0 +1,65 @@
+"""Per-layer proving with chained boundary commitments (ZKTorch direction).
+
+The pipeline: :func:`split_model` cuts a compiled constraint system at
+its layer boundaries into independent Groth16 instances whose
+inter-layer consistency rides on hash-committed boundary tuples;
+:func:`setup_split`/:func:`prove_split` run the per-layer setups and
+prove the instances concurrently with deterministic blinding; and
+:func:`fold` packs the proof set into a single self-contained
+:class:`AggregateProof` that :func:`verify_aggregate` checks with ONE
+batched multi-pairing — ``P + 3L`` pairings for ``P`` proofs over ``L``
+layers instead of ``4P``.
+
+See ARCHITECTURE.md §11 for the dataflow and the boundary-commitment
+soundness argument.
+"""
+
+from repro.aggregate.audit import audit_split
+from repro.aggregate.commit import (
+    boundary_commitment,
+    mimc_digest,
+    mimc_round_constants,
+)
+from repro.aggregate.fold import (
+    AggregateError,
+    AggregateProof,
+    AggregateVerdict,
+    fold,
+    verify_aggregate,
+)
+from repro.aggregate.prove import (
+    DEFAULT_CRS_SEED,
+    blinding_rng,
+    crs_rng,
+    prove_instance,
+    prove_split,
+    setup_split,
+)
+from repro.aggregate.split import (
+    LayerInstance,
+    SplitError,
+    SplitModel,
+    split_model,
+)
+
+__all__ = [
+    "AggregateError",
+    "AggregateProof",
+    "AggregateVerdict",
+    "DEFAULT_CRS_SEED",
+    "LayerInstance",
+    "SplitError",
+    "SplitModel",
+    "audit_split",
+    "blinding_rng",
+    "boundary_commitment",
+    "crs_rng",
+    "fold",
+    "mimc_digest",
+    "mimc_round_constants",
+    "prove_instance",
+    "prove_split",
+    "setup_split",
+    "split_model",
+    "verify_aggregate",
+]

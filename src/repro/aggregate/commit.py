@@ -1,0 +1,84 @@
+"""Boundary commitments for per-layer proving.
+
+Two commitment modes bind the activations crossing a layer boundary:
+
+* ``public`` (default) — the boundary values themselves are public inputs
+  of both adjacent instances, and the commitment is a SHA-256 hash over
+  their canonical 32-byte big-endian encodings, computed *outside* the
+  circuit.  Soundness comes from Groth16 binding the public-input vector:
+  the aggregate verifier recomputes both sides' commitments from the
+  claimed publics, so layer ``k``'s outputs and layer ``k+1``'s inputs
+  must be the same tuple (up to a SHA-256 collision).  Costs zero extra
+  constraints — the instance circuits stay exactly as large as the rows
+  they inherit.
+
+* ``hashed`` (opt-in) — the boundary values stay *private* and each
+  instance absorbs them into an in-circuit MiMC-x⁵ sponge whose final
+  state is the instance's single digest public input.  Costs 3
+  constraints per absorbed value (plus finalization rounds) but keeps
+  intermediate activations hidden from the aggregate artifact — the shape
+  recursive accumulation schemes need.
+
+Either way the artifact-level commitment bytes are a SHA-256 over the
+claimed boundary *slot values* (in ``hashed`` mode that tuple is just the
+one digest element), so the fold/verify chain logic is mode-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+BOUNDARY_DOMAIN = b"zeno.aggregate.boundary.v1"
+MIMC_DOMAIN = b"zeno.aggregate.mimc.v1"
+
+# Finalization rounds absorbed with value 0 after the payload, so the
+# digest of a prefix is never the digest of the full tuple.
+MIMC_EXTRA_ROUNDS = 2
+
+
+def boundary_commitment(values: Sequence[int]) -> bytes:
+    """SHA-256 over the canonical encoding of a boundary value tuple.
+
+    Length-prefixed and domain-separated: ``H(dom || u32(n) || v_1 ||
+    ... || v_n)`` with each value as 32 big-endian bytes.  Equal digests
+    imply equal tuples up to SHA-256 collisions, which is what lets the
+    aggregate verifier check layer-to-layer consistency without
+    re-proving anything.
+    """
+    h = hashlib.sha256(BOUNDARY_DOMAIN)
+    h.update(len(values).to_bytes(4, "big"))
+    for value in values:
+        h.update(int(value).to_bytes(32, "big"))
+    return h.digest()
+
+
+def mimc_round_constants(count: int, modulus: int) -> List[int]:
+    """Deterministic per-round constants: ``sha256(dom || u32(i)) mod p``."""
+    out: List[int] = []
+    for i in range(count):
+        digest = hashlib.sha256(MIMC_DOMAIN + i.to_bytes(4, "big")).digest()
+        out.append(int.from_bytes(digest, "big") % modulus)
+    return out
+
+
+def mimc_digest(
+    values: Sequence[int], modulus: int, extra_rounds: int = MIMC_EXTRA_ROUNDS
+) -> int:
+    """Native evaluation of the in-circuit sponge (for witness refresh).
+
+    One round per absorbed value: ``state' = (state + v + rc_i)^5``.
+    x⁵ is a permutation of BN254 Fr (``gcd(5, r-1) = 1``), which is what
+    makes each round invertible and the construction a sponge rather than
+    a lossy fold.  ``extra_rounds`` rounds absorbing 0 finalize.
+    """
+    rounds = len(values) + extra_rounds
+    constants = mimc_round_constants(rounds, modulus)
+    state = 0
+    for i in range(rounds):
+        v = int(values[i]) if i < len(values) else 0
+        t = (state + v + constants[i]) % modulus
+        t2 = (t * t) % modulus
+        t4 = (t2 * t2) % modulus
+        state = (t4 * t) % modulus
+    return state

@@ -1,0 +1,212 @@
+"""Per-layer setup and concurrent proving with deterministic blinding.
+
+Every derivation here is a pure function of ``(crs_seed, layer_index)``
+(plus the instance's public inputs for blinding), so a local process
+pool, the serving :class:`~repro.serve.pool.WorkerPool`, and remote
+``repro.cluster`` worker nodes all produce byte-identical proofs for the
+same inference — asserted by the tests and by ``BENCH_aggregate.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregate.split import SplitModel
+from repro.ec.backend import GroupBackend, RealBN254Backend, SimulatedBackend
+from repro.snark import groth16
+from repro.snark.keys import SetupResult
+from repro.snark.proof import Proof
+from repro.snark.serialize import (
+    deserialize_proof,
+    deserialize_proving_key,
+    serialize_proof,
+    serialize_proving_key,
+)
+
+CRS_DOMAIN = b"zeno.aggregate.crs.v1"
+BLIND_DOMAIN = b"zeno.aggregate.blind.v1"
+
+DEFAULT_CRS_SEED = 0x5E70A66
+
+
+def _rng_from_digest(digest: bytes) -> random.Random:
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+def crs_rng(crs_seed: int, layer_index: int) -> random.Random:
+    """The per-layer trusted-setup RNG: ``H(dom || seed || layer)``."""
+    digest = hashlib.sha256(
+        CRS_DOMAIN
+        + int(crs_seed).to_bytes(8, "big", signed=False)
+        + layer_index.to_bytes(4, "big")
+    ).digest()
+    return _rng_from_digest(digest)
+
+
+def blinding_rng(
+    crs_seed: int, layer_index: int, public_values: Sequence[int]
+) -> random.Random:
+    """Deterministic Groth16 blinding: seeded by layer AND instance publics.
+
+    Binding the publics means two different inferences never share
+    blinding factors (which would leak witness relations), while the same
+    inference proved anywhere yields the same ``(r, s)`` and hence the
+    same proof bytes.
+    """
+    inner = hashlib.sha256()
+    inner.update(len(public_values).to_bytes(4, "big"))
+    for value in public_values:
+        inner.update(int(value).to_bytes(32, "big"))
+    digest = hashlib.sha256(
+        BLIND_DOMAIN
+        + int(crs_seed).to_bytes(8, "big", signed=False)
+        + layer_index.to_bytes(4, "big")
+        + inner.digest()
+    ).digest()
+    return _rng_from_digest(digest)
+
+
+def backend_by_name(name: str) -> GroupBackend:
+    """Reconstruct a group backend in a worker process from its name."""
+    if name == SimulatedBackend.name:
+        return SimulatedBackend()
+    if name == RealBN254Backend.name:
+        return RealBN254Backend()
+    raise ValueError(f"unknown group backend {name!r}")
+
+
+def setup_split(
+    split: SplitModel,
+    backend: Optional[GroupBackend] = None,
+    crs_seed: int = DEFAULT_CRS_SEED,
+) -> List[SetupResult]:
+    """Run the per-layer trusted setups (deterministic per layer)."""
+    backend = backend or SimulatedBackend()
+    return [
+        groth16.setup(inst.cs, backend, crs_rng(crs_seed, inst.index))
+        for inst in split.instances
+    ]
+
+
+def prove_instance(
+    split: SplitModel,
+    layer_index: int,
+    setup: SetupResult,
+    backend: Optional[GroupBackend] = None,
+    crs_seed: Optional[int] = DEFAULT_CRS_SEED,
+) -> Proof:
+    """Prove one layer instance, with deterministic blinding by default.
+
+    ``crs_seed=None`` opts out of determinism (fresh random blinding).
+    """
+    backend = backend or SimulatedBackend()
+    inst = split.instances[layer_index]
+    rng = (
+        blinding_rng(crs_seed, inst.index, inst.cs.public_values())
+        if crs_seed is not None
+        else random.Random()
+    )
+    return groth16.prove(setup.proving_key, inst.cs, backend, rng)
+
+
+def _prove_layer_remote(args) -> bytes:
+    """Pickle-path pool entry point: prove one shipped layer instance.
+
+    Receives the proving key in its canonical serialized form (the same
+    bytes the artifact store persists) so the transfer is compact and the
+    child rebuilds exactly the CRS the parent set up.  Used only where
+    ``fork`` is unavailable — shipping keys costs O(model) per layer.
+    """
+    inst_cs, layer_index, pk_bytes, backend_name, crs_seed = args
+    backend = backend_by_name(backend_name)
+    pk = deserialize_proving_key(pk_bytes)
+    rng = (
+        blinding_rng(crs_seed, layer_index, inst_cs.public_values())
+        if crs_seed is not None
+        else random.Random()
+    )
+    proof = groth16.prove(pk, inst_cs, backend, rng)
+    return serialize_proof(proof)
+
+
+# Fork-shared prove state: the parent parks (split, setups, ...) here
+# right before creating a fork-context pool, so children inherit it via
+# copy-on-write and jobs carry only (token, layer_index) — constant-size
+# regardless of model size.  Same trick as the CSR schedule executor.
+_FORK_STATE: Dict[int, Tuple[SplitModel, Sequence[SetupResult], str,
+                             Optional[int]]] = {}
+_FORK_TOKENS = itertools.count(1)
+
+
+def _prove_layer_fork(args) -> bytes:
+    token, layer_index = args
+    split, setups, backend_name, crs_seed = _FORK_STATE[token]
+    proof = prove_instance(
+        split, layer_index, setups[layer_index],
+        backend_by_name(backend_name), crs_seed,
+    )
+    return serialize_proof(proof)
+
+
+def prove_split(
+    split: SplitModel,
+    setups: Sequence[SetupResult],
+    backend: Optional[GroupBackend] = None,
+    crs_seed: Optional[int] = DEFAULT_CRS_SEED,
+    parallelism: int = 1,
+) -> List[Proof]:
+    """Prove every layer instance, concurrently when ``parallelism > 1``.
+
+    The parallel path runs complete per-layer prove pipelines in a
+    process pool — a model-prove becomes max(layer prove) instead of
+    sum(layer prove), which is the whole point of splitting.  Where the
+    platform supports ``fork``, children inherit the split and proving
+    keys by copy-on-write; otherwise each (instance, serialized proving
+    key) pair is pickled across.
+    """
+    backend = backend or SimulatedBackend()
+    if len(setups) != split.num_instances:
+        raise ValueError(
+            f"expected {split.num_instances} setups, got {len(setups)}"
+        )
+    if parallelism <= 1 or split.num_instances == 1:
+        return [
+            prove_instance(split, k, setups[k], backend, crs_seed)
+            for k in range(split.num_instances)
+        ]
+    workers = min(parallelism, split.num_instances)
+    if "fork" in multiprocessing.get_all_start_methods():
+        token = next(_FORK_TOKENS)
+        _FORK_STATE[token] = (split, setups, backend.name, crs_seed)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                proof_bytes = list(
+                    pool.map(
+                        _prove_layer_fork,
+                        [(token, k) for k in range(split.num_instances)],
+                    )
+                )
+        finally:
+            del _FORK_STATE[token]
+    else:
+        jobs = [
+            (
+                split.instances[k].cs,
+                k,
+                serialize_proving_key(setups[k].proving_key),
+                backend.name,
+                crs_seed,
+            )
+            for k in range(split.num_instances)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            proof_bytes = list(pool.map(_prove_layer_remote, jobs))
+    return [deserialize_proof(raw) for raw in proof_bytes]

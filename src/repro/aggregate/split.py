@@ -1,0 +1,448 @@
+"""Split a compiled constraint system at layer boundaries.
+
+``split_model`` turns one monolithic :class:`ConstraintSystem` into an
+ordered list of independent per-layer instances, reusing the §5.2 layer
+partition (:func:`repro.core.schedule.executor.plan_layer_slices`) so the
+cut points are exactly the compiler's layer provenance — rows outside
+every tagged range (knit flushes, trailing gadgets) become anonymous
+filler segments, so coverage is total and no constraint is dropped.
+
+A private variable whose uses span several segments is a *boundary*
+variable.  Boundary ``k`` (between instance ``k`` and ``k+1``) is the
+ordered tuple of variables alive across that cut — first use in segment
+``<= k``, last use ``> k``.  Instance ``k``'s input set is boundary
+``k-1`` and its output set is boundary ``k``; a variable alive across
+both cuts (used or merely passing through) occupies exactly ONE local
+slot shared by both sets, so input/output agreement inside one instance
+is structural rather than proved.
+
+In ``public`` mode boundary variables become local public inputs (bound
+by Groth16's IC term); in ``hashed`` mode they stay private and each
+side's tuple is absorbed into an in-circuit MiMC sponge (see
+:mod:`repro.aggregate.commit`) whose digest is the instance's public
+input.  Either way, satisfying every instance with chained boundary
+claims is equivalent to satisfying the original system: the union of the
+instances' rows IS the original row set, and the chain pins every
+crossing variable to a single value along the whole path from its
+defining segment to its last consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregate.commit import (
+    MIMC_EXTRA_ROUNDS,
+    mimc_round_constants,
+)
+from repro.core.schedule.executor import plan_layer_slices
+from repro.r1cs.constraint import Constraint
+from repro.r1cs.lc import ONE, LinearCombination
+from repro.r1cs.system import ConstraintSystem
+
+
+class SplitError(ValueError):
+    """Raised when a constraint system cannot be split as requested."""
+
+
+@dataclass
+class SpongeRound:
+    """One MiMC round's wires, stored so witness refresh can recompute."""
+
+    value_var: Optional[int]  # local signed index absorbed (None = pad 0)
+    constant: int
+    w2: int  # local private wires: t², t⁴, t⁵ (the next state)
+    w4: int
+    w5: int
+
+
+@dataclass
+class LayerInstance:
+    """One independent Groth16 instance covering a contiguous row range."""
+
+    name: str
+    index: int
+    row_start: int
+    row_stop: int
+    cs: ConstraintSystem
+    # Local-slot provenance: original signed index per local public slot
+    # (slot i <-> local variable -(i+1)) and per local private (entry i
+    # <-> local variable i+1).  ``None`` marks synthesized variables —
+    # sponge digests/wires — recomputed by :meth:`refresh_from`.
+    public_map: List[Optional[int]] = dataclass_field(default_factory=list)
+    private_map: List[Optional[int]] = dataclass_field(default_factory=list)
+    # (local slot, original public index >= 0) for model-level publics.
+    global_slots: List[Tuple[int, int]] = dataclass_field(default_factory=list)
+    # Local public slots forming the input/output boundary tuples, in
+    # canonical (ascending original variable) order.
+    in_slots: List[int] = dataclass_field(default_factory=list)
+    out_slots: List[int] = dataclass_field(default_factory=list)
+    # hashed mode only: sponge recomputation plans per side.
+    in_sponge: List[SpongeRound] = dataclass_field(default_factory=list)
+    out_sponge: List[SpongeRound] = dataclass_field(default_factory=list)
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    def public_values(self) -> List[int]:
+        return self.cs.public_values()
+
+    def boundary_values(self, slots: Sequence[int]) -> List[int]:
+        publics = self.cs.public_values()
+        return [publics[s] for s in slots]
+
+    def refresh_from(self, orig: ConstraintSystem) -> None:
+        """Re-pull witness values from the original system (§6.1 reuse).
+
+        After :meth:`repro.core.reuse.batch.BatchProver.assign_image`
+        re-assigns the shared system for a new image, this maps the fresh
+        values into the instance and recomputes any sponge wires/digests.
+        """
+        for slot, orig_var in enumerate(self.public_map):
+            if orig_var is not None:
+                self.cs.assign(-(slot + 1), orig.value_of(orig_var))
+        for i, orig_var in enumerate(self.private_map):
+            if orig_var is not None:
+                self.cs.assign(i + 1, orig.value_of(orig_var))
+        self._replay_sponges()
+
+    def _replay_sponges(self) -> None:
+        if not self.in_sponge and not self.out_sponge:
+            return
+        p = self.cs.field.modulus
+        digest_slots = {s for s in self.in_slots + self.out_slots}
+        for rounds, slots in (
+            (self.in_sponge, self.in_slots),
+            (self.out_sponge, self.out_slots),
+        ):
+            if not rounds:
+                continue
+            state = 0
+            for rnd in rounds:
+                v = (
+                    self.cs.value_of(rnd.value_var)
+                    if rnd.value_var is not None
+                    else 0
+                )
+                t = (state + v + rnd.constant) % p
+                t2 = (t * t) % p
+                t4 = (t2 * t2) % p
+                state = (t4 * t) % p
+                self.cs.assign(rnd.w2, t2)
+                self.cs.assign(rnd.w4, t4)
+                self.cs.assign(rnd.w5, state)
+            (digest_slot,) = slots
+            assert digest_slot in digest_slots
+            self.cs.assign(-(digest_slot + 1), state)
+
+
+@dataclass
+class SplitModel:
+    """The ordered per-layer instances plus the boundary variable tuples."""
+
+    mode: str  # "public" | "hashed"
+    source_name: str
+    instances: List[LayerInstance]
+    # boundaries[k] = original private variables alive across the cut
+    # between instance k and k+1, ascending — the commitment pre-image
+    # order both sides use.
+    boundaries: List[Tuple[int, ...]]
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def refresh_from(self, orig: ConstraintSystem) -> None:
+        for inst in self.instances:
+            inst.refresh_from(orig)
+
+    def total_constraints(self) -> int:
+        return sum(inst.cs.num_constraints for inst in self.instances)
+
+
+def _merge_segments(
+    slices: Sequence, num_segments: int
+) -> List[Tuple[str, int, int]]:
+    """Greedy proportional merge of ordered slices into ``num_segments``
+    contiguous groups, balancing constraint-row counts."""
+    segments: List[Tuple[str, int, int]] = []
+    total = sum(s.num_rows for s in slices)
+    consumed = 0
+    group: List = []
+    for pos, s in enumerate(slices):
+        group.append(s)
+        consumed += s.num_rows
+        remaining_groups = num_segments - len(segments)
+        slices_left = len(slices) - pos - 1
+        # Cut when the cumulative row count reaches this group's
+        # proportional share — or when every remaining slice must become
+        # its own group to still reach ``num_segments``.
+        hit_share = consumed * num_segments >= total * (len(segments) + 1)
+        must_cut = slices_left == remaining_groups - 1
+        if (
+            remaining_groups > 1
+            and slices_left >= remaining_groups - 1
+            and (hit_share or must_cut)
+        ):
+            segments.append(_group_to_segment(group))
+            group = []
+    if group:
+        segments.append(_group_to_segment(group))
+    return segments
+
+
+def _group_to_segment(group: Sequence) -> Tuple[str, int, int]:
+    if len(group) == 1:
+        name = group[0].name
+    else:
+        name = f"{group[0].name}..{group[-1].name}"
+    return (name, group[0].start, group[-1].stop)
+
+
+def split_model(
+    cs: ConstraintSystem,
+    mode: str = "public",
+    num_segments: Optional[int] = None,
+    extra_rounds: int = MIMC_EXTRA_ROUNDS,
+) -> SplitModel:
+    """Split ``cs`` into independent per-layer instances.
+
+    ``num_segments`` caps the instance count by merging consecutive layer
+    slices into balanced contiguous groups (useful to match a worker
+    pool's parallelism); by default every layer slice — named or
+    anonymous filler — becomes its own instance.
+    """
+    if mode not in ("public", "hashed"):
+        raise SplitError(f"unknown boundary mode {mode!r}")
+    num_rows = cs.num_constraints
+    if num_rows == 0:
+        raise SplitError("cannot split an empty constraint system")
+    slices = plan_layer_slices(num_rows, cs.layer_ranges, num_workers=1)
+    if num_segments is not None:
+        if num_segments < 1:
+            raise SplitError("num_segments must be >= 1")
+        segments = _merge_segments(slices, min(num_segments, len(slices)))
+    else:
+        segments = [(s.name, s.start, s.stop) for s in slices]
+    n = len(segments)
+
+    # -- variable usage scan: first/last segment per private variable ------
+    first_seg: Dict[int, int] = {}
+    last_seg: Dict[int, int] = {}
+    used_globals: List[List[int]] = [[] for _ in range(n)]
+    seen_globals: List[set] = [set() for _ in range(n)]
+    for k, (_, start, stop) in enumerate(segments):
+        for row in range(start, stop):
+            constraint = cs.constraints[row]
+            for lc in (constraint.a, constraint.b, constraint.c):
+                for var in lc.indices():
+                    if var == ONE:
+                        continue
+                    if var < 0:
+                        if var not in seen_globals[k]:
+                            seen_globals[k].add(var)
+                            used_globals[k].append(var)
+                        continue
+                    if var not in first_seg:
+                        first_seg[var] = k
+                    last_seg[var] = k
+
+    # boundaries[k] = vars with first use <= k < last use, ascending.
+    boundaries: List[Tuple[int, ...]] = []
+    for k in range(n - 1):
+        crossing = sorted(
+            v for v, f in first_seg.items() if f <= k < last_seg[v]
+        )
+        boundaries.append(tuple(crossing))
+
+    instances: List[LayerInstance] = []
+    for k, (name, start, stop) in enumerate(segments):
+        instances.append(
+            _build_instance(
+                cs,
+                k,
+                name,
+                start,
+                stop,
+                in_vars=boundaries[k - 1] if k > 0 else (),
+                out_vars=boundaries[k] if k < n - 1 else (),
+                globals_used=sorted(used_globals[k], key=lambda v: -v),
+                first_seg=first_seg,
+                last_seg=last_seg,
+                mode=mode,
+                extra_rounds=extra_rounds,
+            )
+        )
+
+    split = SplitModel(
+        mode=mode,
+        source_name=cs.name,
+        instances=instances,
+        boundaries=boundaries,
+    )
+    if split.total_constraints() < num_rows:
+        raise SplitError(
+            "split dropped constraints: "
+            f"{split.total_constraints()} < {num_rows}"
+        )
+    return split
+
+
+def _build_instance(
+    cs: ConstraintSystem,
+    index: int,
+    name: str,
+    start: int,
+    stop: int,
+    in_vars: Tuple[int, ...],
+    out_vars: Tuple[int, ...],
+    globals_used: List[int],
+    first_seg: Dict[int, int],
+    last_seg: Dict[int, int],
+    mode: str,
+    extra_rounds: int,
+) -> LayerInstance:
+    inst_cs = ConstraintSystem(cs.field, name=f"{cs.name}/{name}")
+    inst = LayerInstance(
+        name=name,
+        index=index,
+        row_start=start,
+        row_stop=stop,
+        cs=inst_cs,
+    )
+    var_map: Dict[int, int] = {ONE: ONE}
+
+    # Model-level publics keep their meaning via global_slots provenance.
+    for orig in globals_used:
+        slot = len(inst.public_map)
+        var_map[orig] = inst_cs.new_public(cs.value_of(orig))
+        inst.public_map.append(orig)
+        inst.global_slots.append((slot, -orig - 1))
+
+    boundary_union = sorted(set(in_vars) | set(out_vars))
+    if mode == "public":
+        # One shared slot per crossing variable: membership in both the
+        # input and output tuples is structural, not an extra claim.
+        for orig in boundary_union:
+            slot = len(inst.public_map)
+            var_map[orig] = inst_cs.new_public(cs.value_of(orig))
+            inst.public_map.append(orig)
+            if orig in in_vars:
+                inst.in_slots.append(slot)
+            if orig in out_vars:
+                inst.out_slots.append(slot)
+    else:
+        for orig in boundary_union:
+            var_map[orig] = inst_cs.new_private(cs.value_of(orig))
+            inst.private_map.append(orig)
+
+    # Locals: variables used in this segment only.
+    for row in range(start, stop):
+        constraint = cs.constraints[row]
+        for lc in (constraint.a, constraint.b, constraint.c):
+            for var in lc.indices():
+                if var <= 0 or var in var_map:
+                    continue
+                var_map[var] = inst_cs.new_private(cs.value_of(var))
+                inst.private_map.append(var)
+
+    # Remap the inherited rows verbatim.
+    for row in range(start, stop):
+        constraint = cs.constraints[row]
+        inst_cs.enforce(
+            _remap_lc(constraint.a, var_map, inst_cs),
+            _remap_lc(constraint.b, var_map, inst_cs),
+            _remap_lc(constraint.c, var_map, inst_cs),
+            tag=constraint.tag,
+        )
+
+    if mode == "hashed":
+        for side, vars_side in (("in", in_vars), ("out", out_vars)):
+            if not vars_side:
+                continue
+            rounds, digest_slot = _absorb_sponge(
+                inst_cs,
+                [var_map[v] for v in vars_side],
+                extra_rounds,
+                tag=f"{name}/boundary-{side}",
+                private_map=inst.private_map,
+                public_map=inst.public_map,
+            )
+            if side == "in":
+                inst.in_sponge, inst.in_slots = rounds, [digest_slot]
+            else:
+                inst.out_sponge, inst.out_slots = rounds, [digest_slot]
+
+    inst_cs.mark_layer(name, 0)
+    return inst
+
+
+def _remap_lc(
+    lc: LinearCombination, var_map: Dict[int, int], inst_cs: ConstraintSystem
+) -> LinearCombination:
+    return LinearCombination(
+        inst_cs.field, {var_map[i]: c for i, c in lc.terms.items()}
+    )
+
+
+def _absorb_sponge(
+    inst_cs: ConstraintSystem,
+    local_vars: List[int],
+    extra_rounds: int,
+    tag: str,
+    private_map: List[Optional[int]],
+    public_map: List[Optional[int]],
+) -> Tuple[List[SpongeRound], int]:
+    """Append MiMC-x⁵ absorb constraints; returns (rounds, digest slot).
+
+    Per round (3 constraints): ``t = state + v + rc`` is a free LC, then
+    ``t·t = t²``, ``t²·t² = t⁴``, ``t⁴·t = t⁵`` and the next state is
+    ``t⁵``.  The final state is pinned to a fresh public digest slot.
+    """
+    p = inst_cs.field.modulus
+    num_rounds = len(local_vars) + extra_rounds
+    constants = mimc_round_constants(num_rounds, p)
+    rounds: List[SpongeRound] = []
+    state_lc = inst_cs.lc()  # initial state 0
+    state_val = 0
+    for i in range(num_rounds):
+        var = local_vars[i] if i < len(local_vars) else None
+        v_val = inst_cs.value_of(var) if var is not None else 0
+        rc = constants[i]
+        t_lc = state_lc.copy()
+        if var is not None:
+            t_lc.add_term(var, 1)
+        t_lc.add_term(ONE, rc)
+        has_values = v_val is not None and state_val is not None
+        t = (state_val + v_val + rc) % p if has_values else None
+        t2 = (t * t) % p if t is not None else None
+        t4 = (t2 * t2) % p if t2 is not None else None
+        t5 = (t4 * t) % p if t4 is not None else None
+        w2 = inst_cs.new_private(t2)
+        private_map.append(None)
+        w4 = inst_cs.new_private(t4)
+        private_map.append(None)
+        w5 = inst_cs.new_private(t5)
+        private_map.append(None)
+        inst_cs.enforce(t_lc, t_lc, inst_cs.lc_variable(w2), tag=tag)
+        inst_cs.enforce(
+            inst_cs.lc_variable(w2),
+            inst_cs.lc_variable(w2),
+            inst_cs.lc_variable(w4),
+            tag=tag,
+        )
+        inst_cs.enforce(
+            inst_cs.lc_variable(w4), t_lc, inst_cs.lc_variable(w5), tag=tag
+        )
+        rounds.append(SpongeRound(var, rc, w2, w4, w5))
+        state_lc = inst_cs.lc_variable(w5)
+        state_val = t5
+    digest_slot = len(public_map)
+    digest_var = inst_cs.new_public(state_val)
+    public_map.append(None)
+    inst_cs.enforce_equal(
+        state_lc, inst_cs.lc_variable(digest_var), tag=f"{tag}/digest"
+    )
+    return rounds, digest_slot

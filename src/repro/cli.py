@@ -94,12 +94,22 @@ def cmd_audit(args) -> int:
     # exactly what the determinism check exists to flag.
     options.gadget_mode = args.gadgets or "strict"
     artifact = ZenoCompiler(options).compile_model(model, image)
-    report = audit_system(
-        artifact.cs,
-        assume=assume_from_recipe(artifact.compute.recipe),
-        fuzz=args.fuzz,
-        rng=random.Random(args.fuzz_seed),
-    )
+    assume = assume_from_recipe(artifact.compute.recipe)
+    if getattr(args, "per_layer", False):
+        from repro.aggregate import audit_split
+
+        split = artifact.split(
+            mode=args.boundary_mode, num_segments=args.segments
+        )
+        report = audit_split(
+            split, assume=assume, fuzz=args.fuzz,
+            rng=random.Random(args.fuzz_seed),
+        )
+    else:
+        report = audit_system(
+            artifact.cs, assume=assume, fuzz=args.fuzz,
+            rng=random.Random(args.fuzz_seed),
+        )
     print(report.summary())
     if args.json:
         Path(args.json).write_text(report.to_json(indent=2))
@@ -107,8 +117,51 @@ def cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_prove_per_layer(args, artifact) -> int:
+    """Split at layer boundaries, prove each instance, fold to one file."""
+    from repro.aggregate import (
+        fold,
+        prove_split,
+        setup_split,
+        verify_aggregate,
+    )
+
+    start = time.perf_counter()
+    split = artifact.split(mode=args.boundary_mode, num_segments=args.segments)
+    setups = setup_split(split, crs_seed=args.crs_seed)
+    proofs = prove_split(
+        split, setups, crs_seed=args.crs_seed, parallelism=args.parallelism
+    )
+    agg = fold(split, setups, [proofs], crs_seed=args.crs_seed)
+    verdict = verify_aggregate(agg)
+    elapsed = time.perf_counter() - start
+    assert verdict.ok, f"aggregate self-check failed: {verdict.reason}"
+
+    out = Path(args.out if args.out != "proof.bin" else "aggregate.json")
+    agg.save(str(out))
+    logits = artifact.public_outputs_signed()
+    print(f"prediction: class {int(np.argmax(logits))}")
+    for inst in split.instances:
+        print(
+            f"  layer {inst.index} {inst.name:24s} "
+            f"m={inst.cs.num_constraints:6d} pub={inst.cs.num_public:5d} "
+            f"rows [{inst.row_start},{inst.row_stop})"
+        )
+    print(f"aggregate: {out} ({out.stat().st_size} bytes, "
+          f"{split.num_instances} layers, mode={split.mode})")
+    print(
+        f"proved {split.total_constraints()} constraints in {elapsed:.2f}s "
+        f"({args.parallelism} worker(s)); verification costs "
+        f"{verdict.num_pairings} pairings vs {verdict.naive_pairings} naive"
+    )
+    print(f"verify with: repro verify --aggregate {out}")
+    return 0
+
+
 def cmd_prove(args) -> int:
     model, image, compiler, artifact = _build_artifact(args)
+    if args.per_layer:
+        return _cmd_prove_per_layer(args, artifact)
     start = time.perf_counter()
     setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
     phases: dict = {}
@@ -214,7 +267,46 @@ def _batch_verify_dir(directory: Path) -> int:
     return 0 if failed == 0 else 1
 
 
+def _verify_aggregate_file(path: Path) -> int:
+    """Verify a folded per-layer artifact with one batched pairing check."""
+    from repro.aggregate import AggregateError, AggregateProof, verify_aggregate
+    from repro.field import BN254_FR_MODULUS
+
+    try:
+        agg = AggregateProof.load(str(path))
+    except (OSError, AggregateError) as exc:
+        print(f"aggregate: unreadable artifact: {exc}")
+        return 1
+    verdict = verify_aggregate(agg)
+    print(
+        f"aggregate {path}: model={agg.model} mode={agg.mode} "
+        f"{len(agg.layers)} layer(s), {len(agg.inferences)} inference(s)"
+    )
+    if not verdict.ok:
+        print(f"verification: REJECTED ({verdict.reason})")
+        return 1
+    p = BN254_FR_MODULUS
+    half = p // 2
+    for i, globals_out in enumerate(verdict.globals_per_inference):
+        logits = [
+            v - p if v > half else v
+            for _, v in sorted(globals_out.items())
+        ]
+        if logits:
+            print(
+                f"  inference {i}: prediction class "
+                f"{int(np.argmax(logits))} (logits {logits})"
+            )
+    print(
+        f"verification: ACCEPTED — {verdict.num_proofs} proofs in "
+        f"{verdict.num_pairings} pairings ({verdict.naive_pairings} naive)"
+    )
+    return 0
+
+
 def cmd_verify(args) -> int:
+    if args.aggregate:
+        return _verify_aggregate_file(Path(args.aggregate))
     if args.batch:
         return _batch_verify_dir(Path(args.batch))
     if not (args.proof and args.claim):
@@ -611,6 +703,15 @@ def main(argv=None) -> int:
     p_audit.add_argument("--fuzz-seed", type=int, default=2024)
     p_audit.add_argument("--json", default=None,
                          help="also write the full report as JSON")
+    p_audit.add_argument(
+        "--per-layer", action="store_true",
+        help="split at layer boundaries and audit each instance, merging "
+             "findings into one layer-attributed report",
+    )
+    p_audit.add_argument("--segments", type=int, default=None,
+                         help="with --per-layer: cap the instance count")
+    p_audit.add_argument("--boundary-mode", choices=["public", "hashed"],
+                         default="public")
     p_audit.set_defaults(func=cmd_audit)
 
     p_prove = sub.add_parser("prove", help="generate a Groth16 proof")
@@ -623,6 +724,22 @@ def main(argv=None) -> int:
              "schedule executor, QAP coset-NTT chains, and chunked MSMs "
              "(bn254 G1, large inputs)",
     )
+    p_prove.add_argument(
+        "--per-layer", action="store_true",
+        help="prove each layer as an independent Groth16 instance chained "
+             "by boundary commitments; writes one aggregate JSON artifact "
+             "(default out: aggregate.json)",
+    )
+    p_prove.add_argument(
+        "--segments", type=int, default=None,
+        help="with --per-layer: merge layer slices into this many "
+             "balanced instances (e.g. match --parallelism)",
+    )
+    p_prove.add_argument(
+        "--boundary-mode", choices=["public", "hashed"], default="public",
+        help="boundary tuples as public inputs (default) or as in-circuit "
+             "MiMC sponge digests",
+    )
     p_prove.set_defaults(func=cmd_prove)
 
     p_verify = sub.add_parser("verify", help="verify serialized proof(s)")
@@ -632,6 +749,11 @@ def main(argv=None) -> int:
         "--batch", default=None, metavar="DIR",
         help="batch-verify every *.claim.json under DIR "
              "(one k+3-pairing check per shared verifying key)",
+    )
+    p_verify.add_argument(
+        "--aggregate", default=None, metavar="FILE",
+        help="verify a `prove --per-layer` artifact: boundary-commitment "
+             "chain + one batched multi-pairing over all layer proofs",
     )
     p_verify.set_defaults(func=cmd_verify)
 

@@ -522,7 +522,8 @@ class ClusterCoordinator:
             return
 
         self.telemetry.record_batch(
-            len(batch), out["cold"], out["phases"], out.get("msm_tables")
+            len(batch), out["cold"], out["phases"], out.get("msm_tables"),
+            aggregate_layer=out.get("aggregate_layer"),
         )
         vk_key = self.store.put("vk", out["vk"])
         bad_jobs = []
@@ -728,6 +729,11 @@ class ClusterCoordinator:
             "gadgets": cfg.gadget_mode,
             "deterministic": cfg.deterministic,
         }
+        # Per-layer aggregate fan-out mirrors the local service: the batch
+        # key pins every job in the batch to one (split params, layer).
+        aggregate = batch.jobs[0].extra.get("aggregate")
+        if aggregate:
+            spec["aggregate"] = aggregate
         payloads = []
         for job in batch.jobs:
             job.state = JobState.RUNNING

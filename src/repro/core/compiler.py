@@ -183,6 +183,17 @@ class CompileArtifact:
         half = p // 2
         return [v - p if v > half else v for v in self.cs.public_values()]
 
+    def split(self, mode: str = "public", num_segments: Optional[int] = None):
+        """Split this compilation into per-layer Groth16 instances.
+
+        Returns a :class:`repro.aggregate.SplitModel` (see ARCHITECTURE
+        §11); ``num_segments`` caps the instance count by merging
+        consecutive layer slices into balanced contiguous groups.
+        """
+        from repro.aggregate import split_model
+
+        return split_model(self.cs, mode=mode, num_segments=num_segments)
+
 
 class ZenoCompiler:
     """Compiles models (or raw programs) and generates proofs."""

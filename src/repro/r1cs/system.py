@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.field.fp import BN254_FR, Field
 from repro.r1cs.constraint import Constraint
@@ -51,6 +52,9 @@ class ConstraintSystem:
         # (invalidated on enforce).  See repro.r1cs.csr.
         self._dense_cache: Optional[List[int]] = None
         self._csr_cache = None
+        # layer_of() fast path: sorted disjoint (start, stop, tag) intervals,
+        # invalidated on mark_layer and on constraint append.
+        self._layer_index: Optional[List[Tuple[int, int, str]]] = None
 
     # -- allocation ----------------------------------------------------------
 
@@ -105,6 +109,7 @@ class ConstraintSystem:
         """Add the constraint ``a * b = c``."""
         self.constraints.append(Constraint(a, b, c, tag=tag))
         self._csr_cache = None
+        self._layer_index = None
 
     def enforce_equal(
         self, lc: LinearCombination, ref: LinearCombination, tag: str = ""
@@ -145,6 +150,7 @@ class ConstraintSystem:
     def mark_layer(self, tag: str, start: int) -> None:
         """Record that constraints ``[start, len)`` belong to layer ``tag``."""
         self.layer_ranges[tag] = range(start, len(self.constraints))
+        self._layer_index = None
 
     # -- inspection ------------------------------------------------------------------
 
@@ -244,10 +250,51 @@ class ConstraintSystem:
         found = self.violations(limit=1)
         return found[0].constraint if found else None
 
-    def layer_of(self, index: int) -> Optional[str]:
-        """The mark_layer tag whose range covers constraint ``index``."""
+    def _build_layer_index(self) -> List[Tuple[int, int, str]]:
+        """Sorted disjoint ``(start, stop, tag)`` intervals for layer_of.
+
+        Tags are processed in ``layer_ranges`` insertion order, each
+        claiming only the index space no earlier tag already covers — the
+        same first-match-wins answer the old per-call linear scan gave,
+        now answerable with one bisect.  Rebuilt lazily after any
+        :meth:`mark_layer` or constraint append.
+        """
+        claimed: List[Tuple[int, int, str]] = []  # sorted, disjoint
         for tag, rng in self.layer_ranges.items():
-            if index in rng:
+            if rng.stop <= rng.start:
+                continue
+            # Carve [rng.start, rng.stop) around already-claimed intervals.
+            gaps = [(rng.start, rng.stop)]
+            for start, stop, _ in claimed:
+                next_gaps = []
+                for lo, hi in gaps:
+                    if stop <= lo or start >= hi:
+                        next_gaps.append((lo, hi))
+                        continue
+                    if lo < start:
+                        next_gaps.append((lo, start))
+                    if stop < hi:
+                        next_gaps.append((stop, hi))
+                gaps = next_gaps
+            for lo, hi in gaps:
+                bisect.insort(claimed, (lo, hi, tag))
+        self._layer_index = claimed
+        return claimed
+
+    def layer_of(self, index: int) -> Optional[str]:
+        """The mark_layer tag whose range covers constraint ``index``.
+
+        Audit lints and :meth:`violations` call this once per finding;
+        the cached interval index makes each call ``O(log L)`` instead of
+        a linear scan over every tagged range.
+        """
+        intervals = self._layer_index
+        if intervals is None:
+            intervals = self._build_layer_index()
+        pos = bisect.bisect_right(intervals, (index, float("inf"))) - 1
+        if pos >= 0:
+            start, stop, tag = intervals[pos]
+            if start <= index < stop:
                 return tag
         return None
 

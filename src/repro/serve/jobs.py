@@ -83,8 +83,24 @@ class ProofJob:
     error: Optional[str] = None
 
     def batch_key(self) -> Tuple:
-        """Jobs with equal keys share one constraint system / proving key."""
-        return (self.model, self.scale, self.seed, self.privacy)
+        """Jobs with equal keys share one constraint system / proving key.
+
+        Per-layer aggregate jobs (``extra["aggregate"]``) additionally key
+        on the split parameters AND the layer index: two different layers
+        are two different circuits, so the micro-batcher must never merge
+        them into one batch even though they share a model.
+        """
+        key: Tuple = (self.model, self.scale, self.seed, self.privacy)
+        agg = self.extra.get("aggregate")
+        if agg:
+            key += (
+                "aggregate",
+                agg.get("mode", "public"),
+                agg.get("num_segments"),
+                agg.get("crs_seed"),
+                agg.get("layer"),
+            )
+        return key
 
     @property
     def deadline(self) -> Optional[float]:

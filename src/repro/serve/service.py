@@ -319,6 +319,11 @@ class ProvingService:
             "gadgets": self.config.gadget_mode,
             "deterministic": self.config.deterministic,
         }
+        # Per-layer aggregate fan-out: the whole batch shares one layer
+        # (batch_key includes it), so the first job's dict speaks for all.
+        aggregate = batch.jobs[0].extra.get("aggregate")
+        if aggregate:
+            spec["aggregate"] = aggregate
         payloads = []
         for job in batch.jobs:
             job.state = JobState.RUNNING
@@ -358,7 +363,8 @@ class ProvingService:
 
     def _complete(self, batch: Batch, out: dict) -> None:
         self.telemetry.record_batch(
-            len(batch), out["cold"], out["phases"], out.get("msm_tables")
+            len(batch), out["cold"], out["phases"], out.get("msm_tables"),
+            aggregate_layer=out.get("aggregate_layer"),
         )
         vk_key = self.store.put("vk", out["vk"])
         by_id = {r["job_id"]: r for r in out["results"]}

@@ -91,6 +91,9 @@ class ServiceTelemetry:
         self.msm_table_uses = 0  # table-backed MSM queries served
         self.audit_rejected_batches = 0  # pre-prove audit gate rejections
         self.audit_rejected_jobs = 0
+        self.aggregate_batches = 0  # per-layer (repro.aggregate) batches
+        self.aggregate_proofs = 0  # layer proofs produced by those batches
+        self.aggregate_layers: Dict[str, int] = {}  # layer index -> proofs
         self.batcher_pending = 0  # jobs parked in the micro-batcher
         self.inflight_jobs = 0  # jobs dispatched and not yet terminal
         self.batch_sizes = Histogram()
@@ -136,10 +139,18 @@ class ServiceTelemetry:
         cold: bool,
         phases: Dict[str, float],
         msm_tables: Optional[Dict[str, int]] = None,
+        aggregate_layer: Optional[int] = None,
     ) -> None:
         with self._lock:
             self.batch_runs += 1
             self.batch_sizes.add(size)
+            if aggregate_layer is not None:
+                self.aggregate_batches += 1
+                self.aggregate_proofs += size
+                key = str(aggregate_layer)
+                self.aggregate_layers[key] = (
+                    self.aggregate_layers.get(key, 0) + size
+                )
             if cold:
                 self.key_cache_misses += 1
             else:
@@ -227,6 +238,13 @@ class ServiceTelemetry:
                 "audit": {
                     "rejected_batches": self.audit_rejected_batches,
                     "rejected_jobs": self.audit_rejected_jobs,
+                },
+                "aggregate": {
+                    "batches": self.aggregate_batches,
+                    "layer_proofs": self.aggregate_proofs,
+                    "per_layer": dict(
+                        sorted(self.aggregate_layers.items())
+                    ),
                 },
                 "phase_latency_seconds": self.phases.snapshot(),
                 "throughput_jobs_per_second": self.completed / elapsed,

@@ -57,6 +57,38 @@ _PRIVACY = {
     "both-private": (Privacy.PRIVATE, Privacy.PRIVATE),
 }
 
+# Per-layer aggregate proving: one warm split (compile + split_model)
+# shared by every layer job of the same model spec in this worker, with
+# per-layer trusted setups cached lazily — layer 3 jobs don't pay for
+# layer 7's setup.
+_WARM_AGG: Dict[Tuple, "_WarmAggEntry"] = {}
+
+
+class _WarmAggEntry:
+    def __init__(self, prover: BatchProver, split) -> None:
+        self.prover = prover
+        self.split = split
+        self.setups: Dict[int, Any] = {}  # layer index -> SetupResult
+        self.vk_bytes: Dict[int, bytes] = {}
+
+    def layer_setup(self, layer: int, backend, crs_seed: int):
+        from repro.aggregate.prove import crs_rng
+        from repro.snark import groth16
+        from repro.snark.serialize import serialize_verifying_key
+
+        setup = self.setups.get(layer)
+        if setup is None:
+            setup = groth16.setup(
+                self.split.instances[layer].cs,
+                backend,
+                crs_rng(crs_seed, layer),
+            )
+            self.setups[layer] = setup
+            self.vk_bytes[layer] = serialize_verifying_key(
+                setup.verifying_key
+            )
+        return setup
+
 
 def _backend(name: str):
     from repro.ec.backend import RealBN254Backend, SimulatedBackend
@@ -120,6 +152,9 @@ def prove_batch(
     """
     from repro.snark import groth16
     from repro.snark.serialize import serialize_proof
+
+    if spec.get("aggregate"):
+        return _prove_layer_batch(spec, payloads)
 
     backend = _backend(spec.get("backend", "simulated"))
     key = (
@@ -224,6 +259,127 @@ def prove_batch(
                 else 0
             ),
         },
+        "results": results,
+    }
+
+
+def _prove_layer_batch(
+    spec: Dict[str, Any], payloads: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Prove one *layer instance* of a split model for every job in a batch.
+
+    ``spec["aggregate"]`` carries ``{mode, num_segments, crs_seed, layer}``;
+    the batch key guarantees every payload targets the same layer.  The
+    compile + :func:`repro.aggregate.split_model` cost is shared across
+    ALL layers of the spec via ``_WARM_AGG`` (the split's structure does
+    not depend on the image), and each layer's trusted setup is cached
+    the first time that layer lands on this worker.
+
+    The per-layer CRS comes from :func:`repro.aggregate.prove.crs_rng` and
+    — when ``spec["deterministic"]`` — the blinding from
+    :func:`repro.aggregate.prove.blinding_rng`, both pure functions of the
+    job, so local pools and remote cluster nodes emit byte-identical
+    layer proofs for the same inference.
+    """
+    from repro.aggregate import split_model
+    from repro.aggregate.prove import DEFAULT_CRS_SEED, blinding_rng
+    from repro.snark import groth16
+    from repro.snark.serialize import serialize_proof
+
+    agg = spec["aggregate"]
+    layer = int(agg["layer"])
+    mode = agg.get("mode", "public")
+    num_segments = agg.get("num_segments")
+    crs_seed = int(agg.get("crs_seed", DEFAULT_CRS_SEED))
+    backend = _backend(spec.get("backend", "simulated"))
+    key = (
+        spec["model"], spec["scale"], spec["seed"], spec["privacy"],
+        spec.get("gadgets"), mode, num_segments, crs_seed,
+    )
+    phases: Dict[str, float] = {}
+    cold = key not in _WARM_AGG
+    if cold:
+        from repro.core.circuit.compute import ComputeOptions
+        from repro.nn.models import build_model
+
+        with PhaseTimer("warmup", sink=phases):
+            image_privacy, weights_privacy = _PRIVACY[spec["privacy"]]
+            model = build_model(
+                spec["model"], scale=spec["scale"], seed=spec["seed"]
+            )
+            options = None
+            if spec.get("gadgets"):
+                options = ComputeOptions(gadget_mode=spec["gadgets"])
+            prover = BatchProver(
+                model, payloads[0]["image"], image_privacy=image_privacy,
+                weights_privacy=weights_privacy, options=options,
+            )
+            split = split_model(
+                prover.cs, mode=mode, num_segments=num_segments
+            )
+            entry = _WarmAggEntry(prover, split)
+            _WARM_AGG[key] = entry
+        phases["generate"] = prover.stats.generate_time
+        phases["circuit"] = prover.stats.circuit_time
+    else:
+        entry = _WARM_AGG[key]
+    if layer < 0 or layer >= entry.split.num_instances:
+        raise ValueError(
+            f"layer {layer} out of range: split has "
+            f"{entry.split.num_instances} instances"
+        )
+    with PhaseTimer("setup", sink=phases):
+        setup = entry.layer_setup(layer, backend, crs_seed)
+    inst = entry.split.instances[layer]
+
+    results = []
+    for payload in payloads:
+        token = payload.get("crash_token")
+        if token and os.path.exists(token):
+            os.remove(token)
+            os._exit(1)  # same fault-injection contract as prove_batch
+        with PhaseTimer("assign", sink=phases):
+            entry.prover.assign_image(payload["image"])
+            inst.refresh_from(entry.prover.cs)
+        publics = inst.cs.public_values()
+        rng = (
+            blinding_rng(crs_seed, layer, publics)
+            if spec.get("deterministic")
+            else None
+        )
+        with PhaseTimer("security", sink=phases):
+            proof = groth16.prove(
+                setup.proving_key,
+                inst.cs,
+                backend,
+                rng=rng,
+                parallelism=spec.get("parallelism"),
+                phase_sink=phases,
+            )
+        verified = groth16.verify(
+            setup.verifying_key, publics, proof, backend
+        )
+        p = inst.cs.field.modulus
+        half = p // 2
+        results.append(
+            {
+                "job_id": payload["job_id"],
+                "proof": serialize_proof(proof),
+                "public_inputs": [int(v) for v in publics],
+                "logits": [v - p if v > half else v for v in map(int, publics)],
+                "verified": bool(verified),
+            }
+        )
+    from repro.field.backend import backend_name
+
+    return {
+        "pid": os.getpid(),
+        "cold": cold,
+        "phases": phases,
+        "vk": entry.vk_bytes[layer],
+        "field_backend": backend_name(),
+        "msm_tables": {"built": False, "uses": 0},
+        "aggregate_layer": layer,
         "results": results,
     }
 

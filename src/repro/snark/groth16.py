@@ -16,6 +16,7 @@ construction:
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -255,6 +256,112 @@ def verify(
     )
 
 
+_FS_DOMAIN = b"zeno.groth16.batch-verify.v1"
+
+
+def _fs_transcript(
+    groups: Sequence[Tuple[VerifyingKey, Sequence[Tuple[Sequence[int], Proof]]]],
+) -> bytes:
+    """Canonical transcript bytes binding every key, claim, and proof.
+
+    Built from the library's canonical serializations, so any byte that
+    matters to verification (VK elements, public inputs, proof points)
+    perturbs every derived coefficient.
+    """
+    from repro.snark.serialize import (
+        serialize_proof,
+        serialize_verifying_key,
+    )
+
+    h = hashlib.sha256(_FS_DOMAIN)
+    h.update(len(groups).to_bytes(4, "big"))
+    for vk, claims in groups:
+        vk_bytes = serialize_verifying_key(vk)
+        h.update(len(vk_bytes).to_bytes(4, "big"))
+        h.update(vk_bytes)
+        h.update(len(claims).to_bytes(4, "big"))
+        for public_inputs, proof in claims:
+            h.update(len(public_inputs).to_bytes(4, "big"))
+            for value in public_inputs:
+                h.update(int(value).to_bytes(32, "big"))
+            h.update(serialize_proof(proof))
+    return h.digest()
+
+
+def _fs_coefficients(seed: bytes, count: int, modulus: int) -> List[int]:
+    """``count`` Fiat–Shamir scalars in ``[1, modulus)`` from ``seed``."""
+    out: List[int] = []
+    counter = 0
+    while len(out) < count:
+        digest = hashlib.sha256(
+            seed + counter.to_bytes(8, "big")
+        ).digest()
+        out.append(int.from_bytes(digest, "big") % (modulus - 1) + 1)
+        counter += 1
+    return out
+
+
+def batch_verify_multi(
+    groups: Sequence[Tuple[VerifyingKey, Sequence[Tuple[Sequence[int], Proof]]]],
+    backend: Optional[GroupBackend] = None,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Verify proofs under several keys with one multi-pairing check.
+
+    Each group is ``(vk, claims)``; per-proof cost is one pairing
+    (``e(t_i A_i, B_i)``) and each *key* adds three shared pairings, so
+    ``k`` proofs spread over ``v`` keys cost ``k + 3v`` pairings instead
+    of ``4k`` — the aggregation primitive behind
+    :mod:`repro.aggregate`'s single-artifact verification.
+
+    Coefficients ``t_i`` are Fiat–Shamir-derived from the canonical bytes
+    of every key, public-input vector, and proof in the batch (so the
+    check is deterministic and replayable, and any flipped byte re-keys
+    the whole combination); pass ``rng`` to sample them instead.
+    """
+    backend = backend or SimulatedBackend()
+    total = sum(len(claims) for _, claims in groups)
+    if total == 0:
+        return True
+    p = backend.scalar_field.modulus
+    if rng is not None:
+        coefficients = [rng.randrange(1, p) for _ in range(total)]
+    else:
+        coefficients = _fs_coefficients(_fs_transcript(groups), total, p)
+    pairs = []
+    shared = []
+    cursor = 0
+    for vk, claims in groups:
+        if not claims:
+            continue
+        t_sum = 0
+        acc_sum = backend.g1_zero()
+        c_sum = backend.g1_zero()
+        for public_inputs, proof in claims:
+            if len(public_inputs) != vk.num_public:
+                raise ValueError(
+                    f"expected {vk.num_public} public inputs, "
+                    f"got {len(public_inputs)}"
+                )
+            t = coefficients[cursor]
+            cursor += 1
+            t_sum = (t_sum + t) % p
+            # e(-t*A, B) term — per-proof pairing.
+            pairs.append(
+                (backend.scalar_mul(backend.neg(proof.a), t), proof.b)
+            )
+            # Accumulate the per-key shared right-hand sides, scaled by t.
+            acc = backend.add(
+                vk.ic_g1[0], backend.msm(vk.ic_g1[1:], list(public_inputs))
+            )
+            acc_sum = backend.add(acc_sum, backend.scalar_mul(acc, t))
+            c_sum = backend.add(c_sum, backend.scalar_mul(proof.c, t))
+        shared.append((backend.scalar_mul(vk.alpha_g1, t_sum), vk.beta_g2))
+        shared.append((acc_sum, vk.gamma_g2))
+        shared.append((c_sum, vk.delta_g2))
+    return backend.pairing_product_is_one(pairs + shared)
+
+
 def batch_verify(
     vk: VerifyingKey,
     claims: Sequence[Tuple[Sequence[int], Proof]],
@@ -264,44 +371,22 @@ def batch_verify(
     """Verify many proofs under one key with a random linear combination.
 
     The standard Groth16 batching trick (an extension beyond the paper —
-    natural for its n=100 batch workload, Fig. 14): sample random
-    ``t_i``, scale each proof's pairing equation by ``t_i``, and check the
-    *sum* of equations.  Per proof this costs one pairing (``e(t_i A_i,
-    B_i)``) plus scalar muls, and the three right-hand pairings are shared
-    across the whole batch — ``k + 3`` pairings instead of ``4k``.
+    natural for its n=100 batch workload, Fig. 14): scale each proof's
+    pairing equation by a coefficient ``t_i`` and check the *sum* of
+    equations.  Per proof this costs one pairing (``e(t_i A_i, B_i)``)
+    plus scalar muls, and the three right-hand pairings are shared across
+    the whole batch — ``k + 3`` pairings instead of ``4k``.
 
-    Sound up to a ``k / r`` soundness loss: a batch containing any invalid
-    proof passes only if the random ``t_i`` hit a cancellation, probability
-    ``~1/r`` per trial.
+    The ``t_i`` default to Fiat–Shamir derivation from the canonical
+    VK/public-input/proof bytes (deterministic: two runs over the same
+    claims agree bit-for-bit, so batch decisions are replayable); pass an
+    explicit ``rng`` to sample them instead.  Either way a batch
+    containing any invalid proof passes only if the coefficients hit a
+    cancellation — probability ``~k/r`` for sampled ``t_i``, and
+    infeasible-to-target for hash-derived ones (the proof bytes are
+    committed before the coefficients exist).
     """
-    backend = backend or SimulatedBackend()
-    rng = rng or random.Random()
-    if not claims:
-        return True
-    p = backend.scalar_field.modulus
-    pairs = []
-    t_sum = 0
-    acc_sum = backend.g1_zero()
-    c_sum = backend.g1_zero()
-    for public_inputs, proof in claims:
-        if len(public_inputs) != vk.num_public:
-            raise ValueError(
-                f"expected {vk.num_public} public inputs, got {len(public_inputs)}"
-            )
-        t = rng.randrange(1, p)
-        t_sum = (t_sum + t) % p
-        # e(-t*A, B) term — per-proof pairing.
-        pairs.append((backend.scalar_mul(backend.neg(proof.a), t), proof.b))
-        # Accumulate the shared right-hand sides, scaled by t.
-        acc = backend.add(
-            vk.ic_g1[0], backend.msm(vk.ic_g1[1:], list(public_inputs))
-        )
-        acc_sum = backend.add(acc_sum, backend.scalar_mul(acc, t))
-        c_sum = backend.add(c_sum, backend.scalar_mul(proof.c, t))
-    pairs.append((backend.scalar_mul(vk.alpha_g1, t_sum), vk.beta_g2))
-    pairs.append((acc_sum, vk.gamma_g2))
-    pairs.append((c_sum, vk.delta_g2))
-    return backend.pairing_product_is_one(pairs)
+    return batch_verify_multi([(vk, claims)], backend, rng=rng)
 
 
 class Groth16:

@@ -1,0 +1,453 @@
+"""Tests for `repro.aggregate`: split, commit, prove, fold, verify, audit.
+
+The module-scoped fixtures compile ONE tiny model and reuse its split /
+setups / proofs across the suite; tamper tests mutate fresh JSON copies
+of the folded artifact, never the shared objects.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate import (
+    AggregateProof,
+    SplitError,
+    audit_split,
+    blinding_rng,
+    boundary_commitment,
+    fold,
+    mimc_digest,
+    prove_instance,
+    prove_split,
+    setup_split,
+    split_model,
+    verify_aggregate,
+)
+from repro.aggregate.commit import mimc_round_constants
+from repro.analysis import assume_from_recipe
+from repro.core.compiler import PrivacySetting, ZenoCompiler, zeno_options
+from repro.core.reuse.batch import BatchProver
+from repro.r1cs.system import ConstraintSystem
+from repro.snark.serialize import serialize_proof
+from tests.conftest import tiny_conv_model, tiny_image
+
+CRS_SEED = 0xC0FFEE
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    opts = zeno_options(
+        PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS, record_recipe=True
+    )
+    return ZenoCompiler(opts).compile_model(tiny_conv_model(), tiny_image())
+
+
+@pytest.fixture(scope="module")
+def public_split(artifact):
+    return artifact.split(mode="public")
+
+
+@pytest.fixture(scope="module")
+def hashed_split(artifact):
+    return artifact.split(mode="hashed")
+
+
+@pytest.fixture(scope="module")
+def public_agg(public_split):
+    setups = setup_split(public_split, crs_seed=CRS_SEED)
+    proofs = prove_split(public_split, setups, crs_seed=CRS_SEED)
+    return fold(public_split, setups, [proofs], crs_seed=CRS_SEED)
+
+
+@pytest.fixture(scope="module")
+def hashed_agg(hashed_split):
+    setups = setup_split(hashed_split, crs_seed=CRS_SEED)
+    proofs = prove_split(hashed_split, setups, crs_seed=CRS_SEED)
+    return fold(hashed_split, setups, [proofs], crs_seed=CRS_SEED)
+
+
+class TestCommit:
+    def test_commitment_deterministic(self):
+        assert boundary_commitment([1, 2, 3]) == boundary_commitment([1, 2, 3])
+
+    def test_commitment_order_sensitive(self):
+        assert boundary_commitment([1, 2]) != boundary_commitment([2, 1])
+
+    def test_commitment_length_prefixed(self):
+        # [1] padded with an implicit 0 must differ from [1, 0].
+        assert boundary_commitment([1]) != boundary_commitment([1, 0])
+
+    def test_round_constants_deterministic_and_in_field(self):
+        p = 97
+        constants = mimc_round_constants(8, p)
+        assert constants == mimc_round_constants(8, p)
+        assert all(0 <= c < p for c in constants)
+
+    def test_mimc_digest_matches_sponge_rounds(self):
+        p = (1 << 61) - 1
+        values = [5, 7, 11]
+        constants = mimc_round_constants(len(values) + 2, p)
+        state = 0
+        for i, rc in enumerate(constants):
+            v = values[i] if i < len(values) else 0
+            t = (state + v + rc) % p
+            state = pow(t, 5, p)
+        assert mimc_digest(values, p) == state
+
+
+class TestSplit:
+    def test_total_coverage(self, artifact, public_split):
+        assert public_split.total_constraints() == artifact.cs.num_constraints
+        rows = sorted(
+            (i.row_start, i.row_stop) for i in public_split.instances
+        )
+        cursor = 0
+        for start, stop in rows:
+            assert start == cursor
+            cursor = stop
+        assert cursor == artifact.cs.num_constraints
+
+    def test_multiple_layers(self, public_split):
+        assert public_split.num_instances >= 3
+
+    @pytest.mark.parametrize("mode", ["public", "hashed"])
+    def test_instances_satisfied(self, artifact, mode):
+        split = artifact.split(mode=mode)
+        for inst in split.instances:
+            assert inst.cs.is_satisfied(), inst.name
+
+    def test_boundary_values_agree_across_cut(self, public_split):
+        for k in range(public_split.num_instances - 1):
+            left = public_split.instances[k]
+            right = public_split.instances[k + 1]
+            assert left.boundary_values(left.out_slots) == (
+                right.boundary_values(right.in_slots)
+            )
+
+    def test_boundary_matches_original_witness(self, artifact, public_split):
+        for k, boundary in enumerate(public_split.boundaries):
+            inst = public_split.instances[k]
+            expected = [artifact.cs.value_of(v) for v in boundary]
+            assert inst.boundary_values(inst.out_slots) == expected
+
+    def test_hashed_digest_is_mimc_of_boundary(self, artifact, hashed_split):
+        p = artifact.cs.field.modulus
+        for k, boundary in enumerate(hashed_split.boundaries):
+            inst = hashed_split.instances[k]
+            values = [artifact.cs.value_of(v) for v in boundary]
+            assert inst.boundary_values(inst.out_slots) == [
+                mimc_digest(values, p)
+            ]
+
+    def test_num_segments_merges(self, artifact, public_split):
+        merged = artifact.split(mode="public", num_segments=2)
+        assert merged.num_instances == 2
+        assert merged.total_constraints() == artifact.cs.num_constraints
+        assert merged.num_instances < public_split.num_instances
+
+    def test_num_segments_clamped(self, artifact, public_split):
+        huge = artifact.split(mode="public", num_segments=10_000)
+        assert huge.num_instances == public_split.num_instances
+
+    def test_single_segment_has_no_boundaries(self, artifact):
+        split = artifact.split(mode="public", num_segments=1)
+        assert split.num_instances == 1
+        assert split.boundaries == []
+        assert split.instances[0].in_slots == []
+        assert split.instances[0].out_slots == []
+
+    def test_unknown_mode_rejected(self, artifact):
+        with pytest.raises(SplitError):
+            split_model(artifact.cs, mode="merkle")
+
+    def test_empty_system_rejected(self, artifact):
+        with pytest.raises(SplitError):
+            split_model(ConstraintSystem(artifact.cs.field))
+
+    def test_bad_segment_count_rejected(self, artifact):
+        with pytest.raises(SplitError):
+            split_model(artifact.cs, num_segments=0)
+
+
+class TestProveFold:
+    @pytest.mark.parametrize("agg_fixture", ["public_agg", "hashed_agg"])
+    def test_end_to_end_accepts(self, agg_fixture, request):
+        agg = request.getfixturevalue(agg_fixture)
+        verdict = verify_aggregate(agg)
+        assert verdict.ok, verdict.reason
+        assert verdict.num_layers == len(agg.layers)
+        assert verdict.num_proofs == len(agg.layers)
+        assert verdict.num_pairings == verdict.num_proofs + 3 * verdict.num_layers
+
+    def test_verdict_exposes_model_prediction(self, artifact, public_agg):
+        verdict = verify_aggregate(public_agg)
+        p = artifact.cs.field.modulus
+        logits = [
+            v - p if v > p // 2 else v
+            for _, v in sorted(verdict.globals_out.items())
+        ]
+        assert logits == artifact.public_outputs_signed()
+
+    def test_json_round_trip(self, public_agg):
+        clone = AggregateProof.from_json(public_agg.to_json())
+        assert clone.to_json() == public_agg.to_json()
+        assert verify_aggregate(clone).ok
+
+    def test_parallel_prove_byte_identical(self, public_split):
+        setups = setup_split(public_split, crs_seed=CRS_SEED)
+        seq = prove_split(public_split, setups, crs_seed=CRS_SEED)
+        par = prove_split(
+            public_split, setups, crs_seed=CRS_SEED, parallelism=2
+        )
+        assert [serialize_proof(a) for a in seq] == [
+            serialize_proof(b) for b in par
+        ]
+
+    def test_blinding_binds_publics(self):
+        a = blinding_rng(1, 0, [1, 2, 3]).random()
+        b = blinding_rng(1, 0, [1, 2, 4]).random()
+        assert a != b
+
+    def test_nondeterministic_blinding_differs(self, public_split):
+        setups = setup_split(public_split, crs_seed=CRS_SEED)
+        a = prove_instance(public_split, 0, setups[0], crs_seed=None)
+        b = prove_instance(public_split, 0, setups[0], crs_seed=None)
+        assert serialize_proof(a) != serialize_proof(b)
+
+    def test_setup_count_mismatch_rejected(self, public_split):
+        setups = setup_split(public_split, crs_seed=CRS_SEED)
+        with pytest.raises(ValueError):
+            prove_split(public_split, setups[:-1], crs_seed=CRS_SEED)
+
+
+def _tampered(agg: AggregateProof, mutate) -> AggregateProof:
+    payload = json.loads(agg.to_json())
+    mutate(payload)
+    return AggregateProof.from_json(
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    )
+
+
+def _flip_hex_nibble(hex_str: str, pos: int) -> str:
+    pos %= len(hex_str)
+    old = int(hex_str[pos], 16)
+    return hex_str[:pos] + format(old ^ 1, "x") + hex_str[pos + 1:]
+
+
+class TestTamperRejection:
+    """Flipping any byte of any proof, commitment, or public must reject."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_flipped_proof_byte_rejected(self, public_agg, data):
+        layer = data.draw(
+            st.integers(0, len(public_agg.layers) - 1), label="layer"
+        )
+        proof_hex = public_agg.inferences[0]["proofs"][layer]
+        pos = data.draw(st.integers(0, len(proof_hex) - 1), label="nibble")
+
+        def mutate(payload):
+            payload["inferences"][0]["proofs"][layer] = _flip_hex_nibble(
+                proof_hex, pos
+            )
+
+        assert not verify_aggregate(_tampered(public_agg, mutate))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_flipped_boundary_commitment_rejected(self, public_agg, data):
+        boundaries = public_agg.inferences[0]["boundaries"]
+        k = data.draw(st.integers(0, len(boundaries) - 1), label="boundary")
+        pos = data.draw(st.integers(0, len(boundaries[k]) - 1), label="nibble")
+
+        def mutate(payload):
+            payload["inferences"][0]["boundaries"][k] = _flip_hex_nibble(
+                boundaries[k], pos
+            )
+
+        verdict = verify_aggregate(_tampered(public_agg, mutate))
+        assert not verdict
+        assert "chain" in verdict.reason
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_perturbed_public_rejected(self, public_agg, data):
+        layer = data.draw(
+            st.integers(0, len(public_agg.layers) - 1), label="layer"
+        )
+        publics = public_agg.inferences[0]["publics"][layer]
+        slot = data.draw(st.integers(0, len(publics) - 1), label="slot")
+        delta = data.draw(st.integers(1, 1 << 30), label="delta")
+
+        def mutate(payload):
+            payload["inferences"][0]["publics"][layer][slot] = str(
+                int(publics[slot]) + delta
+            )
+
+        assert not verify_aggregate(_tampered(public_agg, mutate))
+
+    def test_hashed_mode_digest_tamper_rejected(self, hashed_agg):
+        digest = hashed_agg.inferences[0]["publics"][0][-1]
+
+        def mutate(payload):
+            payload["inferences"][0]["publics"][0][-1] = str(int(digest) + 1)
+
+        assert not verify_aggregate(_tampered(hashed_agg, mutate))
+
+    def test_swapped_layer_proofs_rejected(self, public_agg):
+        def mutate(payload):
+            proofs = payload["inferences"][0]["proofs"]
+            proofs[0], proofs[1] = proofs[1], proofs[0]
+
+        assert not verify_aggregate(_tampered(public_agg, mutate))
+
+    def test_dropped_layer_rejected(self, public_agg):
+        def mutate(payload):
+            payload["layers"].pop()
+            payload["inferences"][0]["proofs"].pop()
+            payload["inferences"][0]["publics"].pop()
+            payload["inferences"][0]["boundaries"].pop()
+
+        assert not verify_aggregate(_tampered(public_agg, mutate))
+
+    def test_out_of_range_public_rejected(self, public_agg, artifact):
+        p = artifact.cs.field.modulus
+
+        def mutate(payload):
+            payload["inferences"][0]["publics"][0][0] = str(p)
+
+        verdict = verify_aggregate(_tampered(public_agg, mutate))
+        assert not verdict
+        assert "range" in verdict.reason
+
+    def test_wrong_version_rejected(self, public_agg):
+        payload = json.loads(public_agg.to_json())
+        payload["version"] = 99
+        with pytest.raises(Exception):
+            AggregateProof.from_json(json.dumps(payload))
+
+    def test_garbage_json_never_raises_from_verify(self):
+        bad = AggregateProof(
+            mode="public", model="x", crs_seed=None,
+            layers=[{"vk": "zz", "num_public": 1}],
+            inferences=[{"proofs": [], "publics": [], "boundaries": []}],
+        )
+        verdict = verify_aggregate(bad)
+        assert not verdict
+        assert verdict.reason
+
+
+class TestBatchReuse:
+    """§6.1 reuse: refresh the split for a new image, prove, fold both."""
+
+    @pytest.fixture(scope="class")
+    def reuse(self):
+        model = tiny_conv_model()
+        images = [tiny_image(seed=1), tiny_image(seed=2)]
+        prover = BatchProver(model, images[0])
+        split = split_model(prover.cs, mode="public")
+        setups = setup_split(split, crs_seed=CRS_SEED)
+        proof_sets, publics_sets = [], []
+        for image in images:
+            prover.assign_image(image)
+            split.refresh_from(prover.cs)
+            proof_sets.append(prove_split(split, setups, crs_seed=CRS_SEED))
+            publics_sets.append(
+                [inst.cs.public_values() for inst in split.instances]
+            )
+        agg = fold(
+            split, setups, proof_sets,
+            crs_seed=CRS_SEED, publics_sets=publics_sets,
+        )
+        return model, images, split, agg
+
+    def test_refreshed_instances_satisfied(self, reuse):
+        _, _, split, _ = reuse
+        for inst in split.instances:
+            assert inst.cs.is_satisfied(), inst.name
+
+    def test_multi_inference_artifact_accepts(self, reuse):
+        _, _, _, agg = reuse
+        verdict = verify_aggregate(agg)
+        assert verdict.ok, verdict.reason
+        assert verdict.num_proofs == 2 * verdict.num_layers
+        # sub-linear: P + 3L < 4P once there are >= 2 inferences
+        assert verdict.num_pairings < verdict.naive_pairings
+
+    def test_per_inference_predictions_differ_legitimately(self, reuse):
+        model, images, _, agg = reuse
+        verdict = verify_aggregate(agg)
+        p = None
+        from repro.field import BN254_FR_MODULUS as p
+        for image, globals_out in zip(
+            images, verdict.globals_per_inference
+        ):
+            logits = [
+                v - p if v > p // 2 else v
+                for _, v in sorted(globals_out.items())
+            ]
+            assert logits == [int(v) for v in model.forward(image)]
+
+    def test_cross_inference_proof_swap_rejected(self, reuse):
+        _, _, _, agg = reuse
+
+        def mutate(payload):
+            a = payload["inferences"][0]["proofs"]
+            b = payload["inferences"][1]["proofs"]
+            a[0], b[0] = b[0], a[0]
+
+        assert not verify_aggregate(_tampered(agg, mutate))
+
+    def test_hashed_refresh_recomputes_digests(self):
+        model = tiny_conv_model()
+        images = [tiny_image(seed=3), tiny_image(seed=4)]
+        prover = BatchProver(model, images[0])
+        split = split_model(prover.cs, mode="hashed")
+        prover.assign_image(images[1])
+        split.refresh_from(prover.cs)
+        for inst in split.instances:
+            assert inst.cs.is_satisfied(), inst.name
+        p = prover.cs.field.modulus
+        for k, boundary in enumerate(split.boundaries):
+            inst = split.instances[k]
+            values = [prover.cs.value_of(v) for v in boundary]
+            assert inst.boundary_values(inst.out_slots) == [
+                mimc_digest(values, p)
+            ]
+
+
+class TestAuditSplit:
+    @pytest.mark.parametrize("mode", ["public", "hashed"])
+    def test_strict_split_audits_clean(self, mode):
+        opts = zeno_options(
+            PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS, record_recipe=True
+        )
+        opts.gadget_mode = "strict"
+        artifact = ZenoCompiler(opts).compile_model(
+            tiny_conv_model(), tiny_image()
+        )
+        split = artifact.split(mode=mode)
+        report = audit_split(
+            split,
+            assume=assume_from_recipe(artifact.compute.recipe),
+            fuzz=2,
+            rng=random.Random(2024),
+        )
+        assert report.ok, report.summary()
+        assert report.num_constraints == split.total_constraints()
+
+    def test_findings_carry_instance_layer(self, artifact):
+        split = artifact.split(mode="public")
+        # Inject an unreferenced private into one instance: the merged
+        # report must blame that instance by name.
+        victim = split.instances[1]
+        victim.cs.new_private(7)
+        report = audit_split(split)
+        flagged = [
+            f for f in report.findings if f.rule == "unreferenced-private"
+        ]
+        assert flagged
+        assert any(f.layer == victim.name for f in flagged)

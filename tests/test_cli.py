@@ -244,3 +244,76 @@ class TestAudit:
         assert report.ok
         assert report.num_constraints > 0
         assert path.read_text() == report.to_json(indent=2)
+
+
+class TestPerLayerProveVerify:
+    def test_roundtrip_and_tamper(self, tmp_path, capsys):
+        agg_path = tmp_path / "agg.json"
+        assert (
+            main(
+                [
+                    "prove", "--model", "LCS", "--scale", "micro",
+                    "--per-layer", "--segments", "3",
+                    "--out", str(agg_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 layers" in out
+        assert "prediction: class" in out
+
+        assert main(["verify", "--aggregate", str(agg_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ACCEPTED" in out
+        assert "prediction class" in out
+
+        # Flip one hex nibble of the first proof: must reject, exit 1.
+        doc = json.loads(agg_path.read_text())
+        proof_hex = doc["inferences"][0]["proofs"][0]
+        flipped = format(int(proof_hex[11], 16) ^ 1, "x")
+        doc["inferences"][0]["proofs"][0] = (
+            proof_hex[:11] + flipped + proof_hex[12:]
+        )
+        agg_path.write_text(json.dumps(doc))
+        assert main(["verify", "--aggregate", str(agg_path)]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_hashed_mode_roundtrip(self, tmp_path, capsys):
+        agg_path = tmp_path / "agg-hashed.json"
+        assert (
+            main(
+                [
+                    "prove", "--model", "LCS", "--scale", "micro",
+                    "--per-layer", "--segments", "2",
+                    "--boundary-mode", "hashed",
+                    "--out", str(agg_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["verify", "--aggregate", str(agg_path)]) == 0
+        assert "mode=hashed" in capsys.readouterr().out
+
+    def test_unreadable_artifact_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{not json")
+        assert main(["verify", "--aggregate", str(bad)]) == 1
+        assert "unreadable" in capsys.readouterr().out
+
+
+class TestPerLayerAudit:
+    def test_split_audit_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "audit", "--model", "LCS", "--scale", "micro",
+                    "--per-layer", "--segments", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "split x3" in out
+        assert "0 error(s)" in out

@@ -248,3 +248,56 @@ class TestDomainTables:
         d, log2d = 8, 3
         assert ops.field_mul == (d // 2) * log2d
         assert ops.field_add == d * log2d
+
+
+class TestPlanLayerSlicesEdgeCases:
+    """Edge shapes the splitter (`repro.aggregate`) leans on."""
+
+    def test_single_layer_covers_everything(self):
+        plan = plan_layer_slices(20, {"only": range(0, 20)}, num_workers=2)
+        assert [layer.name for layer in plan] == ["only"]
+        assert (plan[0].start, plan[0].stop) == (0, 20)
+        spans = [span for layer in plan for span in layer.spans]
+        assert spans[0][0] == 0 and spans[-1][1] == 20
+
+    def test_no_named_layers_yields_anonymous_filler(self):
+        for ranges in (None, {}):
+            plan = plan_layer_slices(7, ranges, num_workers=2)
+            assert len(plan) == 1
+            assert plan[0].name == "rows[0:7]"
+            assert (plan[0].start, plan[0].stop) == (0, 7)
+
+    def test_more_workers_than_rows(self):
+        plan = plan_layer_slices(3, {"tiny": range(0, 3)}, num_workers=8)
+        # Coverage is total and no span is empty.
+        covered = sorted(
+            span for layer in plan for span in layer.spans
+        )
+        assert covered[0][0] == 0 and covered[-1][1] == 3
+        for start, stop in covered:
+            assert start < stop
+        for (s0, e0), (s1, e1) in zip(covered, covered[1:]):
+            assert e0 == s1
+
+    def test_more_workers_than_layers(self):
+        ranges = {"a": range(0, 4), "b": range(4, 9)}
+        plan = plan_layer_slices(9, ranges, num_workers=6)
+        assert [layer.name for layer in plan] == ["a", "b"]
+        covered = sorted(
+            span for layer in plan for span in layer.spans
+        )
+        assert covered[0][0] == 0 and covered[-1][1] == 9
+        for (s0, e0), (s1, e1) in zip(covered, covered[1:]):
+            assert e0 == s1 and s0 < e0
+
+    def test_layer_range_clipped_to_row_count(self):
+        # A provenance range extending past the system (rows were
+        # optimized away) must clip, not fabricate rows.
+        plan = plan_layer_slices(5, {"long": range(0, 99)}, num_workers=2)
+        assert (plan[0].start, plan[0].stop) == (0, 5)
+
+    def test_zero_width_layer_dropped(self):
+        plan = plan_layer_slices(
+            4, {"empty": range(2, 2), "real": range(0, 4)}, num_workers=1
+        )
+        assert [layer.name for layer in plan] == ["real"]

@@ -214,3 +214,79 @@ class TestViolations:
         violation = self.bad_cs().violations(limit=1)[0]
         assert "checks" in repr(violation)
         assert "#1" in repr(violation)
+
+
+class TestLayerIndexCache:
+    """The bisect-backed layer_of must match a linear first-match scan."""
+
+    @staticmethod
+    def _reference(cs: ConstraintSystem, index: int):
+        for tag, rng in cs.layer_ranges.items():
+            if rng.start <= index < min(rng.stop, cs.num_constraints):
+                return tag
+        return None
+
+    @staticmethod
+    def _system_with_layers(marks):
+        """``marks`` = [(tag, start)] applied after appending rows."""
+        cs = ConstraintSystem()
+        x = cs.new_private(3)
+        for _ in range(12):
+            cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(3))
+        for tag, start in marks:
+            cs.layer_ranges[tag] = range(start, cs.num_constraints)
+            cs._layer_index = None
+        return cs
+
+    def test_matches_reference_on_disjoint_layers(self):
+        cs = ConstraintSystem()
+        x = cs.new_private(1)
+        for tag in ("a", "b", "c"):
+            start = cs.num_constraints
+            for _ in range(4):
+                cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(1))
+            cs.mark_layer(tag, start)
+        for row in range(-1, cs.num_constraints + 2):
+            assert cs.layer_of(row) == self._reference(cs, row)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=1, max_size=5,
+        ),
+        probe=st.integers(-2, 14),
+    )
+    def test_matches_reference_on_overlapping_layers(self, bounds, probe):
+        """First-inserted tag wins wherever ranges overlap."""
+        cs = ConstraintSystem()
+        x = cs.new_private(5)
+        for _ in range(12):
+            cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(5))
+        for i, (a, b) in enumerate(bounds):
+            lo, hi = min(a, b), max(a, b)
+            cs.layer_ranges[f"t{i}"] = range(lo, hi)
+        cs._layer_index = None
+        assert cs.layer_of(probe) == self._reference(cs, probe)
+
+    def test_cache_invalidated_by_mark_layer(self):
+        cs = self._system_with_layers([("early", 0)])
+        assert cs.layer_of(11) == "early"
+        cs.mark_layer("late", 6)
+        assert cs.layer_of(11) == "early"  # first-match-wins is preserved
+        del cs.layer_ranges["early"]
+        cs._layer_index = None
+        assert cs.layer_of(11) == "late"
+        assert cs.layer_of(3) is None
+
+    def test_cache_invalidated_by_enforce(self):
+        cs = ConstraintSystem()
+        x = cs.new_private(2)
+        cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(2))
+        cs.mark_layer("all", 0)
+        assert cs.layer_of(0) == "all"
+        assert cs.layer_of(1) is None
+        # Appending a row and re-marking must drop the stale index.
+        cs.enforce_equal(cs.lc_variable(x), cs.lc_constant(2))
+        cs.mark_layer("all", 0)
+        assert cs.layer_of(1) == "all"

@@ -93,3 +93,91 @@ class TestBatchVerifyRealCurve:
         assert batch_verify(vk, claims, backend, random.Random(5))
         claims[0] = ([claims[0][0][0] + 1], claims[0][1])
         assert not batch_verify(vk, claims, backend, random.Random(5))
+
+
+class TestFiatShamirCoefficients:
+    """RLC coefficients are transcript-derived by default (rng= opts out)."""
+
+    backend = SimulatedBackend()
+
+    def test_no_rng_needed(self):
+        vk, claims = _make_batch(self.backend, 3)
+        assert batch_verify(vk, claims, self.backend)  # no rng argument
+
+    def test_deterministic_across_runs(self):
+        from repro.snark.groth16 import _fs_coefficients, _fs_transcript
+
+        vk, claims = _make_batch(self.backend, 3)
+        seed_a = _fs_transcript([(vk, claims)])
+        seed_b = _fs_transcript([(vk, claims)])
+        assert seed_a == seed_b
+        p = self.backend.scalar_field.modulus
+        assert _fs_coefficients(seed_a, 5, p) == _fs_coefficients(seed_b, 5, p)
+
+    def test_coefficients_bind_the_claims(self):
+        """Any change to a claim changes every derived coefficient."""
+        from repro.snark.groth16 import _fs_coefficients, _fs_transcript
+
+        vk, claims = _make_batch(self.backend, 3)
+        base = _fs_transcript([(vk, claims)])
+        publics, proof = claims[1]
+        tampered = list(claims)
+        tampered[1] = ([publics[0] + 1], proof)
+        assert base != _fs_transcript([(vk, tampered)])
+        p = self.backend.scalar_field.modulus
+        a = _fs_coefficients(base, 3, p)
+        b = _fs_coefficients(_fs_transcript([(vk, tampered)]), 3, p)
+        assert all(x != y for x, y in zip(a, b))
+
+    def test_coefficients_in_multiplicative_range(self):
+        from repro.snark.groth16 import _fs_coefficients
+
+        p = self.backend.scalar_field.modulus
+        coeffs = _fs_coefficients(b"\x00" * 32, 64, p)
+        assert all(1 <= c < p for c in coeffs)
+        assert len(set(coeffs)) == len(coeffs)  # no accidental repeats
+
+    def test_rng_escape_hatch_still_works(self):
+        vk, claims = _make_batch(self.backend, 3)
+        assert batch_verify(vk, claims, self.backend, rng=random.Random(1))
+        publics, proof = claims[0]
+        claims[0] = ([publics[0] + 1], proof)
+        assert not batch_verify(vk, claims, self.backend, rng=random.Random(1))
+        assert not batch_verify(vk, claims, self.backend)  # and FS agrees
+
+
+class TestBatchVerifyMulti:
+    """Grouped verification: k proofs over v keys in k + 3v pairings."""
+
+    backend = SimulatedBackend()
+
+    def _two_groups(self):
+        from repro.snark.groth16 import batch_verify_multi
+
+        vk_a, claims_a = _make_batch(self.backend, 2, seed=0)
+        vk_b, claims_b = _make_batch(self.backend, 3, seed=9)
+        return batch_verify_multi, [(vk_a, claims_a), (vk_b, claims_b)]
+
+    def test_valid_groups_accepted(self):
+        batch_verify_multi, groups = self._two_groups()
+        assert batch_verify_multi(groups, self.backend)
+
+    def test_any_bad_group_poisons_all(self):
+        batch_verify_multi, groups = self._two_groups()
+        publics, proof = groups[1][1][0]
+        groups[1][1][0] = ([publics[0] + 1], proof)
+        assert not batch_verify_multi(groups, self.backend)
+
+    def test_empty_groups_trivially_true(self):
+        batch_verify_multi, _ = self._two_groups()
+        assert batch_verify_multi([], self.backend)
+        vk, _ = _make_batch(self.backend, 1)
+        assert batch_verify_multi([(vk, [])], self.backend)
+
+    def test_pairing_count_is_k_plus_3v(self):
+        from repro.field.counters import count_ops
+
+        batch_verify_multi, groups = self._two_groups()
+        with count_ops() as ops:
+            assert batch_verify_multi(groups, self.backend)
+        assert ops.pairing == (2 + 3) + 3 * 2  # 5 proofs, 2 keys
