@@ -208,6 +208,9 @@ def main() -> int:
         f"per-layer @{par} workers vs whole-model @1: {speedup:.2f}x "
         f"({'meets' if speedup >= 1.0 else 'MISSES'} the <= criterion)"
     )
+    from repro.core.metrics import peak_rss_bytes
+
+    doc["peak_rss_bytes"] = peak_rss_bytes()
     if args.out:
         Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.out}")

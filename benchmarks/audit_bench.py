@@ -140,6 +140,9 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "results": results,
     }
+    from repro.core.metrics import peak_rss_bytes
+
+    doc["peak_rss_bytes"] = peak_rss_bytes()
     if args.out:
         Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {args.out}")

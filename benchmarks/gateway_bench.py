@@ -298,6 +298,9 @@ def main(argv=None) -> int:
     finally:
         gateway.stop()
 
+    from repro.core.metrics import peak_rss_bytes
+
+    report["peak_rss_bytes"] = peak_rss_bytes()
     print(json.dumps(report, indent=2))
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

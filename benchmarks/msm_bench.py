@@ -208,6 +208,9 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    from repro.core.metrics import peak_rss_bytes
+
+    report["peak_rss_bytes"] = peak_rss_bytes()
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")

@@ -1,0 +1,341 @@
+"""Scale benchmark: sparsity-aware compilation + streamed CRS proving.
+
+Standalone harness (NOT collected by pytest) behind ``BENCH_scale.json``:
+can one box compile and prove the *full-scale* evaluation networks once
+sparsity-aware compilation shrinks the circuit and the CRS streams
+through chunked storage?
+
+Sections (compose freely; ``--smoke`` is the CI preset):
+
+* ``--matrix``    — dense vs sparse constraint counts on the pruned conv
+                    networks (the >= 30% reduction claim).
+* ``--identity``  — dense vs sparse(term-elision-only) proof bytes on
+                    every available field backend (the byte-identity
+                    claim; sharing changes the CS, so it is benchmarked,
+                    not byte-compared).
+* ``--prove``     — one full end-to-end chunked prove of ``MODEL:SCALE``
+                    in a *fresh subprocess* (``ru_maxrss`` is a process
+                    lifetime max) under ``--max-rss``.
+* ``--slice``     — compile ``MODEL:SCALE``, split at layer boundaries,
+                    and prove one segment through a chunked CRS in a
+                    fresh subprocess under ``--max-rss`` — the CI-sized
+                    stand-in for the full prove.
+
+::
+
+    PYTHONPATH=src python benchmarks/scale_bench.py --smoke --out /tmp/s.json
+    PYTHONPATH=src python benchmarks/scale_bench.py \
+        --matrix --models VGG16,RES18,RES50 --scale full \
+        --identity LCS:mini --prove RES50:full --max-rss 64G \
+        --out BENCH_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.compiler import PrivacySetting, ZenoCompiler, zeno_options
+from repro.core.metrics import peak_rss_bytes
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+from repro.snark import groth16
+from repro.snark.serialize import serialize_proof
+
+ONE_PRIVATE = PrivacySetting.PRIVATE_IMAGE_PUBLIC_WEIGHTS
+
+
+def parse_size(text: str) -> int:
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    mult = 1
+    if text and text[-1].upper() in units:
+        mult = units[text[-1].upper()]
+        text = text[:-1]
+    return int(float(text) * mult)
+
+
+def compile_artifact(abbr, scale, prune, sparse, sparse_share=True,
+                     seed=0, image_seed=42):
+    model = build_model(abbr, scale=scale, seed=seed, prune=prune)
+    image = synthetic_images(model.input_shape, n=1, seed=image_seed)[0]
+    options = zeno_options(ONE_PRIVATE, sparse=sparse,
+                           sparse_share=sparse_share)
+    return ZenoCompiler(options).compile_model(model, image)
+
+
+# -- sections ----------------------------------------------------------------------
+
+
+def run_matrix(models, scale, prune):
+    """Dense vs sparse constraint counts per model (same pruned weights)."""
+    rows = []
+    for abbr in models:
+        t0 = time.perf_counter()
+        dense = compile_artifact(abbr, scale, prune, sparse=False)
+        dense_m = dense.num_constraints
+        dense_t = time.perf_counter() - t0
+        logits_dense = dense.public_outputs_signed()
+        del dense
+
+        t0 = time.perf_counter()
+        sparse = compile_artifact(abbr, scale, prune, sparse=True)
+        sparse_t = time.perf_counter() - t0
+        rep = sparse.sparsity
+        reduction = 1 - sparse.num_constraints / dense_m
+        assert sparse.public_outputs_signed() == logits_dense, (
+            f"{abbr}: sparse compilation changed the logits"
+        )
+        row = {
+            "model": abbr,
+            "scale": scale,
+            "prune": prune,
+            "constraints_dense": dense_m,
+            "constraints_sparse": sparse.num_constraints,
+            "reduction": round(reduction, 4),
+            "meets_30pct": reduction >= 0.30,
+            "weight_terms_total": rep.weight_terms_total,
+            "zero_terms_elided": rep.zero_terms_elided,
+            "outputs_shared": rep.outputs_shared,
+            "relus_shared": rep.relus_shared,
+            "compile_dense_s": round(dense_t, 2),
+            "compile_sparse_s": round(sparse_t, 2),
+        }
+        del sparse
+        rows.append(row)
+        print(
+            f"matrix {abbr}:{scale}  dense m={row['constraints_dense']:,}  "
+            f"sparse m={row['constraints_sparse']:,}  "
+            f"reduction {100 * row['reduction']:.1f}%",
+            flush=True,
+        )
+    return rows
+
+
+def run_identity(abbr, scale, prune):
+    """Dense vs sparse (share off) proof bytes per field backend."""
+    from repro.field.backend import backend_name, set_backend
+
+    def proof_bytes(sparse):
+        artifact = compile_artifact(abbr, scale, prune, sparse=sparse,
+                                    sparse_share=False)
+        cs = artifact.cs
+        setup = groth16.setup(cs, rng=random.Random(5))
+        proof = groth16.prove(setup.proving_key, cs, rng=random.Random(6))
+        assert groth16.verify(setup.verifying_key, cs.public_values(), proof)
+        return serialize_proof(proof)
+
+    results = {}
+    original = backend_name()
+    try:
+        for backend in ("scalar", "numpy", "gmpy2"):
+            try:
+                set_backend(backend)
+            except Exception:
+                results[backend] = {"available": False}
+                continue
+            identical = proof_bytes(False) == proof_bytes(True)
+            results[backend] = {"available": True,
+                                "proofs_byte_identical": identical}
+            assert identical, f"{backend}: sparse proof bytes diverged"
+            print(f"identity {abbr}:{scale} [{backend}]: byte-identical",
+                  flush=True)
+    finally:
+        set_backend(original)
+    return {"model": abbr, "scale": scale, "prune": prune,
+            "backends": results}
+
+
+_RSS_LINE = re.compile(r"peak RSS: ([0-9.]+) MiB")
+
+
+def run_prove(abbr, scale, prune, max_rss, chunk_bytes):
+    """Full end-to-end chunked prove in a fresh subprocess under a cap."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["ZENO_MSM_CHUNK_BYTES"] = str(chunk_bytes)
+    out = Path(f"/tmp/scale-{abbr}-{scale}.proof.bin")
+    cmd = [
+        sys.executable, "-m", "repro.cli", "prove",
+        "--model", abbr, "--scale", scale, "--sparse",
+        "--max-rss", str(max_rss), "--out", str(out),
+    ]
+    if prune:
+        cmd += ["--prune", prune]
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - t0
+    print(proc.stdout, end="", flush=True)
+    if proc.returncode != 0:
+        print(proc.stderr, end="", file=sys.stderr, flush=True)
+    match = _RSS_LINE.search(proc.stdout)
+    peak = int(float(match.group(1)) * (1 << 20)) if match else None
+    result = {
+        "model": abbr,
+        "scale": scale,
+        "prune": prune,
+        "sparse": True,
+        "chunk_bytes": chunk_bytes,
+        "max_rss_bytes": max_rss,
+        "peak_rss_bytes": peak,
+        "within_cap": proc.returncode == 0,
+        "wall_s": round(elapsed, 1),
+        "proof_bytes": out.stat().st_size if out.exists() else None,
+        "exit_code": proc.returncode,
+    }
+    assert proc.returncode == 0, (
+        f"prove {abbr}:{scale} failed (exit {proc.returncode}): "
+        f"{proc.stderr[-2000:]}"
+    )
+    return result
+
+
+def run_slice(abbr, scale, prune, max_rss, chunk_bytes, segments, segment):
+    """Prove one layer-boundary segment chunked, in a fresh subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env["ZENO_MSM_CHUNK_BYTES"] = str(chunk_bytes)
+    cmd = [
+        sys.executable, str(Path(__file__).resolve()), "--slice-child",
+        f"{abbr}:{scale}", "--segments", str(segments),
+        "--segment", str(segment),
+    ]
+    if prune:
+        cmd += ["--prune", prune]
+    t0 = time.perf_counter()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"slice child failed (exit {proc.returncode}): "
+            f"{proc.stderr[-2000:]}"
+        )
+    child = json.loads(proc.stdout.strip().splitlines()[-1])
+    child.update(
+        max_rss_bytes=max_rss,
+        within_cap=child["peak_rss_bytes"] <= max_rss,
+        wall_s=round(elapsed, 1),
+        chunk_bytes=chunk_bytes,
+    )
+    print(
+        f"slice {abbr}:{scale} segment {segment}/{segments}: "
+        f"m={child['constraints']:,} peak RSS "
+        f"{child['peak_rss_bytes'] / (1 << 20):.0f} MiB "
+        f"({'within' if child['within_cap'] else 'EXCEEDED'} "
+        f"{max_rss / (1 << 20):.0f} MiB) in {child['wall_s']}s",
+        flush=True,
+    )
+    assert child["within_cap"], "slice prove exceeded the RSS cap"
+    return child
+
+
+def slice_child(spec, prune, segments, segment):
+    """Child entry: compile, split, prove one segment from a chunked CRS."""
+    import tempfile
+
+    from repro.serve.store import ArtifactStore
+
+    abbr, _, scale = spec.partition(":")
+    artifact = compile_artifact(abbr, scale, prune, sparse=True)
+    split = artifact.split(mode="public", num_segments=segments)
+    inst = split.instances[segment]
+    with tempfile.TemporaryDirectory(prefix="zeno-slice-") as tmp:
+        store = ArtifactStore(tmp, max_entries=1 << 30)
+        setup = groth16.setup(inst.cs, rng=random.Random(5), store=store)
+        proof = groth16.prove(setup.proving_key, inst.cs,
+                              rng=random.Random(6))
+        assert groth16.verify(
+            setup.verifying_key, inst.cs.public_values(), proof
+        ), "slice self-check failed"
+    print(json.dumps({
+        "model": abbr,
+        "scale": scale,
+        "prune": prune,
+        "segments": segments,
+        "segment": segment,
+        "constraints": inst.cs.num_constraints,
+        "pk_chunks": setup.stats["pk_chunks"],
+        "peak_rss_bytes": peak_rss_bytes(),
+    }))
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--matrix", action="store_true",
+                    help="dense vs sparse constraint-count matrix")
+    ap.add_argument("--models", default="VGG16,RES18,RES50")
+    ap.add_argument("--scale", default="full",
+                    choices=["full", "mini", "micro"])
+    ap.add_argument("--prune", default="0.6,0.2")
+    ap.add_argument("--identity", default=None, metavar="MODEL:SCALE",
+                    help="byte-identity check across field backends")
+    ap.add_argument("--prove", default=None, metavar="MODEL:SCALE",
+                    help="full chunked prove in a fresh subprocess")
+    ap.add_argument("--slice", default=None, metavar="MODEL:SCALE",
+                    help="chunked prove of one layer-boundary segment")
+    ap.add_argument("--segments", type=int, default=8)
+    ap.add_argument("--segment", type=int, default=0)
+    ap.add_argument("--max-rss", type=parse_size, default=parse_size("8G"))
+    ap.add_argument("--chunk-bytes", type=parse_size,
+                    default=parse_size("8M"))
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI preset: mini matrix + micro identity + slice")
+    ap.add_argument("--out", default=None)
+    ap.add_argument("--slice-child", default=None, help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.slice_child:
+        return slice_child(args.slice_child, args.prune, args.segments,
+                           args.segment)
+
+    if args.smoke:
+        args.matrix = True
+        args.models = "RES18"
+        args.scale = "mini"
+        args.identity = args.identity or "SHAL:micro"
+        args.slice = args.slice or "RES18:mini"
+        args.segments = 4
+
+    report = {
+        "bench": "scale",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "prune": args.prune,
+    }
+    if args.matrix:
+        report["matrix"] = run_matrix(
+            [m.strip() for m in args.models.split(",") if m.strip()],
+            args.scale, args.prune,
+        )
+    if args.identity:
+        abbr, _, scale = args.identity.partition(":")
+        report["identity"] = run_identity(abbr, scale, args.prune)
+    if args.slice:
+        abbr, _, scale = args.slice.partition(":")
+        report["slice"] = run_slice(
+            abbr, scale, args.prune, args.max_rss, args.chunk_bytes,
+            args.segments, args.segment,
+        )
+    if args.prove:
+        abbr, _, scale = args.prove.partition(":")
+        report["prove"] = run_prove(abbr, scale, args.prune, args.max_rss,
+                                    args.chunk_bytes)
+    report["peak_rss_bytes"] = peak_rss_bytes()
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,7 +77,7 @@ def audit_system(
     )
     if lint:
         start = time.perf_counter()
-        report.extend(lint_system(cs))
+        report.extend(lint_system(cs, assume=assume))
         report.section("lint", time.perf_counter() - start)
     if determinism:
         result = check_determinism(cs, assume=assume)

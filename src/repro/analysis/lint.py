@@ -10,6 +10,10 @@ rule                         severity  fires when
 ===========================  ========  =====================================
 ``unreferenced-private``     WARNING   a private variable appears in no
                                        constraint (free witness column)
+``pruned-input``             INFO      a *declared free input* (``assume``)
+                                       appears in no constraint — its taps
+                                       were elided as zero-weight by
+                                       sparsity-aware compilation
 ``constant-tautology``       WARNING   a constraint references only the
                                        constant ONE and is always true
 ``constant-contradiction``   ERROR     a constant-only constraint is always
@@ -81,19 +85,41 @@ def boolean_variables(cs: ConstraintSystem) -> Dict[int, int]:
     return out
 
 
-def _lint_unreferenced(cs: ConstraintSystem) -> List[Finding]:
+def _lint_unreferenced(
+    cs: ConstraintSystem, assume: Optional[Set[int]] = None
+) -> List[Finding]:
     used = referenced_private_variables(cs)
-    return [
-        Finding(
-            rule="unreferenced-private",
-            severity=Severity.WARNING,
-            message=f"private variable w{var} appears in no constraint "
-                    "(free witness column; optimizer would drop it)",
-            variable=var,
-        )
-        for var in range(1, cs.num_private + 1)
-        if var not in used
-    ]
+    assume = assume or set()
+    findings = []
+    for var in range(1, cs.num_private + 1):
+        if var in used:
+            continue
+        if var in assume:
+            # A declared free input (image pixel / committed constant)
+            # that no constraint touches: sparsity-aware compilation
+            # legitimately elides every tap of an input whose downstream
+            # weights are all zero.  Provenance known — not a soundness
+            # smell, just dead input.
+            findings.append(
+                Finding(
+                    rule="pruned-input",
+                    severity=Severity.INFO,
+                    message=f"free input w{var} appears in no constraint "
+                            "(all referencing terms elided as zero-weight)",
+                    variable=var,
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    rule="unreferenced-private",
+                    severity=Severity.WARNING,
+                    message=f"private variable w{var} appears in no constraint "
+                            "(free witness column; optimizer would drop it)",
+                    variable=var,
+                )
+            )
+    return findings
 
 
 def _lint_constant_only(cs: ConstraintSystem) -> List[Finding]:
@@ -233,10 +259,16 @@ def _lint_layer_ranges(cs: ConstraintSystem) -> List[Finding]:
     return findings
 
 
-def lint_system(cs: ConstraintSystem) -> List[Finding]:
-    """Run every structural lint; returns the combined findings."""
+def lint_system(cs: ConstraintSystem, assume=()) -> List[Finding]:
+    """Run every structural lint; returns the combined findings.
+
+    ``assume`` names declared free-input variables (the same set the
+    determinism detector is seeded with): unreferenced ones are reported
+    as INFO ``pruned-input`` rather than WARNING ``unreferenced-private``,
+    since sparsity-aware compilation elides them with known provenance.
+    """
     findings: List[Finding] = []
-    findings.extend(_lint_unreferenced(cs))
+    findings.extend(_lint_unreferenced(cs, assume=set(assume)))
     findings.extend(_lint_constant_only(cs))
     findings.extend(_lint_duplicates(cs))
     findings.extend(_lint_boolean_unconsumed(cs))

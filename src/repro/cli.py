@@ -49,13 +49,33 @@ PRIVACY_CHOICES = {
 
 
 def _build_artifact(args):
-    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    model = build_model(
+        args.model, scale=args.scale, seed=args.seed,
+        prune=getattr(args, "prune", None),
+    )
     image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
-    options = zeno_options(PRIVACY_CHOICES[args.privacy])
+    options = zeno_options(
+        PRIVACY_CHOICES[args.privacy],
+        sparse=getattr(args, "sparse", False),
+    )
     if args.gadgets:
         options.gadget_mode = args.gadgets
     compiler = ZenoCompiler(options)
     return model, image, compiler, compiler.compile_model(model, image)
+
+
+def _parse_size(text: str) -> int:
+    """Parse a human byte size: '512M', '16G', '4096', '1.5G'."""
+    text = text.strip()
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+    mult = 1
+    if text and text[-1].upper() in units:
+        mult = units[text[-1].upper()]
+        text = text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"unparseable size: {text!r}")
 
 
 def cmd_models(args) -> int:
@@ -76,6 +96,23 @@ def cmd_compile(args) -> int:
     if artifact.compute.knit_constraints:
         saving = artifact.compute.knit_expressions / artifact.compute.knit_constraints
         print(f"  knit packing: {saving:.1f} equality checks per constraint")
+    sparsity = artifact.sparsity
+    if sparsity is not None:
+        if sparsity.enabled:
+            print(
+                f"  sparsity: elided {sparsity.zero_terms_elided:,} of "
+                f"{sparsity.weight_terms_total:,} weight terms "
+                f"({sparsity.zero_rows:,}/{sparsity.total_rows:,} zero rows, "
+                f"{sparsity.distinct_rows:,} distinct row plans, "
+                f"{sparsity.row_plan_hits:,} plan reuses)"
+            )
+            if sparsity.outputs_shared or sparsity.relus_shared:
+                print(
+                    f"  sparsity: shared {sparsity.outputs_shared:,} output "
+                    f"sub-circuits, {sparsity.relus_shared:,} ReLU gadgets"
+                )
+        else:
+            print("  sparsity: requested but inactive (weights are private)")
     if args.detail:
         from repro.core.inspect import format_layer_table
 
@@ -87,9 +124,15 @@ def cmd_compile(args) -> int:
 def cmd_audit(args) -> int:
     from repro.analysis import assume_from_recipe, audit_system
 
-    model = build_model(args.model, scale=args.scale, seed=args.seed)
+    model = build_model(
+        args.model, scale=args.scale, seed=args.seed,
+        prune=getattr(args, "prune", None),
+    )
     image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
-    options = zeno_options(PRIVACY_CHOICES[args.privacy], record_recipe=True)
+    options = zeno_options(
+        PRIVACY_CHOICES[args.privacy], record_recipe=True,
+        sparse=getattr(args, "sparse", False),
+    )
     # Default to the sound gadget profile: lean mode's slack wires are
     # exactly what the determinism check exists to flag.
     options.gadget_mode = args.gadgets or "strict"
@@ -162,8 +205,27 @@ def cmd_prove(args) -> int:
     model, image, compiler, artifact = _build_artifact(args)
     if args.per_layer:
         return _cmd_prove_per_layer(args, artifact)
+    max_rss = getattr(args, "max_rss", None)
     start = time.perf_counter()
-    setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
+    tmp_store = None
+    if max_rss is not None:
+        # Streamed mode: the CRS goes through a content-addressed chunk
+        # store and the prover maps one chunk at a time, so the working
+        # set stays bounded by ZENO_MSM_CHUNK_BYTES instead of the full
+        # proving key.
+        import os as _os
+        import tempfile
+
+        from repro.serve.store import ArtifactStore
+
+        _os.environ.setdefault("ZENO_MSM_CHUNK_BYTES", str(8 << 20))
+        tmp_store = tempfile.TemporaryDirectory(prefix="zeno-crs-")
+        store = ArtifactStore(tmp_store.name, max_entries=1 << 30)
+        setup = groth16.setup(
+            artifact.cs, rng=random.Random(args.crs_seed), store=store
+        )
+    else:
+        setup = groth16.setup(artifact.cs, rng=random.Random(args.crs_seed))
     phases: dict = {}
     proof = groth16.prove(
         setup.proving_key, artifact.cs, parallelism=args.parallelism,
@@ -173,6 +235,8 @@ def cmd_prove(args) -> int:
     assert groth16.verify(
         setup.verifying_key, artifact.public_inputs(), proof
     ), "self-check failed"
+    if tmp_store is not None:
+        tmp_store.cleanup()
 
     out = Path(args.out)
     out.write_bytes(serialize_proof(proof))
@@ -184,6 +248,8 @@ def cmd_prove(args) -> int:
         "privacy": args.privacy,
         "gadgets": args.gadgets or "lean",
         "crs_seed": args.crs_seed,
+        "sparse": getattr(args, "sparse", False),
+        "prune": getattr(args, "prune", None),
         "public_inputs": [str(v) for v in artifact.public_inputs()],
         "logits": artifact.public_outputs_signed(),
     }
@@ -195,6 +261,17 @@ def cmd_prove(args) -> int:
     print(f"proved m={artifact.num_constraints} constraints in {elapsed:.2f}s")
     breakdown = ", ".join(f"{k} {v:.3f}s" for k, v in phases.items())
     print(f"prover phases ({args.parallelism} worker(s)): {breakdown}")
+    if max_rss is not None:
+        from repro.core.metrics import peak_rss_bytes
+
+        peak = peak_rss_bytes()
+        status = "within" if peak <= max_rss else "EXCEEDED"
+        print(
+            f"peak RSS: {peak / (1 << 20):.1f} MiB "
+            f"({status} --max-rss {max_rss / (1 << 20):.1f} MiB)"
+        )
+        if peak > max_rss:
+            return 3
     return 0
 
 
@@ -222,13 +299,16 @@ def _batch_verify_dir(directory: Path) -> int:
             recipe = (
                 claim["model"], claim["scale"], claim["seed"],
                 claim["image_seed"], claim["privacy"], claim["gadgets"],
-                claim["crs_seed"],
+                claim["crs_seed"], claim.get("sparse", False),
+                claim.get("prune"),
             )
             if recipe not in vk_cache:
                 ns = argparse.Namespace(
                     model=claim["model"], scale=claim["scale"],
                     seed=claim["seed"], image_seed=claim["image_seed"],
                     privacy=claim["privacy"], gadgets=claim["gadgets"],
+                    sparse=claim.get("sparse", False),
+                    prune=claim.get("prune"),
                 )
                 _, _, _, artifact = _build_artifact(ns)
                 setup = groth16.setup(
@@ -335,6 +415,8 @@ def cmd_verify(args) -> int:
         image_seed=claim["image_seed"],
         privacy=claim["privacy"],
         gadgets=claim["gadgets"],
+        sparse=claim.get("sparse", False),
+        prune=claim.get("prune"),
     )
     _, _, _, artifact = _build_artifact(ns)
     setup = groth16.setup(artifact.cs, rng=random.Random(claim["crs_seed"]))
@@ -674,6 +756,16 @@ def _common(parser: argparse.ArgumentParser) -> None:
         "--privacy", default="one-private", choices=sorted(PRIVACY_CHOICES)
     )
     parser.add_argument("--gadgets", choices=["lean", "strict"], default=None)
+    parser.add_argument(
+        "--sparse", action="store_true",
+        help="sparsity-aware compilation: skip zero-weight terms and share "
+             "repeated sub-circuits (active when weights are public)",
+    )
+    parser.add_argument(
+        "--prune", default=None, metavar="S[,U]",
+        help="magnitude-prune weights before compiling: structured row "
+             "fraction, optional unstructured fraction (e.g. '0.6,0.2')",
+    )
 
 
 def main(argv=None) -> int:
@@ -723,6 +815,12 @@ def main(argv=None) -> int:
         help="prover worker processes: CSR witness rows via the §5.2 "
              "schedule executor, QAP coset-NTT chains, and chunked MSMs "
              "(bn254 G1, large inputs)",
+    )
+    p_prove.add_argument(
+        "--max-rss", type=_parse_size, default=None, metavar="SIZE",
+        help="stream the CRS through chunked storage (ZENO_MSM_CHUNK_BYTES "
+             "sets the chunk size) and exit 3 if peak RSS exceeds SIZE "
+             "(e.g. 512M, 16G)",
     )
     p_prove.add_argument(
         "--per-layer", action="store_true",

@@ -67,6 +67,49 @@ class ComputeOptions:
     field_bits: int = 254
     relu_bits: int = 16
     record_recipe: bool = False  # log witness recipe for batch sharing (§6.1)
+    # Sparsity-aware compilation (TeleSparse direction).  Active only when
+    # weights are public — zero weights are then compile-time knowledge, so
+    # eliding their terms leaks nothing.  Zero-weight taps are skipped via
+    # per-row nonzero plans shared across identical row contents
+    # (constraint-system preserving: identical LCs, byte-identical proofs
+    # vs the dense path), and with ``sparse_share`` structurally identical
+    # gadget emissions are additionally value-numbered so pruned filter
+    # rows collapse to one sub-circuit (changes the constraint system —
+    # strictly fewer constraints).
+    sparse: bool = False
+    sparse_share: bool = True
+
+
+@dataclass
+class SparsityReport:
+    """What sparsity-aware compilation elided and shared (`--sparse`)."""
+
+    enabled: bool = False
+    weight_terms_total: int = 0  # dense tap count across all dots
+    zero_terms_elided: int = 0  # zero-weight taps skipped
+    total_rows: int = 0  # filter rows across all dot layers
+    zero_rows: int = 0  # all-zero (pruned) rows
+    distinct_rows: int = 0  # distinct row contents (one plan each)
+    row_plan_hits: int = 0  # rows canonicalized via a shared plan
+    outputs_shared: int = 0  # committed output wires deduplicated
+    relus_shared: int = 0  # ReLU sub-circuits deduplicated
+
+    @property
+    def terms_kept(self) -> int:
+        return self.weight_terms_total - self.zero_terms_elided
+
+    def to_json(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "weight_terms_total": self.weight_terms_total,
+            "zero_terms_elided": self.zero_terms_elided,
+            "total_rows": self.total_rows,
+            "zero_rows": self.zero_rows,
+            "distinct_rows": self.distinct_rows,
+            "row_plan_hits": self.row_plan_hits,
+            "outputs_shared": self.outputs_shared,
+            "relus_shared": self.relus_shared,
+        }
 
 
 @dataclass
@@ -108,6 +151,7 @@ class ComputeResult:
     lc_terms: int = 0
     wall_time: float = 0.0
     recipe: Optional[list] = None  # (var, descriptor) witness log
+    sparsity: Optional[SparsityReport] = None
 
     @property
     def num_constraints(self) -> int:
@@ -123,6 +167,8 @@ class CircuitComputer:
         self.generated: Optional[GenerateResult] = None
         self._recipe: Optional[list] = None
         self._weight_var_cache: Dict[str, np.ndarray] = {}
+        self._row_plan_cache: Dict[bytes, tuple] = {}
+        self._sparsity: Optional[SparsityReport] = None
 
     # -- phase 1: Generate -------------------------------------------------------
 
@@ -178,12 +224,24 @@ class CircuitComputer:
         recipe: Optional[list] = [] if opts.record_recipe else None
         self._recipe = recipe
         self._weight_var_cache = {}
+        self._row_plan_cache = {}
+        sparse_active = opts.sparse and not program.weights_privacy.is_private
+        self._sparsity = (
+            SparsityReport(enabled=sparse_active) if opts.sparse else None
+        )
         emitter = GadgetEmitter(
-            cs, mode=opts.gadget_mode, knit=knit, recipe=recipe
+            cs,
+            mode=opts.gadget_mode,
+            knit=knit,
+            recipe=recipe,
+            share=sparse_active and opts.sparse_share,
         )
 
         env: Dict[str, ZkTensor] = {INPUT: self._input_tensor(cs, program)}
-        result = ComputeResult(cs=cs, gadget_stats=emitter.stats, recipe=recipe)
+        result = ComputeResult(
+            cs=cs, gadget_stats=emitter.stats, recipe=recipe,
+            sparsity=self._sparsity,
+        )
 
         for op in program.ops:
             layer_start = time.perf_counter()
@@ -227,6 +285,10 @@ class CircuitComputer:
             knit.flush()
             result.knit_constraints = knit.constraints_emitted
             result.knit_expressions = knit.expressions_packed
+        if self._sparsity is not None:
+            self._sparsity.distinct_rows = len(self._row_plan_cache)
+            self._sparsity.outputs_shared = emitter.stats.shared_outputs
+            self._sparsity.relus_shared = emitter.stats.shared_relus
         result.lc_terms = global_counter().lc_term - terms_before
         result.wall_time = time.perf_counter() - start
         return result
@@ -276,9 +338,14 @@ class CircuitComputer:
             )
         else:
             if isinstance(circuit, ZenoLayerCircuit):
-                out_vars, work = self._dot_zeno(
-                    cs, emitter, op, x_tensor, slot_bits, is_final
-                )
+                if self._sparsity is not None and self._sparsity.enabled:
+                    out_vars, work = self._dot_zeno_sparse(
+                        cs, emitter, op, x_tensor, slot_bits, is_final
+                    )
+                else:
+                    out_vars, work = self._dot_zeno(
+                        cs, emitter, op, x_tensor, slot_bits, is_final
+                    )
             else:
                 out_vars, work = self._dot_baseline(
                     cs, emitter, circuit, op, x_tensor, slot_bits, is_final
@@ -329,6 +396,89 @@ class CircuitComputer:
             lc = LinearCombination(cs.field, terms)
             counter.lc_term += len(lc.terms)
             work += len(row)
+            out_vars.append(
+                emitter.commit_output(
+                    lc,
+                    int(acc_values[d]),
+                    op.requant,
+                    slot_bits,
+                    public=is_final,
+                    tag=op.name,
+                    index=d,
+                )
+            )
+        return out_vars, work
+
+    def _dot_zeno_sparse(self, cs, emitter, op, x_tensor, slot_bits, is_final):
+        """Sparsity-aware §5.1 lowering (public weights only).
+
+        Zero-weight taps are skipped via per-row *nonzero plans* — the
+        indices and canonical field coefficients of a row's nonzero
+        entries, computed once per distinct row content and shared across
+        all rows/layers with identical bytes (pruned-to-zero rows,
+        repeated filter blocks).  The term maps produced are exactly those
+        of :meth:`_dot_zeno` (which masks zeros per dot), so with gadget
+        sharing off the constraint system — and hence the proof — is
+        byte-identical to the dense path.
+        """
+        x_vars = x_tensor.flat_vars()
+        weight_rows = op.weight_rows
+        input_cols = op.input_cols
+        bias = op.bias
+        acc_values = op.acc_values
+        p = cs.field.modulus
+        counter = global_counter()
+        report = self._sparsity
+        n = weight_rows.shape[1]
+        plan_cache = self._row_plan_cache
+        plans = []
+        for r in range(weight_rows.shape[0]):
+            row = weight_rows[r]
+            key = row.tobytes()
+            plan = plan_cache.get(key)
+            if plan is None:
+                nz = np.nonzero(row)[0]
+                canon = np.array(
+                    [int(w) % p for w in row[nz].tolist()], dtype=object
+                )
+                plan_cache[key] = plan = (nz, canon)
+            else:
+                report.row_plan_hits += 1
+            plans.append(plan)
+            report.total_rows += 1
+            if plan[0].size == 0:
+                report.zero_rows += 1
+        out_vars = []
+        work = 0
+        for d in range(op.num_dots):
+            r = int(op.row_of_dot[d])
+            nz, canon = plans[r]
+            report.weight_terms_total += n
+            report.zero_terms_elided += n - int(nz.size)
+            if nz.size:
+                positions = input_cols[nz, op.col_of_dot[d]]
+                valid = positions > 0
+                vars_d = x_vars[positions[valid] - 1].tolist()
+                coeffs = canon[valid].tolist()
+                terms = dict(zip(vars_d, coeffs))
+                if len(terms) != len(vars_d):
+                    # Upstream gadget sharing can map several taps onto one
+                    # variable; merge coefficients instead of overwriting.
+                    terms = {}
+                    for v, c in zip(vars_d, coeffs):
+                        merged = (terms.get(v, 0) + c) % p
+                        if merged:
+                            terms[v] = merged
+                        else:
+                            terms.pop(v, None)
+                work += int(nz.size)
+            else:
+                terms = {}
+            b = int(bias[r])
+            if b:
+                terms[0] = (terms.get(0, 0) + b) % p
+            lc = LinearCombination(cs.field, terms)
+            counter.lc_term += len(lc.terms)
             out_vars.append(
                 emitter.commit_output(
                     lc,

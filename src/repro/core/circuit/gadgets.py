@@ -46,10 +46,29 @@ class GadgetStats:
     relu_constraints: int = 0
     range_constraints: int = 0
     committed_wires: int = 0
+    shared_outputs: int = 0
+    shared_relus: int = 0
+
+
+# Sharing keys are computed only for LCs at most this many terms wide: the
+# shareable shapes (zero-row constants, BN affines, residual adds, ReLU
+# inputs) are all 1-3 terms, while full conv dots — which sort-key in
+# O(n log n) and essentially never collide — are skipped.
+_SHARE_MAX_TERMS = 4
 
 
 class GadgetEmitter:
-    """Emits output-commitment and ReLU gadgets into a constraint system."""
+    """Emits output-commitment and ReLU gadgets into a constraint system.
+
+    With ``share=True`` (sparsity-aware compilation), structurally
+    identical emissions are value-numbered: a second ``commit_output`` or
+    ``relu_lc`` whose input LC, requant shift, and slot width match an
+    earlier one returns the earlier output variable instead of emitting a
+    new sub-circuit.  Identical LCs compute identical witness values for
+    *every* assignment, so deduplication preserves soundness; it is what
+    collapses the per-position gadget fan-out of a pruned-to-zero filter
+    row (and of everything downstream of it) to one wire per channel.
+    """
 
     def __init__(
         self,
@@ -57,6 +76,7 @@ class GadgetEmitter:
         mode: str = "lean",
         knit: Optional[KnitPacker] = None,
         recipe: Optional[list] = None,
+        share: bool = False,
     ) -> None:
         if mode not in ("lean", "strict"):
             raise ValueError(f"gadget mode must be 'lean' or 'strict', not {mode!r}")
@@ -64,7 +84,10 @@ class GadgetEmitter:
         self.mode = mode
         self.knit = knit
         self.recipe = recipe
+        self.share = share
         self.stats = GadgetStats()
+        self._commit_cache: dict = {}
+        self._relu_cache: dict = {}
 
     def _log(self, var: int, descriptor: tuple) -> None:
         if self.recipe is not None:
@@ -116,6 +139,20 @@ class GadgetEmitter:
         and the output gets an offset range proof covering [-255, 255].
         """
         cs = self.cs
+        share_key = None
+        if self.share and not public and len(acc_lc.terms) <= _SHARE_MAX_TERMS:
+            # Key on the LC *before* it is consumed below.
+            share_key = (tuple(sorted(acc_lc.terms.items())), shift, slot_bits)
+            cached = self._commit_cache.get(share_key)
+            if cached is not None:
+                out_var, cached_value = cached
+                if cached_value != acc_value:
+                    raise ValueError(
+                        f"shared output {tag}[{index}]: identical LC with "
+                        f"diverging witness values {cached_value} != {acc_value}"
+                    )
+                self.stats.shared_outputs += 1
+                return out_var
         out_value = acc_value >> shift
         rem_value = acc_value - (out_value << shift)
 
@@ -157,6 +194,8 @@ class GadgetEmitter:
         else:
             cs.enforce(expr, cs.lc_constant(1), cs.lc(), tag=f"{tag}/eq")
             self.stats.equality_constraints += 1
+        if share_key is not None:
+            self._commit_cache[share_key] = (out_var, acc_value)
         return out_var
 
     # -- ReLU -----------------------------------------------------------------------------
@@ -197,6 +236,19 @@ class GadgetEmitter:
         consumed.
         """
         cs = self.cs
+        share_key = None
+        if self.share and len(in_lc.terms) <= _SHARE_MAX_TERMS:
+            share_key = (tuple(sorted(in_lc.terms.items())), bits)
+            cached = self._relu_cache.get(share_key)
+            if cached is not None:
+                out_var, cached_value = cached
+                if cached_value != in_value:
+                    raise ValueError(
+                        f"shared relu {tag}[{index}]: identical LC with "
+                        f"diverging witness values {cached_value} != {in_value}"
+                    )
+                self.stats.shared_relus += 1
+                return out_var
         sign = 1 if in_value >= 0 else 0
         out_value = in_value if in_value > 0 else 0
 
@@ -235,4 +287,6 @@ class GadgetEmitter:
             tag=f"{tag}/select",
         )
         self.stats.relu_constraints += 1
+        if share_key is not None:
+            self._relu_cache[share_key] = (out_var, in_value)
         return out_var

@@ -24,6 +24,7 @@ from repro.core.circuit.compute import (
     ComputeOptions,
     ComputeResult,
     GenerateResult,
+    SparsityReport,
 )
 from repro.core.fusion.fuse import fuse_model
 from repro.core.lang.program import ZkProgram, program_from_model
@@ -79,6 +80,12 @@ class CompilerOptions:
     gadget_mode: str = "lean"  # "lean" (paper accounting) | "strict" (sound)
     relu_bits: int = 16
     record_recipe: bool = False
+    # Sparsity-aware compilation (public weights only): elide zero-weight
+    # terms via shared per-row plans and — with sparse_share — deduplicate
+    # structurally identical gadget emissions (pruned filter rows collapse
+    # to one sub-circuit).  See ComputeOptions.sparse.
+    sparse: bool = False
+    sparse_share: bool = True
     # Post-compile soundness audit (repro.analysis): "off", "report"
     # (attach an AuditReport to the artifact), or "enforce" (additionally
     # raise CircuitAuditError on ERROR-severity findings).
@@ -98,6 +105,8 @@ class CompilerOptions:
             # The auditor seeds its determinism check from the witness
             # recipe (free inputs), so auditing implies recording one.
             record_recipe=self.record_recipe or self.audit != "off",
+            sparse=self.sparse,
+            sparse_share=self.sparse_share,
         )
 
 
@@ -168,6 +177,11 @@ class CompileArtifact:
     @property
     def num_variables(self) -> int:
         return self.compute.cs.num_variables
+
+    @property
+    def sparsity(self):
+        """The compilation's :class:`SparsityReport`, or None when dense."""
+        return self.compute.sparsity
 
     @property
     def circuit_time(self) -> float:

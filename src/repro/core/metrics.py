@@ -15,6 +15,7 @@ they are pure Python in both the baseline and ZENO paths, so their *ratios*
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, MutableMapping, Optional, Union
@@ -22,6 +23,25 @@ from typing import Callable, MutableMapping, Optional, Union
 from repro.snark.backends import SECURITY_BACKENDS, SecurityBackendProfile
 
 PhaseSink = Union[Callable[[str, float], None], MutableMapping]
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident-set size of this process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux but bytes on
+    macOS; normalized here.  Returns 0 where the ``resource`` module is
+    unavailable (e.g. Windows).  Note this is a high-water mark for the
+    whole process lifetime — capped-memory measurements need a fresh
+    subprocess, not a reset.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(rss)
+    return int(rss) * 1024
 
 
 class PhaseTimer:
@@ -44,6 +64,7 @@ class PhaseTimer:
         self.name = name
         self.sink = sink
         self.elapsed: float = 0.0
+        self.peak_rss_bytes: int = 0
         self._start: Optional[float] = None
 
     def __enter__(self) -> "PhaseTimer":
@@ -53,6 +74,7 @@ class PhaseTimer:
     def __exit__(self, exc_type, exc, tb) -> None:
         assert self._start is not None, "PhaseTimer re-used without __enter__"
         self.elapsed = time.perf_counter() - self._start
+        self.peak_rss_bytes = peak_rss_bytes()
         self._start = None
         if self.sink is None:
             return

@@ -120,6 +120,40 @@ class GroupBackend(ABC):
     ) -> bool:
         """Check ``prod e(P_i, Q_i) == 1`` — the Groth16 verify primitive."""
 
+    def _msm_chunked(
+        self,
+        points,
+        scalars: Sequence[int],
+        *,
+        zero: Optional[GroupElement] = None,
+        parallelism: Optional[int] = None,
+        window: Optional[int] = None,
+    ) -> GroupElement:
+        """MSM over a chunked query: one decoded chunk in memory at a time.
+
+        Partial sums per chunk combine with plain group additions (MSM is
+        linear in the points), so the result — and therefore proof bytes —
+        match the one-shot path exactly.
+        """
+        if len(points) != len(scalars):
+            raise ValueError(
+                f"points/scalars length mismatch: "
+                f"{len(points)} vs {len(scalars)}"
+            )
+        acc: Optional[GroupElement] = None
+        for offset, chunk in points.iter_chunks():
+            part = self.msm(
+                chunk,
+                scalars[offset : offset + len(chunk)],
+                zero=zero,
+                parallelism=parallelism,
+                window=window,
+            )
+            acc = part if acc is None else self.add(acc, part)
+        if acc is None:
+            return zero if zero is not None else self.g1_zero()
+        return acc
+
     def precompute_msm(
         self,
         points: Sequence[GroupElement],
@@ -167,6 +201,20 @@ class RealBN254Backend(GroupBackend):
         return a.group.scalar_mul(a, k)
 
     def msm(self, points, scalars, *, zero=None, parallelism=None, window=None):
+        if hasattr(points, "iter_chunks"):
+            if len(points) != len(scalars):
+                raise ValueError(
+                    f"points/scalars length mismatch: "
+                    f"{len(points)} vs {len(scalars)}"
+                )
+            if getattr(points, "kind", None) == "g1":
+                from repro.ec.batch_affine import msm_streamed
+
+                return msm_streamed(points.iter_chunks(), scalars, window=window)
+            return self._msm_chunked(
+                points, scalars, zero=zero, parallelism=parallelism,
+                window=window,
+            )
         if len(points) != len(scalars):
             raise ValueError(
                 f"points/scalars length mismatch: "
@@ -230,6 +278,8 @@ class SimulatedBackend(GroupBackend):
     def msm(self, points, scalars, *, zero=None, parallelism=None, window=None):
         # parallelism/window shape the modeled real-curve cost, not the
         # log-space dot product, so they are accepted and ignored here.
+        if hasattr(points, "iter_chunks"):
+            return self._msm_chunked(points, scalars, zero=zero)
         if not points:
             return zero if zero is not None else self.g1_zero()
         return sim_msm(points, scalars)

@@ -200,6 +200,32 @@ def msm_batch_affine(
     return to_affine(_msm_raw(affine, reduced, c))
 
 
+def msm_streamed(
+    chunks,
+    scalars: Sequence[int],
+    window: Optional[int] = None,
+) -> Point:
+    """Batch-affine MSM over an ``(offset, points)`` chunk stream.
+
+    The streamed-CRS path: each chunk is converted, reduced, and released
+    before the next is decoded, so the peak working set is one chunk plus
+    a Jacobian accumulator — bounded by ``ZENO_MSM_CHUNK_BYTES`` instead
+    of the full query.  MSM is linear in the point vector, so per-chunk
+    partial sums combine to the *exact* group element the one-shot engines
+    compute (proof bytes are unchanged).
+    """
+    total = J_INFINITY
+    for offset, chunk in chunks:
+        affine, reduced = _to_raw(chunk, scalars[offset : offset + len(chunk)])
+        if not affine:
+            continue
+        c = window or pick_window(len(affine), signed=True)
+        total = j_add(total, _msm_raw(affine, reduced, c))
+    if total[2] == 0:
+        return BN254_G1.infinity()
+    return to_affine(total)
+
+
 # -- chunked parallel mode ---------------------------------------------------------
 
 # One cached executor per worker count; proving services issue many MSMs

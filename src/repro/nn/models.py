@@ -387,7 +387,7 @@ _BUILDERS = {
 }
 
 
-def _build(abbr: str, scale: str, seed: int) -> Model:
+def _build(abbr: str, scale: str, seed: int, prune=None) -> Model:
     if abbr not in MODEL_INFO:
         raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
     if scale not in _SCALES[abbr]:
@@ -398,6 +398,13 @@ def _build(abbr: str, scale: str, seed: int) -> Model:
     model = _BUILDERS[abbr](sampler, **_SCALES[abbr][scale])
     suffix = "" if scale == "full" else f"-{scale}"
     model.name = f"{MODEL_INFO[abbr].full_name}{suffix}"
+    if prune is not None:
+        # Prune before calibration so requant shifts fit the pruned net.
+        from repro.nn.prune import PruneSpec, prune_model
+
+        spec = PruneSpec.parse(prune)
+        if spec.enabled:
+            prune_model(model, spec)
     return calibrate(model)
 
 
@@ -409,11 +416,16 @@ MODEL_BUILDERS: Dict[str, Callable[..., Model]] = {
 MODEL_ORDER = ["SHAL", "LCS", "LCL", "VGG16", "RES18", "RES50"]
 
 
-def build_model(abbr: str, scale: str = "full", seed: int = 0) -> Model:
-    """Build one of the paper's six networks (``scale`` = "full" | "mini")."""
+def build_model(abbr: str, scale: str = "full", seed: int = 0, prune=None) -> Model:
+    """Build one of the paper's six networks (``scale`` = "full" | "mini").
+
+    ``prune`` optionally applies magnitude pruning before calibration;
+    it accepts anything :meth:`repro.nn.prune.PruneSpec.parse` does
+    (e.g. ``"0.6,0.2"`` = structured,unstructured fractions).
+    """
     if abbr not in MODEL_INFO:
         raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
-    return _build(abbr, scale, seed)
+    return _build(abbr, scale, seed, prune=prune)
 
 
 def model_table(scale: str = "full") -> List[dict]:

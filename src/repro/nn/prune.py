@@ -1,0 +1,171 @@
+"""Magnitude pruning for the evaluation networks (TeleSparse direction).
+
+Sparsity-aware compilation (``CompilerOptions.sparse``) elides zero-weight
+terms and shares sub-circuits across identical (notably all-zero) filter
+rows, but our synthetic Normal-int8 weights have almost no natural zeros.
+This module supplies the pruned models the scale benchmarks compile:
+
+* **unstructured** pruning zeroes the smallest-|w| fraction of individual
+  weights per dot layer — scattered zeros, which term elision skips
+  without changing the constraint system;
+* **structured** pruning zeroes whole output rows (conv filters / FC
+  neurons) by L1 norm — every dot of a pruned row degenerates to its bias
+  constant, which the compiler's sub-circuit sharing collapses to one
+  committed wire per row (the big constraint-count lever).
+
+Pruning happens *before* calibration so requantization shifts are chosen
+for the pruned network; the final classifier layer is exempt from
+structured pruning so all 10 logits stay live.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.graph import Model
+from repro.nn.layers import Conv2d, Linear
+
+
+@dataclass
+class PruneSpec:
+    """How much to prune: fractions in ``[0, 1)`` per dot layer."""
+
+    structured: float = 0.0  # fraction of output rows zeroed (by L1 norm)
+    unstructured: float = 0.0  # fraction of remaining weights zeroed (by |w|)
+
+    def __post_init__(self) -> None:
+        for name in ("structured", "unstructured"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} fraction must be in [0, 1), got {value}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.structured > 0.0 or self.unstructured > 0.0
+
+    @classmethod
+    def parse(cls, spec: Union["PruneSpec", str, float, None]) -> "PruneSpec":
+        """Accept ``PruneSpec`` | ``"0.6,0.2"`` (structured,unstructured) |
+        ``"0.3"`` / ``0.3`` (unstructured only) | ``None``."""
+        if spec is None:
+            return cls()
+        if isinstance(spec, PruneSpec):
+            return spec
+        if isinstance(spec, (int, float)):
+            return cls(unstructured=float(spec))
+        parts = [p.strip() for p in str(spec).split(",") if p.strip()]
+        if len(parts) == 1:
+            return cls(unstructured=float(parts[0]))
+        if len(parts) == 2:
+            return cls(structured=float(parts[0]), unstructured=float(parts[1]))
+        raise ValueError(f"prune spec must be 'U' or 'S,U', got {spec!r}")
+
+
+@dataclass
+class PruneStats:
+    """What pruning actually zeroed, per layer and in total."""
+
+    spec: PruneSpec
+    layers: List[Dict[str, int]] = field(default_factory=list)
+    weights_total: int = 0
+    weights_zero: int = 0
+    rows_total: int = 0
+    rows_zero: int = 0
+
+    @property
+    def density(self) -> float:
+        if not self.weights_total:
+            return 1.0
+        return 1.0 - self.weights_zero / self.weights_total
+
+    def to_json(self) -> dict:
+        return {
+            "structured": self.spec.structured,
+            "unstructured": self.spec.unstructured,
+            "weights_total": self.weights_total,
+            "weights_zero": self.weights_zero,
+            "rows_total": self.rows_total,
+            "rows_zero": self.rows_zero,
+            "density": self.density,
+        }
+
+
+def _prunable_nodes(model: Model) -> List[Tuple[str, object]]:
+    return [
+        (node.name, node.layer)
+        for node in model.nodes
+        if isinstance(node.layer, (Conv2d, Linear))
+    ]
+
+
+def prune_model(
+    model: Model, spec: Union[PruneSpec, str, float, None]
+) -> PruneStats:
+    """Zero weights in-place per ``spec``; returns what was zeroed.
+
+    Structured pruning keeps at least one live row per layer and skips the
+    final dot layer (the classifier head); unstructured pruning applies to
+    every dot layer's surviving weights.  Deterministic: ties break by
+    stable sort order.
+    """
+    spec = PruneSpec.parse(spec)
+    stats = PruneStats(spec=spec)
+    nodes = _prunable_nodes(model)
+    for position, (name, layer) in enumerate(nodes):
+        weight = layer.weight
+        rows = weight.reshape(weight.shape[0], -1)
+        c_out, n = rows.shape
+        zero_rows = 0
+        is_head = position == len(nodes) - 1
+        if spec.structured and not is_head:
+            norms = np.abs(rows).sum(axis=1)
+            kill = min(int(math.floor(spec.structured * c_out)), c_out - 1)
+            if kill > 0:
+                victims = np.argsort(norms, kind="stable")[:kill]
+                rows[victims, :] = 0
+                zero_rows = int(kill)
+        if spec.unstructured:
+            flat = rows.reshape(-1)
+            live = np.nonzero(flat)[0]
+            kill = int(math.floor(spec.unstructured * live.size))
+            if kill > 0:
+                order = np.argsort(np.abs(flat[live]), kind="stable")[:kill]
+                flat[live[order]] = 0
+        layer.weight = rows.reshape(weight.shape)
+        zeros = int(np.count_nonzero(rows == 0))
+        stats.layers.append(
+            {
+                "name": name,
+                "weights": int(rows.size),
+                "zeros": zeros,
+                "rows": c_out,
+                "zero_rows": int(np.count_nonzero(~rows.any(axis=1))),
+            }
+        )
+        stats.weights_total += int(rows.size)
+        stats.weights_zero += zeros
+        stats.rows_total += c_out
+        stats.rows_zero += stats.layers[-1]["zero_rows"]
+    return stats
+
+
+def model_sparsity(model: Model) -> Dict[str, float]:
+    """Fraction of zero weights / zero rows across all dot layers."""
+    total = zero = rows = zero_rows = 0
+    for _, layer in _prunable_nodes(model):
+        mat = layer.weight.reshape(layer.weight.shape[0], -1)
+        total += mat.size
+        zero += int(np.count_nonzero(mat == 0))
+        rows += mat.shape[0]
+        zero_rows += int(np.count_nonzero(~mat.any(axis=1)))
+    return {
+        "weights_total": total,
+        "weights_zero": zero,
+        "rows_total": rows,
+        "rows_zero": zero_rows,
+        "density": 1.0 - (zero / total if total else 0.0),
+    }

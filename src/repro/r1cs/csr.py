@@ -185,6 +185,46 @@ def build_csr_structure(constraints, num_public: int, num_private: int,
                      modulus)
 
 
+# Rough upper bound on the transient footprint of one scheduled product:
+# the ~508-bit product int (~92 bytes) plus its list slot.  Used to turn
+# the ZENO_MSM_CHUNK_BYTES working-set budget into a block nnz.
+_STREAM_BYTES_PER_TERM = 96
+
+
+def _stream_block_nnz() -> Optional[int]:
+    """nnz budget per evaluation block, from ``ZENO_MSM_CHUNK_BYTES``.
+
+    Read per call (the CLI's ``--max-rss`` sets it mid-process); unset
+    means unbounded — the historical single-sweep behavior.
+    """
+    raw = os.environ.get("ZENO_MSM_CHUNK_BYTES")
+    if not raw:
+        return None
+    return max(1024, int(raw) // _STREAM_BYTES_PER_TERM)
+
+
+def _eval_span(
+    matrix: CSRMatrix,
+    z: List[int],
+    modulus: int,
+    out: List[int],
+    start_row: int,
+    stop_row: int,
+    base_row: int,
+) -> None:
+    indptr = matrix.indptr
+    lo, hi = indptr[start_row], indptr[stop_row]
+    full = lo == 0 and hi == matrix.nnz
+    coeffs = matrix.coeffs if full else matrix.coeffs[lo:hi]
+    indices = matrix.indices if full else matrix.indices[lo:hi]
+    prods = list(map(operator.mul, coeffs, map(z.__getitem__, indices)))
+    begin = 0
+    for row in range(start_row, stop_row):
+        end = indptr[row + 1] - lo
+        out[row - base_row] = sum(prods[begin:end]) % modulus
+        begin = end
+
+
 def matrix_row_evals(
     matrix: CSRMatrix,
     z: List[int],
@@ -197,22 +237,26 @@ def matrix_row_evals(
 
     Single pass: all coefficient products are formed in one C-level
     ``map(mul, ...)`` sweep, then each row reduces to a slice sum and one
-    modular reduction — no per-term Python bytecode.
+    modular reduction — no per-term Python bytecode.  When
+    ``ZENO_MSM_CHUNK_BYTES`` is set, the span is processed in row-aligned
+    blocks whose transient product list stays within that budget, so the
+    witness pass streams instead of materializing O(nnz) products.
     """
     indptr = matrix.indptr
     stop_row = matrix.num_rows if stop_row is None else stop_row
-    lo, hi = indptr[start_row], indptr[stop_row]
-    full = lo == 0 and hi == matrix.nnz
-    coeffs = matrix.coeffs if full else matrix.coeffs[lo:hi]
-    indices = matrix.indices if full else matrix.indices[lo:hi]
-    prods = list(map(operator.mul, coeffs, map(z.__getitem__, indices)))
     if out is None:
         out = [0] * (stop_row - start_row)
-    begin = 0
-    for row in range(start_row, stop_row):
-        end = indptr[row + 1] - lo
-        out[row - start_row] = sum(prods[begin:end]) % modulus
-        begin = end
+    limit = _stream_block_nnz()
+    if limit is not None and indptr[stop_row] - indptr[start_row] > limit:
+        row = start_row
+        while row < stop_row:
+            end = row + 1  # always make progress, even on a giant row
+            while end < stop_row and indptr[end + 1] - indptr[row] <= limit:
+                end += 1
+            _eval_span(matrix, z, modulus, out, row, end, start_row)
+            row = end
+        return out
+    _eval_span(matrix, z, modulus, out, start_row, stop_row, start_row)
     return out
 
 

@@ -203,12 +203,15 @@ class ServiceTelemetry:
                 tenants[tenant] = dict(
                     bucket, in_flight=bucket["submitted"] - terminal
                 )
+            from repro.core.metrics import peak_rss_bytes
+
             return {
                 "uptime_seconds": elapsed,
                 "gauges": {
                     "queue_depth": self.queue_depth,
                     "batcher_pending": self.batcher_pending,
                     "inflight_jobs": self.inflight_jobs,
+                    "peak_rss_bytes": peak_rss_bytes(),
                     "tenants": tenants,
                 },
                 "jobs": {

@@ -42,8 +42,19 @@ def setup(
     cs: ConstraintSystem,
     backend: Optional[GroupBackend] = None,
     rng: Optional[random.Random] = None,
+    store=None,
+    chunk_bytes: Optional[int] = None,
 ) -> SetupResult:
-    """Run the (simulated-ceremony) trusted setup for ``cs``."""
+    """Run the (simulated-ceremony) trusted setup for ``cs``.
+
+    With ``store`` (a :class:`repro.serve.ArtifactStore`), the five query
+    vectors are emitted as content-addressed chunks of ``chunk_bytes``
+    (default ``ZENO_MSM_CHUNK_BYTES`` or 1 MiB) instead of in-memory
+    lists: the returned proving key holds lazy
+    :class:`~repro.snark.chunked.ChunkedQuery` views, the manifest key
+    lands in ``stats["pk_manifest_key"]``, and proving streams one chunk
+    at a time — proofs are byte-identical to the dense-key path.
+    """
     backend = backend or SimulatedBackend()
     rng = rng or random.Random(0x5E70)  # deterministic by default: reproducibility
     field = backend.scalar_field
@@ -69,9 +80,38 @@ def setup(
     g1 = backend.g1_generator()
     g2 = backend.g2_generator()
 
-    a_query = [backend.scalar_mul(g1, v) for v in a_at]
-    b_query_g1 = [backend.scalar_mul(g1, v) for v in b_at]
-    b_query_g2 = [backend.scalar_mul(g2, v) for v in b_at]
+    if store is not None:
+        from repro.snark.chunked import ChunkWriter, chunk_bytes_from_env
+
+        sim = backend.name == "simulated"
+        kind1 = "sim" if sim else "g1"
+        kind2 = "sim" if sim else "g2"
+        size = chunk_bytes or chunk_bytes_from_env()
+        writers = {
+            "a": ChunkWriter(store, kind1, size),
+            "b1": ChunkWriter(store, kind1, size),
+            "b2": ChunkWriter(store, kind2, size),
+            "l": ChunkWriter(store, kind1, size),
+            "h": ChunkWriter(store, kind1, size),
+        }
+
+        def emit_query(writer, values):
+            for v in values:
+                writer.append(backend.scalar_mul(g1, v))
+            return writer.finish()
+    else:
+        writers = None
+
+    if writers is not None:
+        a_query = emit_query(writers["a"], a_at)
+        b_query_g1 = emit_query(writers["b1"], b_at)
+        for v in b_at:
+            writers["b2"].append(backend.scalar_mul(g2, v))
+        b_query_g2 = writers["b2"].finish()
+    else:
+        a_query = [backend.scalar_mul(g1, v) for v in a_at]
+        b_query_g1 = [backend.scalar_mul(g1, v) for v in b_at]
+        b_query_g2 = [backend.scalar_mul(g2, v) for v in b_at]
 
     ic: List = []
     l_query: List = []
@@ -79,17 +119,27 @@ def setup(
         combined = (beta * a_at[i] + alpha * b_at[i] + c_at[i]) % p
         if i < num_instance:
             ic.append(backend.scalar_mul(g1, (combined * gamma_inv) % p))
+        elif writers is not None:
+            writers["l"].append(
+                backend.scalar_mul(g1, (combined * delta_inv) % p)
+            )
         else:
             l_query.append(backend.scalar_mul(g1, (combined * delta_inv) % p))
+    if writers is not None:
+        l_query = writers["l"].finish()
 
     z_tau = domain.vanishing_at(tau)
     h_query: List = []
     power = 1
     for _ in range(domain.size - 1):
-        h_query.append(
-            backend.scalar_mul(g1, (power * z_tau % p) * delta_inv % p)
-        )
+        point = backend.scalar_mul(g1, (power * z_tau % p) * delta_inv % p)
+        if writers is not None:
+            writers["h"].append(point)
+        else:
+            h_query.append(point)
         power = (power * tau) % p
+    if writers is not None:
+        h_query = writers["h"].finish()
 
     pk = ProvingKey(
         alpha_g1=backend.scalar_mul(g1, alpha),
@@ -119,6 +169,14 @@ def setup(
         "domain_size": domain.size,
         "num_public": cs.num_public,
     }
+    if store is not None:
+        from repro.snark.chunked import put_manifest
+
+        stats["pk_chunks"] = sum(
+            len(q.keys)
+            for q in (a_query, b_query_g1, b_query_g2, l_query, h_query)
+        )
+        stats["pk_manifest_key"] = put_manifest(store, pk, stats=dict(stats))
     return SetupResult(proving_key=pk, verifying_key=vk, stats=stats)
 
 
