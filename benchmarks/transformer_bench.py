@@ -1,0 +1,159 @@
+"""Transformer proving benchmark: lookup vs bit-decomposition economics.
+
+Standalone harness (NOT collected by pytest) compiling each transformer
+config twice under strict gadgets — ``--relu-mode bits`` and
+``--relu-mode lookup`` — and timing the full per-layer prove +
+aggregate-verify round trip on the lookup circuit::
+
+    PYTHONPATH=src python benchmarks/transformer_bench.py \
+        --configs TINY:micro,TINY:mini,VIT:micro --out BENCH_transformer.json
+
+The headline number is ``constraint_ratio`` (bits / lookup): the shared
+LogUp columns amortize every 8-bit nonlinearity (exp, recip, rsqrt, gelu)
+to ~1 membership constraint + 3/7 sponge constraint, where the bit path
+pays a fresh decomposition per activation.  The harness FAILS (exit 1)
+if lookup ever loses — that regression gate is why BENCH_transformer.json
+is checked in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregate import fold, prove_split, setup_split, verify_aggregate
+from repro.core.compiler import CompilerOptions, ZenoCompiler
+from repro.nn.data import synthetic_images
+from repro.nn.models import build_model
+
+CRS_SEED = 0xC0FFEE
+
+
+def compile_once(abbr: str, scale: str, relu_mode: str, seed: int):
+    model = build_model(abbr, scale=scale, seed=seed)
+    image = synthetic_images(model.input_shape, n=1, seed=42)[0]
+    opts = CompilerOptions(
+        gadget_mode="strict", relu_mode=relu_mode, record_recipe=True
+    )
+    start = time.perf_counter()
+    artifact = ZenoCompiler(opts).compile_model(model, image)
+    elapsed = time.perf_counter() - start
+    if not artifact.cs.is_satisfied():
+        raise AssertionError(f"{abbr}:{scale} {relu_mode} witness unsatisfied")
+    expected = [int(v) for v in model.forward(image)]
+    if artifact.public_outputs_signed() != expected:
+        raise AssertionError(f"{abbr}:{scale} {relu_mode} logits diverge")
+    return artifact, elapsed
+
+
+def prove_aggregate(artifact) -> dict:
+    """Per-layer split -> prove -> fold -> verify; returns timings."""
+    start = time.perf_counter()
+    split = artifact.split(mode="hashed")
+    setups = setup_split(split, crs_seed=CRS_SEED)
+    setup_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    proofs = prove_split(split, setups, crs_seed=CRS_SEED)
+    agg = fold(split, setups, [proofs], crs_seed=CRS_SEED)
+    prove_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    verdict = verify_aggregate(agg)
+    verify_time = time.perf_counter() - start
+    if not verdict.ok:
+        raise AssertionError(f"aggregate rejected: {verdict.reason}")
+    return {
+        "num_instances": split.num_instances,
+        "lookup_pseudo_layers": sum(
+            1 for i in split.instances if i.name.startswith("lookup:")
+        ),
+        "split_setup_seconds": setup_time,
+        "prove_fold_seconds": prove_time,
+        "verify_seconds": verify_time,
+        "pairings": verdict.num_pairings,
+        "naive_pairings": verdict.naive_pairings,
+    }
+
+
+def bench_config(abbr: str, scale: str, seed: int, prove: bool) -> dict:
+    bits, bits_time = compile_once(abbr, scale, "bits", seed)
+    lut, lut_time = compile_once(abbr, scale, "lookup", seed)
+    rep = lut.compute.lookup
+    row = {
+        "model": abbr,
+        "scale": scale,
+        "bits_constraints": bits.num_constraints,
+        "lookup_constraints": lut.num_constraints,
+        "constraint_ratio": bits.num_constraints / lut.num_constraints,
+        "lookup_wins": lut.num_constraints < bits.num_constraints,
+        "bits_compile_seconds": bits_time,
+        "lookup_compile_seconds": lut_time,
+        "total_lookups": rep.total_lookups if rep else 0,
+        "tables": [t["table"] for t in rep.tables] if rep else [],
+    }
+    if prove:
+        row["aggregate"] = prove_aggregate(lut)
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--configs", default="TINY:micro,TINY:mini,VIT:micro",
+        help="comma-separated MODEL:scale pairs (TINY or VIT)",
+    )
+    parser.add_argument("--seed", type=int, default=3, help="weight seed")
+    parser.add_argument(
+        "--no-prove", action="store_true",
+        help="skip the per-layer prove/verify round trip (compile-only)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for token in args.configs.split(","):
+        abbr, _, scale = token.strip().partition(":")
+        row = bench_config(abbr, scale or "micro", args.seed, not args.no_prove)
+        rows.append(row)
+        line = (
+            f"{row['model']}/{row['scale']}: "
+            f"bits={row['bits_constraints']} "
+            f"lookup={row['lookup_constraints']} "
+            f"ratio={row['constraint_ratio']:.2f}x "
+            f"lookups={row['total_lookups']}"
+        )
+        if "aggregate" in row:
+            agg = row["aggregate"]
+            line += (
+                f" layers={agg['num_instances']} "
+                f"prove={agg['prove_fold_seconds']:.1f}s "
+                f"verify={agg['verify_seconds']:.2f}s"
+            )
+        print(line)
+        if not row["lookup_wins"]:
+            print("  !! lookup mode lost to bit decomposition", file=sys.stderr)
+            return 1
+
+    doc = {
+        "bench": "transformer",
+        "gadget_mode": "strict",
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "configs": rows,
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,37 @@ rules:
    decompositions, ReLU sign proofs, and knit-packed multi-slot equality
    constraints in one step.
 
+4. **One-hot selectors** — ``Σ b_v = 1`` over boolean-bounded variables
+   registers an *exactly-one group*: any satisfying assignment sets
+   precisely one of them.  A later linear equation over the same group,
+   ``Σ c_v·b_v = const``, then determines the entire group when exactly
+   one member's coefficient matches ``const`` (members absent from the
+   equation count as coefficient 0): the set bit must be that member.
+   This discharges the one-hot table selectors and embedding-row
+   selectors of the bit-decomposition transformer path, which neither
+   the bound rule (all-equal weights are not uniquely decodable) nor
+   the decomposition rule can handle.
+
+5. **Lookup-argument grants** — LogUp soundness is a *global,
+   probabilistic* property (Schwartz–Zippel over the in-circuit
+   Fiat–Shamir challenge), invisible to the local linear rules: the
+   membership constraint ``(alpha - x - 2^16·y + c)·h = 1`` alone never
+   pins ``y``.  The propagator therefore consults the
+   :class:`~repro.lookup.argument.LookupBlock` metadata the engine left
+   on the system: a **strict-mode** block whose constraints pass the
+   structural check (:func:`~repro.lookup.argument.verify_lookup_block`
+   — canonical table column, bound multiplicities, sum check, sponge
+   absorbing exactly the recorded pairs and multiplicities) grants all
+   of its engine wires (outputs, inverse columns, multiplicities,
+   sponge states, challenge, input range bits) once every lookup input
+   wire is determined.  Given range-proven inputs the pair packing is
+   injective, so table membership uniquely determines each output —
+   up to the argument's negligible soundness error, which is the same
+   caveat the proof system itself carries.  Lean-mode blocks (fixed
+   challenge, documented unsound) and blocks failing the structural
+   check grant *nothing*: their wires degrade to under-constrained
+   findings, which is how ``zeno audit`` catches a tampered lowering.
+
 The detector is *sound in one direction*: a variable it reports
 determined really is uniquely determined (each rule is a valid
 implication); a variable it reports under-constrained may be a false
@@ -64,22 +95,37 @@ class DeterminismResult:
     undetermined: List[int] = field(default_factory=list)
     rounds: int = 0
     wall_time: float = 0.0
+    # (table_name, defect) per lookup block that failed the structural
+    # check or is lean-mode (and therefore granted nothing).
+    lookup_errors: List[Tuple[str, str]] = field(default_factory=list)
+    lookup_blocks_granted: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.undetermined
+        return not self.undetermined and not self.lookup_errors
 
     def findings(self, cs: ConstraintSystem) -> List[Finding]:
-        """One ERROR finding per under-constrained private variable."""
+        """One ERROR finding per under-constrained private variable,
+        plus one per structurally broken lookup block (named defect)."""
+        out: List[Finding] = []
+        for table_name, defect in self.lookup_errors:
+            out.append(
+                Finding(
+                    rule="lookup-block",
+                    severity=Severity.ERROR,
+                    message=f"lookup block {table_name!r} is not a sound "
+                            f"LogUp lowering: {defect}",
+                    layer=f"lookup:{table_name}",
+                )
+            )
         if not self.undetermined:
-            return []
+            return out
         touching: Dict[int, List[int]] = {v: [] for v in self.undetermined}
         for index, constraint in enumerate(cs.constraints):
             for lc in (constraint.a, constraint.b, constraint.c):
                 for var in lc.indices():
                     if var in touching and index not in touching[var]:
                         touching[var].append(index)
-        out = []
         for var in self.undetermined:
             refs = touching[var]
             layer = cs.layer_of(refs[0]) if refs else None
@@ -141,12 +187,63 @@ class _Propagator:
             var: (0, 1) for var in boolean_variables(cs)
         }
         self.done = [False] * cs.num_constraints
+        # Rule 4 state: exactly-one groups from sum-to-one constraints
+        # over booleans, and a member -> group index for fast lookup.
+        self.groups: List[frozenset] = []
+        self.group_of: Dict[int, int] = {}
+        self.lookup_errors: List[Tuple[str, str]] = []
+        self.granted_blocks = 0
+        # Structurally verified strict lookup blocks, pending their
+        # input wires becoming determined (see rule 5 in the module doc).
+        self._pending_blocks: List = []
+        for block in getattr(cs, "lookup_blocks", ()):
+            if block.mode != "strict":
+                continue  # lean: unsound challenge, never granted
+            from repro.lookup.argument import verify_lookup_block
+
+            defect = verify_lookup_block(cs, block)
+            if defect is None:
+                self._pending_blocks.append(block)
+            else:
+                self.lookup_errors.append((block.table_name, defect))
 
     def is_det(self, var: int) -> bool:
         return var <= 0 or var in self.det
 
     def _lc_value(self, lc) -> int:
         return lc.evaluate(self.assignment)
+
+    def _grant_lookup_blocks(self) -> bool:
+        """Rule 5: verified strict blocks grant their engine wires.
+
+        Two granularities.  Each *output* ``y_i`` is a function of its own
+        input — the argument proves ``(x_i, y_i)`` is a table row, and the
+        table maps each ``x`` to exactly one ``y`` — so ``y_i`` is granted
+        as soon as ``x_i`` is determined (a shared table can span layers
+        with data dependencies between them; waiting for the whole block
+        would deadlock).  The *column* wires (multiplicities, ``g``,
+        sponge states, challenge) depend on the full multiset of lookups
+        and are granted only when every input is determined.
+        """
+        progress = False
+        still_pending = []
+        for block in self._pending_blocks:
+            all_x = True
+            for x, y in zip(block.x_vars, block.y_vars):
+                if self.is_det(x):
+                    if not self.is_det(y):
+                        self.det.add(y)
+                        progress = True
+                else:
+                    all_x = False
+            if all_x:
+                self.det.update(block.engine_vars())
+                self.granted_blocks += 1
+                progress = True
+            else:
+                still_pending.append(block)
+        self._pending_blocks = still_pending
+        return progress
 
     def run(self) -> Tuple[int, Set[int]]:
         rounds = 0
@@ -165,6 +262,8 @@ class _Propagator:
                     for v in lc.indices()
                 ):
                     self.done[index] = True
+            if self._grant_lookup_blocks():
+                progress = True
         return rounds, self.det
 
     # -- one constraint ------------------------------------------------------
@@ -208,7 +307,68 @@ class _Propagator:
         if len(unbounded) == 1:
             return self._derive_bound(unbounded[0], unknowns)
         if not unbounded:
-            return self._decompose(unknowns)
+            if self._decompose(unknowns):
+                return True
+            return self._selector(net, unknowns)
+        return False
+
+    def _selector(self, net: Dict[int, int], unknowns: Dict[int, int]) -> bool:
+        """Rule 4: exactly-one groups and unique-coefficient selection.
+
+        ``Σ_v net_v·v = 0`` restricted to the unknowns reads
+        ``Σ_u c_u·u = const`` with ``const`` the negated known part.
+        Registers a group when the equation is ``λ·Σ b = λ`` over
+        booleans; solves a whole registered group when exactly one
+        member's coefficient equals ``const``.
+        """
+        p = self.p
+        const = 0
+        for v, coeff in net.items():
+            if v not in unknowns:
+                const = (const - coeff * self.assignment[v]) % p
+
+        coeffs = set(unknowns.values())
+        if (
+            len(coeffs) == 1
+            and all(self.bounds.get(u) == (0, 1) for u in unknowns)
+        ):
+            lam = next(iter(coeffs))
+            if const == lam and not any(
+                u in self.group_of for u in unknowns
+            ):
+                idx = len(self.groups)
+                self.groups.append(frozenset(unknowns))
+                for u in unknowns:
+                    self.group_of[u] = idx
+                # Registration alone is not propagation progress; a later
+                # visit of a selecting equation does the determining.
+                return False
+
+        gidx = self.group_of.get(next(iter(unknowns)))
+        if gidx is None:
+            return False
+        group = self.groups[gidx]
+        if not set(unknowns) <= group:
+            return False
+        # A member already determined to 1 is the set bit everywhere; the
+        # rest of the group is forced to 0.
+        if any(
+            self.is_det(u) and self.assignment[u] == 1
+            for u in group
+            if u not in unknowns
+        ):
+            self.det.update(group)
+            return True
+        # Exactly one member is 1.  Members absent from this equation have
+        # coefficient 0; the set member's coefficient must equal const.
+        candidates = [u for u, c in unknowns.items() if c == const]
+        if const == 0:
+            candidates += [
+                u for u in group if u not in unknowns and not self.is_det(u)
+            ]
+        if len(candidates) == 1:
+            self.det.update(group)
+            return True
         return False
 
     def _derive_bound(self, var: int, unknowns: Dict[int, int]) -> bool:
@@ -278,6 +438,8 @@ def check_determinism(
         undetermined=undetermined,
         rounds=rounds,
         wall_time=time.perf_counter() - start,
+        lookup_errors=prop.lookup_errors,
+        lookup_blocks_granted=prop.granted_blocks,
     )
 
 

@@ -34,7 +34,12 @@ from repro.core.compiler import (
     zeno_options,
 )
 from repro.nn.data import synthetic_images
-from repro.nn.models import MODEL_ORDER, build_model, model_table
+from repro.nn.models import (
+    MODEL_ORDER,
+    TRANSFORMER_ORDER,
+    build_model,
+    model_table,
+)
 from repro.snark import groth16
 from repro.snark.serialize import (
     deserialize_proof,
@@ -57,6 +62,7 @@ def _build_artifact(args):
     options = zeno_options(
         PRIVACY_CHOICES[args.privacy],
         sparse=getattr(args, "sparse", False),
+        relu_mode=getattr(args, "relu_mode", None) or "bits",
     )
     if args.gadgets:
         options.gadget_mode = args.gadgets
@@ -89,10 +95,51 @@ def cmd_models(args) -> int:
     return 0
 
 
+def _print_relu_comparison(args) -> None:
+    """Compile both nonlinearity lowerings and report the constraint delta."""
+    model = build_model(
+        args.model, scale=args.scale, seed=args.seed,
+        prune=getattr(args, "prune", None),
+    )
+    image = synthetic_images(model.input_shape, n=1, seed=args.image_seed)[0]
+    counts = {}
+    for mode in ("bits", "lookup"):
+        options = zeno_options(
+            PRIVACY_CHOICES[args.privacy],
+            sparse=getattr(args, "sparse", False),
+            relu_mode=mode,
+        )
+        if args.gadgets:
+            options.gadget_mode = args.gadgets
+        counts[mode] = ZenoCompiler(options).compile_model(
+            model, image
+        ).num_constraints
+    gadgets = args.gadgets or "lean"
+    delta = counts["bits"] - counts["lookup"]
+    ratio = counts["bits"] / counts["lookup"] if counts["lookup"] else 0.0
+    print(
+        f"  relu-mode comparison ({gadgets} gadgets): "
+        f"bits={counts['bits']:,} lookup={counts['lookup']:,} "
+        f"({'saves' if delta >= 0 else 'costs'} {abs(delta):,} constraints, "
+        f"{ratio:.2f}x)"
+    )
+
+
 def cmd_compile(args) -> int:
     _, _, compiler, artifact = _build_artifact(args)
     report = compiler.report(artifact)
     print(report.summary())
+    lookup = artifact.lookup
+    if lookup is not None:
+        print(
+            f"  lookup ({lookup.mode}): {lookup.total_lookups:,} lookups over "
+            f"{len(lookup.tables)} tables, "
+            f"{lookup.total_lookup_constraints:,} constraints "
+            f"(bit-decomposition estimate "
+            f"{lookup.bits_equivalent_constraints:,})"
+        )
+    if getattr(args, "compare_relu", False):
+        _print_relu_comparison(args)
     if artifact.compute.knit_constraints:
         saving = artifact.compute.knit_expressions / artifact.compute.knit_constraints
         print(f"  knit packing: {saving:.1f} equality checks per constraint")
@@ -132,6 +179,7 @@ def cmd_audit(args) -> int:
     options = zeno_options(
         PRIVACY_CHOICES[args.privacy], record_recipe=True,
         sparse=getattr(args, "sparse", False),
+        relu_mode=getattr(args, "relu_mode", None) or "bits",
     )
     # Default to the sound gadget profile: lean mode's slack wires are
     # exactly what the determinism check exists to flag.
@@ -247,6 +295,7 @@ def cmd_prove(args) -> int:
         "image_seed": args.image_seed,
         "privacy": args.privacy,
         "gadgets": args.gadgets or "lean",
+        "relu_mode": getattr(args, "relu_mode", None) or "bits",
         "crs_seed": args.crs_seed,
         "sparse": getattr(args, "sparse", False),
         "prune": getattr(args, "prune", None),
@@ -299,6 +348,7 @@ def _batch_verify_dir(directory: Path) -> int:
             recipe = (
                 claim["model"], claim["scale"], claim["seed"],
                 claim["image_seed"], claim["privacy"], claim["gadgets"],
+                claim.get("relu_mode", "bits"),
                 claim["crs_seed"], claim.get("sparse", False),
                 claim.get("prune"),
             )
@@ -307,6 +357,7 @@ def _batch_verify_dir(directory: Path) -> int:
                     model=claim["model"], scale=claim["scale"],
                     seed=claim["seed"], image_seed=claim["image_seed"],
                     privacy=claim["privacy"], gadgets=claim["gadgets"],
+                    relu_mode=claim.get("relu_mode", "bits"),
                     sparse=claim.get("sparse", False),
                     prune=claim.get("prune"),
                 )
@@ -415,6 +466,7 @@ def cmd_verify(args) -> int:
         image_seed=claim["image_seed"],
         privacy=claim["privacy"],
         gadgets=claim["gadgets"],
+        relu_mode=claim.get("relu_mode", "bits"),
         sparse=claim.get("sparse", False),
         prune=claim.get("prune"),
     )
@@ -747,7 +799,9 @@ def cmd_gateway(args) -> int:
 
 
 def _common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="LCS", choices=MODEL_ORDER)
+    parser.add_argument(
+        "--model", default="LCS", choices=MODEL_ORDER + TRANSFORMER_ORDER
+    )
     parser.add_argument("--scale", default="mini",
                         choices=["full", "mini", "micro"])
     parser.add_argument("--seed", type=int, default=0, help="weight seed")
@@ -756,6 +810,12 @@ def _common(parser: argparse.ArgumentParser) -> None:
         "--privacy", default="one-private", choices=sorted(PRIVACY_CHOICES)
     )
     parser.add_argument("--gadgets", choices=["lean", "strict"], default=None)
+    parser.add_argument(
+        "--relu-mode", choices=["bits", "lookup"], default=None,
+        help="nonlinearity lowering: bit-decomposition gadgets (default) or "
+             "the repro.lookup table argument (required for transformer "
+             "models' LUT layers to amortize; both compile either way)",
+    )
     parser.add_argument(
         "--sparse", action="store_true",
         help="sparsity-aware compilation: skip zero-weight terms and share "
@@ -781,6 +841,11 @@ def main(argv=None) -> int:
     _common(p_compile)
     p_compile.add_argument(
         "--detail", action="store_true", help="per-layer constraint table"
+    )
+    p_compile.add_argument(
+        "--compare-relu", action="store_true",
+        help="compile with both --relu-mode settings and print the "
+             "constraint-count delta (lookup vs bit decomposition)",
     )
     p_compile.set_defaults(func=cmd_compile)
 

@@ -32,18 +32,25 @@ from repro.core.circuit.gates import (
     generate_zeno,
 )
 from repro.core.lang.program import (
+    ActLUTOp,
     AddOp,
     DotLayerOp,
+    EmbedOp,
     EwiseAffineOp,
     FlattenOp,
+    GatherOp,
+    LayerNormOp,
+    MatMulOp,
     MaxPoolOp,
     ReluOp,
+    RowScaleOp,
     ZkProgram,
 )
 from repro.core.lang.types import Privacy
 from repro.core.lang.zktensor import ZkTensor
 from repro.core.privacy.knit import KnitPacker, expression_bits
 from repro.field.counters import global_counter
+from repro.lookup import LookupEngine, LookupReport, LookupTable, get_table
 from repro.nn.graph import INPUT
 from repro.r1cs.lc import LinearCombination
 from repro.r1cs.system import ConstraintSystem
@@ -78,6 +85,11 @@ class ComputeOptions:
     # strictly fewer constraints).
     sparse: bool = False
     sparse_share: bool = True
+    # Nonlinearity lowering: "bits" keeps the per-activation
+    # bit-decomposition gadgets (and one-hot selectors for table
+    # functions); "lookup" routes ReLU/GELU/softmax/rsqrt/embedding
+    # through the shared repro.lookup argument.
+    relu_mode: str = "bits"
 
 
 @dataclass
@@ -152,6 +164,7 @@ class ComputeResult:
     wall_time: float = 0.0
     recipe: Optional[list] = None  # (var, descriptor) witness log
     sparsity: Optional[SparsityReport] = None
+    lookup: Optional[LookupReport] = None
 
     @property
     def num_constraints(self) -> int:
@@ -169,6 +182,7 @@ class CircuitComputer:
         self._weight_var_cache: Dict[str, np.ndarray] = {}
         self._row_plan_cache: Dict[bytes, tuple] = {}
         self._sparsity: Optional[SparsityReport] = None
+        self._engine: Optional[LookupEngine] = None
 
     # -- phase 1: Generate -------------------------------------------------------
 
@@ -188,9 +202,21 @@ class CircuitComputer:
             elif isinstance(op, MaxPoolOp):
                 # One comparison gate per non-first window element.
                 result.num_add_gates += op.num_windows * (op.window_size - 1)
-            elif isinstance(op, (ReluOp, AddOp, EwiseAffineOp)):
+            elif isinstance(op, (ReluOp, AddOp, EwiseAffineOp, ActLUTOp)):
                 size = int(op.out_values.size)
                 result.num_add_gates += size  # one elementwise gate each
+            elif isinstance(op, EmbedOp):
+                result.num_add_gates += int(op.out_values.size)
+            elif isinstance(op, MatMulOp):
+                m, k, n = op.dims
+                result.num_mul_gates += m * k * n
+                result.num_add_gates += m * max(0, k - 1) * n
+            elif isinstance(op, RowScaleOp):
+                result.num_mul_gates += int(op.out_values.size)
+            elif isinstance(op, LayerNormOp):
+                rows, d = op.in_values.shape
+                result.num_mul_gates += 2 * rows * d  # squares + products
+                result.num_add_gates += rows * (3 * d + 2)
         result.wall_time = time.perf_counter() - start
         self.generated = result
         return result
@@ -236,6 +262,7 @@ class CircuitComputer:
             recipe=recipe,
             share=sparse_active and opts.sparse_share,
         )
+        self._engine = LookupEngine(cs, mode=opts.gadget_mode, recipe=recipe)
 
         env: Dict[str, ZkTensor] = {INPUT: self._input_tensor(cs, program)}
         result = ComputeResult(
@@ -261,6 +288,24 @@ class CircuitComputer:
             elif isinstance(op, AddOp):
                 work, units = self._compute_add(cs, emitter, env, op)
                 kind = "add"
+            elif isinstance(op, EmbedOp):
+                work, units = self._compute_embed(cs, emitter, env, op)
+                kind = "embed"
+            elif isinstance(op, MatMulOp):
+                work, units = self._compute_matmul(cs, emitter, env, op)
+                kind = "matmul"
+            elif isinstance(op, RowScaleOp):
+                work, units = self._compute_rowscale(cs, emitter, env, op)
+                kind = "rowscale"
+            elif isinstance(op, ActLUTOp):
+                work, units = self._compute_lut(cs, emitter, env, op)
+                kind = "lut"
+            elif isinstance(op, LayerNormOp):
+                work, units = self._compute_layernorm(cs, emitter, env, op)
+                kind = "ln"
+            elif isinstance(op, GatherOp):
+                self._compute_gather(env, op)
+                continue
             elif isinstance(op, FlattenOp):
                 src = env[op.inputs[0]]
                 env[op.output] = src.reshaped((src.values.size,))
@@ -280,6 +325,27 @@ class CircuitComputer:
                     constraints=cs.num_constraints - constraints_before,
                 )
             )
+
+        if self._engine.active:
+            # The shared per-table columns (multiplicities, sponge, sum
+            # checks) land after every layer, each in its own
+            # ``lookup:<table>`` pseudo-layer.
+            finalize_start = time.perf_counter()
+            blocks = self._engine.finalize(mark=cs.mark_layer)
+            finalize_time = time.perf_counter() - finalize_start
+            for block in blocks:
+                span = cs.layer_ranges[f"lookup:{block.table_name}"]
+                result.layer_work.append(
+                    LayerWork(
+                        name=f"lookup:{block.table_name}",
+                        kind="lookup",
+                        num_units=block.num_lookups,
+                        work_units=len(block.packed_entries),
+                        wall_time=finalize_time / len(blocks),
+                        constraints=len(span),
+                    )
+                )
+            result.lookup = self._engine.report()
 
         if knit is not None:
             knit.flush()
@@ -656,10 +722,29 @@ class CircuitComputer:
             raise ValueError(f"relu input {op.inputs[0]!r} must be private")
         x_vars = x.flat_vars()
         in_values = op.in_values
-        out_vars = [
-            emitter.relu(int(v), int(val), bits=op.bits, tag=op.name, index=i)
-            for i, (v, val) in enumerate(zip(x_vars.tolist(), in_values.tolist()))
-        ]
+        # Lookup mode: membership in the relu8 table replaces the sign
+        # proof + select gadget.  A final-layer ReLU keeps the bits path
+        # (its outputs must be committed as public instance variables).
+        if (
+            self.options.relu_mode == "lookup"
+            and op.name != self.program.output_name
+        ):
+            table = get_table("relu")
+            out_vars = [
+                self._engine.lookup(
+                    table, int(v), int(val), tag=op.name, index=i,
+                )
+                for i, (v, val) in enumerate(
+                    zip(x_vars.tolist(), in_values.tolist())
+                )
+            ]
+        else:
+            out_vars = [
+                emitter.relu(int(v), int(val), bits=op.bits, tag=op.name, index=i)
+                for i, (v, val) in enumerate(
+                    zip(x_vars.tolist(), in_values.tolist())
+                )
+            ]
         env[op.output] = ZkTensor(
             op.out_values,
             Privacy.PRIVATE,
@@ -781,6 +866,353 @@ class CircuitComputer:
             name=op.name,
         )
         return work, len(out_vars)
+
+    # -- transformer layers ------------------------------------------------------------
+
+    def _tensor_out(self, env, op, out_vars) -> None:
+        env[op.output] = ZkTensor(
+            op.out_values,
+            Privacy.PRIVATE,
+            stage="constraint",
+            var_indices=np.asarray(out_vars, dtype=np.int64).reshape(
+                op.out_values.shape
+            ),
+            name=op.name,
+        )
+
+    def _lut_onehot(
+        self, cs, table, x_var: int, x_val: int, out_val: int,
+        tag: str, index: int,
+    ) -> int:
+        """Bit-decomposition-era table lowering: a one-hot selector.
+
+        One indicator per table row (boolean in strict mode), a
+        sum-to-one check, a recomposition binding the indicators to the
+        input, and a linear output selection — the per-activation cost
+        the shared lookup argument amortizes away.
+        """
+        j = int(x_val) - table.domain_lo
+        table.lookup(x_val)  # raises out-of-domain (reject, don't wrap)
+        strict = self.options.gadget_mode == "strict"
+        recipe = self._recipe
+        one = cs.lc_constant(1)
+        sum_lc = cs.lc()
+        reco_lc = cs.lc()
+        out_lc = cs.lc()
+        for v in range(table.size):
+            b = cs.new_private(1 if v == j else 0)
+            if recipe is not None:
+                recipe.append((b, ("sel_bit", tag, index, v)))
+            if strict:
+                b_lc = cs.lc_variable(b)
+                cs.enforce(b_lc, b_lc - one, cs.lc(), tag=f"{tag}/sel_bool")
+            sum_lc.add_term(b, 1)
+            reco_lc.add_term(b, table.domain_lo + v)
+            y = int(table.entries[v])
+            if y:
+                out_lc.add_term(b, y)
+        cs.enforce_equal(sum_lc, one, tag=f"{tag}/sel_one")
+        cs.enforce_equal(reco_lc, cs.lc_variable(x_var), tag=f"{tag}/sel_in")
+        out_var = cs.new_private(out_val)
+        if recipe is not None:
+            recipe.append((out_var, ("sel_out", tag, index)))
+        cs.enforce_equal(out_lc, cs.lc_variable(out_var), tag=f"{tag}/sel_out")
+        return out_var
+
+    def _compute_lut(self, cs, emitter, env, op: ActLUTOp):
+        x = env[op.inputs[0]]
+        if not x.is_private:
+            raise ValueError(f"lut input {op.inputs[0]!r} must be private")
+        table = get_table(op.table_name)
+        x_vars = x.flat_vars().tolist()
+        in_vals = op.in_values.tolist()
+        out_vals = op.out_values.reshape(-1).tolist()
+        if self.options.relu_mode == "lookup":
+            # LUT inputs are committed outputs, already range-proven in
+            # strict mode — the pair packing is injective without a
+            # per-lookup range proof.
+            out_vars = [
+                self._engine.lookup(
+                    table, int(v), int(val), tag=op.name, index=i,
+                )
+                for i, (v, val) in enumerate(zip(x_vars, in_vals))
+            ]
+        else:
+            out_vars = [
+                self._lut_onehot(
+                    cs, table, int(v), int(val), int(out), op.name, i
+                )
+                for i, (v, val, out) in enumerate(
+                    zip(x_vars, in_vals, out_vals)
+                )
+            ]
+        self._tensor_out(env, op, out_vars)
+        return len(out_vars), len(out_vars)
+
+    def _compute_embed(self, cs, emitter, env, op: EmbedOp):
+        ids_tensor = env[op.inputs[0]]
+        if not ids_tensor.is_private:
+            raise ValueError(f"embedding ids {op.inputs[0]!r} must be private")
+        if self.program.weights_privacy.is_private:
+            raise NotImplementedError(
+                "private embedding tables are not supported — the table is "
+                "folded into public lookup rows / selector coefficients"
+            )
+        id_vars = ids_tensor.flat_vars().tolist()
+        ids = op.ids.tolist()
+        vocab, d = op.table.shape
+        out_vars = np.empty((len(ids), d), dtype=np.int64)
+        if self.options.relu_mode == "lookup":
+            # One table per output dimension; the id is a raw input wire,
+            # so the engine range-proves it once (shared across all d
+            # tables) to keep the packing injective.
+            for j in range(d):
+                tbl = LookupTable(
+                    name=f"{op.name}.d{j}",
+                    domain_lo=0,
+                    entries=tuple(int(v) for v in op.table[:, j]),
+                    y_bias=128,
+                )
+                for t, (id_var, id_val) in enumerate(zip(id_vars, ids)):
+                    out_vars[t, j] = self._engine.lookup(
+                        tbl,
+                        int(id_var),
+                        int(id_val),
+                        tag=op.name,
+                        index=t * d + j,
+                        input_ranged=False,
+                        bits_cost=(vocab + 2) // d + 1,
+                    )
+            work = len(ids) * d
+        else:
+            # One-hot token selector shared across all d dimensions: the
+            # output columns are linear in the indicators.
+            recipe = self._recipe
+            strict = self.options.gadget_mode == "strict"
+            one = cs.lc_constant(1)
+            work = 0
+            for t, (id_var, id_val) in enumerate(zip(id_vars, ids)):
+                sum_lc = cs.lc()
+                reco_lc = cs.lc()
+                sel = []
+                for v in range(vocab):
+                    b = cs.new_private(1 if v == id_val else 0)
+                    if recipe is not None:
+                        recipe.append((b, ("sel_bit", op.name, t, v)))
+                    if strict:
+                        b_lc = cs.lc_variable(b)
+                        cs.enforce(
+                            b_lc, b_lc - one, cs.lc(), tag=f"{op.name}/sel_bool"
+                        )
+                    sum_lc.add_term(b, 1)
+                    if v:
+                        reco_lc.add_term(b, v)
+                    sel.append(b)
+                cs.enforce_equal(sum_lc, one, tag=f"{op.name}/sel_one")
+                cs.enforce_equal(
+                    reco_lc, cs.lc_variable(int(id_var)), tag=f"{op.name}/sel_in"
+                )
+                for j in range(d):
+                    out_lc = cs.lc()
+                    for v in range(vocab):
+                        w = int(op.table[v, j])
+                        if w:
+                            out_lc.add_term(sel[v], w)
+                    out_var = cs.new_private(int(op.table[id_val, j]))
+                    if recipe is not None:
+                        recipe.append((out_var, ("sel_out", op.name, t * d + j)))
+                    cs.enforce_equal(
+                        out_lc, cs.lc_variable(out_var), tag=f"{op.name}/sel_out"
+                    )
+                    out_vars[t, j] = out_var
+                work += vocab + d
+        self._tensor_out(env, op, out_vars.reshape(-1).tolist())
+        return work, int(op.out_values.size)
+
+    def _compute_matmul(self, cs, emitter, env, op: MatMulOp):
+        a = env[op.inputs[0]]
+        b = env[op.inputs[1]]
+        if not (a.is_private and b.is_private):
+            raise ValueError(f"matmul operands of {op.name!r} must be private")
+        m, k, n = op.dims
+        a_vars = a.flat_vars().reshape(op.a_shape)
+        b_vars = b.flat_vars().reshape(op.b_shape)
+        is_final = op.name == self.program.output_name
+        # Operands are requantized activations (|.| < 2^9), so each
+        # product fits 18 bits and the k-term sum 18 + log2(k).
+        slot_bits = 18 + max(1, k - 1).bit_length()
+        recipe = self._recipe
+        out_vars = []
+        work = 0
+        for i in range(m):
+            for jj in range(n):
+                d = i * n + jj
+                lc = cs.lc()
+                for kk in range(k):
+                    av = int(a_vars[i, kk])
+                    bv = int(
+                        b_vars[jj, kk] if op.transpose_b else b_vars[kk, jj]
+                    )
+                    wire = cs.mul_private(av, bv, tag=f"{op.name}/mul")
+                    if recipe is not None:
+                        recipe.append((wire, ("mul_wire", op.name, d, kk)))
+                    lc.add_term(wire, 1)
+                    work += 1
+                out_vars.append(
+                    emitter.commit_output(
+                        lc,
+                        int(op.acc_values[d]),
+                        op.requant,
+                        slot_bits,
+                        public=is_final,
+                        tag=op.name,
+                        index=d,
+                    )
+                )
+        self._tensor_out(env, op, out_vars)
+        return work, m * n
+
+    def _compute_rowscale(self, cs, emitter, env, op: RowScaleOp):
+        e = env[op.inputs[0]]
+        r = env[op.inputs[1]]
+        if not (e.is_private and r.is_private):
+            raise ValueError(f"rowscale operands of {op.name!r} must be private")
+        e_vars = e.flat_vars()
+        r_vars = r.flat_vars()
+        is_final = op.name == self.program.output_name
+        recipe = self._recipe
+        n = op.width
+        out_vars = []
+        for idx in range(op.acc_values.size):
+            row = idx // n
+            wire = cs.mul_private(
+                int(e_vars[idx]), int(r_vars[row]), tag=f"{op.name}/mul"
+            )
+            if recipe is not None:
+                recipe.append((wire, ("mul_wire", op.name, idx, 0)))
+            # e is uint8, r a 15-bit fixed-point reciprocal: 23-bit product.
+            out_vars.append(
+                emitter.commit_output(
+                    cs.lc_variable(wire),
+                    int(op.acc_values[idx]),
+                    op.requant,
+                    23,
+                    public=is_final,
+                    tag=op.name,
+                    index=idx,
+                )
+            )
+        self._tensor_out(env, op, out_vars)
+        return len(out_vars), len(out_vars)
+
+    def _compute_layernorm(self, cs, emitter, env, op: LayerNormOp):
+        x = env[op.inputs[0]]
+        if not x.is_private:
+            raise ValueError(f"layernorm input {op.inputs[0]!r} must be private")
+        rows, d = op.in_values.shape
+        x_vars = x.flat_vars().reshape(rows, d)
+        x_vals = op.in_values.astype(np.int64)
+        rsqrt = get_table("rsqrt")
+        is_final = op.name == self.program.output_name
+        recipe = self._recipe
+        p = cs.field.modulus
+        mean_slot = 8 + max(1, d - 1).bit_length() + 1
+        var_slot = 20 + max(1, d - 1).bit_length()
+        out_vars = np.empty((rows, d), dtype=np.int64)
+        work = 0
+        for i in range(rows):
+            row_vals = x_vals[i].tolist()
+            row_vars = x_vars[i].tolist()
+            mean_lc = cs.lc()
+            for v in row_vars:
+                mean_lc.add_term(int(v), 1)
+            row_sum = int(sum(row_vals))
+            mean_var = emitter.commit_output(
+                mean_lc,
+                row_sum,
+                op.mean_shift,
+                mean_slot,
+                public=False,
+                tag=f"{op.name}#mean",
+                index=i,
+            )
+            mean = row_sum >> op.mean_shift
+            # Centered values are LCs (x_j - mean), never materialized as
+            # wires; squares and normalized products are.
+            c_lcs = []
+            c_vals = []
+            sq_vars = []
+            var_lc = cs.lc()
+            var_sum = 0
+            for j in range(d):
+                c_lc = cs.lc_variable(int(row_vars[j]))
+                c_lc.add_term(mean_var, p - 1)
+                c = int(row_vals[j]) - mean
+                sq = cs.new_private(c * c)
+                if recipe is not None:
+                    recipe.append((sq, ("ln_sq", op.name, i * d + j)))
+                cs.enforce(
+                    c_lc, c_lc.copy(), cs.lc_variable(sq), tag=f"{op.name}/sq"
+                )
+                c_lcs.append(c_lc)
+                c_vals.append(c)
+                sq_vars.append(sq)
+                var_lc.add_term(sq, 1)
+                var_sum += c * c
+                work += 2
+            var_var = emitter.commit_output(
+                var_lc,
+                var_sum,
+                op.var_shift,
+                var_slot,
+                public=False,
+                tag=f"{op.name}#var",
+                index=i,
+            )
+            var_q = var_sum >> op.var_shift
+            if self.options.relu_mode == "lookup":
+                y_var = self._engine.lookup(
+                    rsqrt, var_var, var_q, tag=op.name, index=i,
+                )
+            else:
+                y_var = self._lut_onehot(
+                    cs, rsqrt, var_var, var_q, rsqrt.lookup(var_q),
+                    f"{op.name}#y", i,
+                )
+            y = rsqrt.lookup(var_q)
+            for j in range(d):
+                prod_val = c_vals[j] * y
+                prod = cs.new_private(prod_val)
+                if recipe is not None:
+                    recipe.append((prod, ("ln_prod", op.name, i * d + j)))
+                cs.enforce(
+                    c_lcs[j],
+                    cs.lc_variable(y_var),
+                    cs.lc_variable(prod),
+                    tag=f"{op.name}/prod",
+                )
+                out_vars[i, j] = emitter.commit_output(
+                    cs.lc_variable(prod),
+                    prod_val,
+                    op.out_shift,
+                    21,
+                    public=is_final,
+                    tag=f"{op.name}#out",
+                    index=i * d + j,
+                )
+        self._tensor_out(env, op, out_vars.reshape(-1).tolist())
+        return work, rows * d
+
+    def _compute_gather(self, env, op: GatherOp) -> None:
+        srcs = [env[name] for name in op.inputs]
+        if not any(t.is_private for t in srcs):
+            env[op.output] = ZkTensor.public(op.out_values, name=op.name)
+            return
+        flats = [t.flat_vars() for t in srcs]
+        out_vars = np.array(
+            [int(flats[src][pos]) for src, pos in op.sources], dtype=np.int64
+        )
+        self._tensor_out(env, op, out_vars.tolist())
 
     def _compute_add(self, cs, emitter, env, op: AddOp):
         a = env[op.inputs[0]]

@@ -79,6 +79,10 @@ class CompilerOptions:
     scheduler_workers: int = 16  # §5.2 parallel scheduler (1 = sequential)
     gadget_mode: str = "lean"  # "lean" (paper accounting) | "strict" (sound)
     relu_bits: int = 16
+    # Nonlinearity lowering: "bits" (sign/bit gadgets + one-hot selectors)
+    # or "lookup" (repro.lookup LogUp argument, ARCHITECTURE §13).
+    # Transformer LUT/LayerNorm/embedding layers honor the same knob.
+    relu_mode: str = "bits"
     record_recipe: bool = False
     # Sparsity-aware compilation (public weights only): elide zero-weight
     # terms via shared per-row plans and — with sparse_share — deduplicate
@@ -102,6 +106,7 @@ class CompilerOptions:
             cache=CacheService(self.cache_capacity) if self.cache else None,
             gadget_mode=self.gadget_mode,
             relu_bits=self.relu_bits,
+            relu_mode=self.relu_mode,
             # The auditor seeds its determinism check from the witness
             # recipe (free inputs), so auditing implies recording one.
             record_recipe=self.record_recipe or self.audit != "off",
@@ -182,6 +187,11 @@ class CompileArtifact:
     def sparsity(self):
         """The compilation's :class:`SparsityReport`, or None when dense."""
         return self.compute.sparsity
+
+    @property
+    def lookup(self):
+        """The compilation's :class:`~repro.lookup.LookupReport`, or None."""
+        return self.compute.lookup
 
     @property
     def circuit_time(self) -> float:

@@ -34,6 +34,16 @@ from repro.nn.layers import (
     MaxPool2d,
     ReLU,
 )
+from repro.nn.transformer import (
+    ActivationLUT,
+    Embedding,
+    GatherLayer,
+    LayerNorm,
+    MatMul,
+    PositionalEmbedding,
+    RowScale,
+    RowSum,
+)
 
 
 @dataclass
@@ -133,6 +143,81 @@ class FlattenOp(TensorOp):
 
 
 @dataclass
+class GatherOp(TensorOp):
+    """Wire permutation/selection (head split/merge, ViT patchify).
+
+    ``sources[o] = (input_ordinal, flat_position)`` names the input wire
+    that becomes flat output position ``o``; generates no constraints.
+    """
+
+    sources: np.ndarray = None  # (out_size, 2)
+
+
+@dataclass
+class EmbedOp(TensorOp):
+    """Token-id row lookup into a public ``(vocab, dim)`` table.
+
+    Lookup mode lowers each output element through a per-dimension
+    :class:`~repro.lookup.table.LookupTable` (the id is range-proven at
+    the lookup input); bits mode uses a per-token one-hot selector shared
+    across dimensions.
+    """
+
+    table: np.ndarray = None  # (vocab, dim) int64
+    ids: np.ndarray = None  # (seq,) traced token ids
+
+
+@dataclass
+class MatMulOp(TensorOp):
+    """Private x private matrix product: one mul constraint per term."""
+
+    a_shape: Tuple[int, int] = None
+    b_shape: Tuple[int, int] = None
+    transpose_b: bool = False
+    acc_values: np.ndarray = None  # flat (m * n_out)
+    requant: int = 0
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        """(m, k, n_out) of the product."""
+        m, k = self.a_shape
+        n = self.b_shape[0] if self.transpose_b else self.b_shape[1]
+        return m, k, n
+
+
+@dataclass
+class RowScaleOp(TensorOp):
+    """``out_ij = (e_ij * r_i) >> requant`` — softmax normalization."""
+
+    width: int = 0  # row width of the e operand
+    acc_values: np.ndarray = None  # flat
+    requant: int = 0
+
+
+@dataclass
+class ActLUTOp(TensorOp):
+    """Elementwise nonlinearity through a builtin lookup table."""
+
+    table_name: str = ""  # repro.lookup registry name
+    in_values: np.ndarray = None  # flat
+
+
+@dataclass
+class LayerNormOp(TensorOp):
+    """Composite LayerNorm: mean / variance commits + rsqrt lookup.
+
+    All intermediates are recomputed from ``in_values`` by both the
+    circuit lowering and the batch witness replay, so the op only needs
+    the traced input and the three static shifts.
+    """
+
+    in_values: np.ndarray = None  # (rows, d)
+    mean_shift: int = 0
+    var_shift: int = 0
+    out_shift: int = 0
+
+
+@dataclass
 class ZkProgram:
     """The full recorded program plus its privacy configuration."""
 
@@ -201,21 +286,51 @@ def _dot_op_from_linear(
     name: str, layer: Linear, trace: LayerTrace, inputs, weights_private: bool
 ) -> DotLayerOp:
     c_out, c_in = layer.weight.shape
-    cols = (np.arange(c_in, dtype=np.int64) + 1).reshape(c_in, 1)
+    # 2-D input (seq, c_in): the same weight rows sweep every input row —
+    # dot d computes output row d // c_out (input column d // c_out of the
+    # index matrix), weight row d % c_out, matching the row-major (seq,
+    # c_out) flattening of trace.acc.
+    seq = trace.input_values[0].shape[0] if trace.input_values[0].ndim == 2 else 1
+    cols = (
+        np.arange(seq * c_in, dtype=np.int64) + 1
+    ).reshape(seq, c_in).T  # (c_in, seq)
     return DotLayerOp(
         name=name,
         inputs=inputs,
         output=name,
         out_values=trace.out,
         weight_rows=layer.weight,
-        row_of_dot=np.arange(c_out),
-        col_of_dot=np.zeros(c_out, dtype=np.int64),
+        row_of_dot=np.tile(np.arange(c_out), seq),
+        col_of_dot=np.repeat(np.arange(seq), c_out),
         input_cols=cols,
         bias=layer.bias,
         acc_values=trace.acc.reshape(-1),
         requant=layer.requant,
         weights_private=weights_private,
         layer_kind="fc",
+    )
+
+
+def _dot_op_from_rowsum(
+    name: str, layer: "RowSum", trace: LayerTrace, inputs
+) -> DotLayerOp:
+    """Row sum = dot with a public ones-vector, one dot per row."""
+    m, n = trace.input_values[0].shape
+    cols = (np.arange(m * n, dtype=np.int64) + 1).reshape(m, n).T  # (n, m)
+    return DotLayerOp(
+        name=name,
+        inputs=inputs,
+        output=name,
+        out_values=trace.out,
+        weight_rows=np.ones((1, n), dtype=np.int64),
+        row_of_dot=np.zeros(m, dtype=np.int64),
+        col_of_dot=np.arange(m),
+        input_cols=cols,
+        bias=np.zeros(1, dtype=np.int64),
+        acc_values=trace.acc.reshape(-1),
+        requant=layer.requant,
+        weights_private=False,  # structural ones-vector, always public
+        layer_kind="pool",
     )
 
 
@@ -355,6 +470,82 @@ def program_from_model(
                 inputs=inputs,
                 output=trace.name,
                 out_values=trace.out,
+            )
+        elif isinstance(layer, RowSum):
+            op = _dot_op_from_rowsum(trace.name, layer, trace, inputs)
+        elif isinstance(layer, PositionalEmbedding):
+            flat = trace.input_values[0]
+            op = EwiseAffineOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                gamma=np.ones(flat.size, dtype=np.int64),
+                beta=layer.pos.reshape(-1),
+                acc_values=trace.acc.reshape(-1),
+                requant=0,
+                weights_private=wp,
+            )
+        elif isinstance(layer, Embedding):
+            op = EmbedOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                table=layer.table,
+                ids=trace.input_values[0].reshape(-1),
+            )
+        elif isinstance(layer, MatMul):
+            op = MatMulOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                a_shape=tuple(trace.input_values[0].shape),
+                b_shape=tuple(trace.input_values[1].shape),
+                transpose_b=layer.transpose_b,
+                acc_values=trace.acc.reshape(-1),
+                requant=layer.requant,
+            )
+        elif isinstance(layer, RowScale):
+            op = RowScaleOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                width=int(trace.input_values[0].shape[1]),
+                acc_values=trace.acc.reshape(-1),
+                requant=layer.requant,
+            )
+        elif isinstance(layer, ActivationLUT):
+            op = ActLUTOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                table_name=layer.table_name,
+                in_values=trace.input_values[0].reshape(-1),
+            )
+        elif isinstance(layer, LayerNorm):
+            op = LayerNormOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                in_values=trace.input_values[0],
+                mean_shift=layer.mean_shift,
+                var_shift=layer.var_shift,
+                out_shift=layer.out_shift,
+            )
+        elif isinstance(layer, GatherLayer):
+            op = GatherOp(
+                name=trace.name,
+                inputs=inputs,
+                output=trace.name,
+                out_values=trace.out,
+                sources=layer.gather_sources(
+                    [v.shape for v in trace.input_values]
+                ),
             )
         else:
             raise TypeError(f"no program lowering for layer {type(layer).__name__}")

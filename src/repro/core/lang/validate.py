@@ -16,12 +16,18 @@ from typing import List
 import numpy as np
 
 from repro.core.lang.program import (
+    ActLUTOp,
     AddOp,
     DotLayerOp,
+    EmbedOp,
     EwiseAffineOp,
     FlattenOp,
+    GatherOp,
+    LayerNormOp,
+    MatMulOp,
     MaxPoolOp,
     ReluOp,
+    RowScaleOp,
     ZkProgram,
 )
 from repro.nn.graph import INPUT
@@ -71,6 +77,18 @@ def validate_program(program: ZkProgram, deep: bool = True) -> List[str]:
             _validate_relu(op, values)
         elif isinstance(op, (EwiseAffineOp, AddOp, FlattenOp)):
             _validate_sizes(op, values)
+        elif isinstance(op, GatherOp):
+            _validate_gather(op, values)
+        elif isinstance(op, EmbedOp):
+            _validate_embed(op, values)
+        elif isinstance(op, MatMulOp):
+            _validate_matmul(op, values, deep)
+        elif isinstance(op, RowScaleOp):
+            _validate_rowscale(op, values, deep)
+        elif isinstance(op, ActLUTOp):
+            _validate_lut(op, values, deep)
+        elif isinstance(op, LayerNormOp):
+            _validate_layernorm(op, values)
     return notes
 
 
@@ -155,6 +173,90 @@ def _validate_dot(op: DotLayerOp, values, deep: bool, notes: List[str]) -> None:
                 f"{op.name}: dot {d} accumulator mismatch "
                 f"(recomputed {acc}, recorded {int(op.acc_values[d])})"
             )
+
+
+def _validate_gather(op: GatherOp, values) -> None:
+    if op.sources.shape != (op.out_values.size, 2):
+        raise ProgramValidationError(f"{op.name}: sources shape mismatch")
+    sizes = [values[src].size for src in op.inputs]
+    for o in range(op.sources.shape[0]):
+        src, pos = int(op.sources[o, 0]), int(op.sources[o, 1])
+        if not 0 <= src < len(sizes) or not 0 <= pos < sizes[src]:
+            raise ProgramValidationError(
+                f"{op.name}: gather source {o} out of range"
+            )
+
+
+def _validate_embed(op: EmbedOp, values) -> None:
+    src = values[op.inputs[0]]
+    if op.ids.size != src.size:
+        raise ProgramValidationError(f"{op.name}: ids size mismatch")
+    vocab, d = op.table.shape
+    if op.ids.size and (int(op.ids.min()) < 0 or int(op.ids.max()) >= vocab):
+        raise ProgramValidationError(f"{op.name}: token id outside vocabulary")
+    expected = op.table[op.ids.reshape(-1)]
+    if not np.array_equal(expected, op.out_values.reshape(-1, d)):
+        raise ProgramValidationError(f"{op.name}: out != table[ids]")
+
+
+def _validate_matmul(op: MatMulOp, values, deep: bool) -> None:
+    a = values[op.inputs[0]]
+    b = values[op.inputs[1]]
+    m, k, n = op.dims
+    if a.size != m * k or b.size != op.b_shape[0] * op.b_shape[1]:
+        raise ProgramValidationError(f"{op.name}: operand size mismatch")
+    if op.acc_values.size != m * n:
+        raise ProgramValidationError(f"{op.name}: acc size != m*n")
+    if not deep:
+        return
+    bm = b.reshape(op.b_shape)
+    acc = a.reshape(m, k).astype(np.int64) @ (
+        bm.T if op.transpose_b else bm
+    ).astype(np.int64)
+    if not np.array_equal(acc.reshape(-1), op.acc_values):
+        raise ProgramValidationError(f"{op.name}: accumulator mismatch")
+
+
+def _validate_rowscale(op: RowScaleOp, values, deep: bool) -> None:
+    e = values[op.inputs[0]]
+    r = values[op.inputs[1]]
+    if e.size != op.acc_values.size or r.size * op.width != e.size:
+        raise ProgramValidationError(f"{op.name}: operand size mismatch")
+    if not deep:
+        return
+    acc = e.reshape(-1, op.width).astype(np.int64) * r.reshape(-1, 1)
+    if not np.array_equal(acc.reshape(-1), op.acc_values):
+        raise ProgramValidationError(f"{op.name}: accumulator mismatch")
+
+
+def _validate_lut(op: ActLUTOp, values, deep: bool) -> None:
+    src = values[op.inputs[0]]
+    if op.in_values.size != src.size:
+        raise ProgramValidationError(f"{op.name}: in_values size mismatch")
+    if not deep:
+        return
+    from repro.lookup import get_table
+
+    table = get_table(op.table_name)
+    out = op.out_values.reshape(-1)
+    for i, x in enumerate(op.in_values.reshape(-1).tolist()):
+        if table.lookup(int(x)) != int(out[i]):
+            raise ProgramValidationError(
+                f"{op.name}: element {i} out != {op.table_name}(in)"
+            )
+
+
+def _validate_layernorm(op: LayerNormOp, values) -> None:
+    src = values[op.inputs[0]]
+    if op.in_values.size != src.size:
+        raise ProgramValidationError(f"{op.name}: in_values size mismatch")
+    rows, d = op.in_values.shape
+    if d != 1 << op.mean_shift:
+        raise ProgramValidationError(
+            f"{op.name}: mean_shift {op.mean_shift} != log2({d})"
+        )
+    if op.out_values.shape != (rows, d):
+        raise ProgramValidationError(f"{op.name}: out shape mismatch")
 
 
 def _validate_maxpool(op: MaxPoolOp, values, deep: bool) -> None:

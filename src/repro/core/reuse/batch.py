@@ -28,7 +28,16 @@ from repro.core.circuit.compute import (
     ComputeResult,
 )
 from repro.core.circuit.gadgets import RANGE_OFFSET
-from repro.core.lang.program import DotLayerOp, ZkProgram, program_from_model
+from repro.core.lang.program import (
+    ActLUTOp,
+    DotLayerOp,
+    EmbedOp,
+    LayerNormOp,
+    MatMulOp,
+    RowScaleOp,
+    ZkProgram,
+    program_from_model,
+)
 from repro.core.lang.types import Privacy
 from repro.nn.graph import INPUT, Model
 
@@ -187,6 +196,12 @@ class BatchProver:
         acc: Dict[str, np.ndarray] = {}
         relu_in: Dict[str, np.ndarray] = {}
         ops = {}
+        # Transformer-op derived witnesses: one-hot selector inputs and
+        # outputs (tag -> values), and LayerNorm's centered/normalized
+        # intermediates — tags match the circuit lowering in compute.py.
+        sel_in: Dict[str, tuple] = {}
+        sel_out: Dict[str, np.ndarray] = {}
+        ln: Dict[str, tuple] = {}
         for op in program.ops:
             values[op.output] = op.out_values.reshape(-1)
             ops[op.name] = op
@@ -194,6 +209,30 @@ class BatchProver:
                 acc[op.name] = op.acc_values
             if hasattr(op, "in_values") and op.in_values is not None:
                 relu_in[op.name] = op.in_values
+            if isinstance(op, ActLUTOp):
+                from repro.lookup import get_table
+
+                table = get_table(op.table_name)
+                sel_in[op.name] = (op.in_values.reshape(-1), table.domain_lo)
+                sel_out[op.name] = op.out_values.reshape(-1)
+            elif isinstance(op, EmbedOp):
+                sel_in[op.name] = (op.ids.reshape(-1), 0)
+                sel_out[op.name] = op.out_values.reshape(-1)
+            elif isinstance(op, LayerNormOp):
+                from repro.lookup import get_table
+
+                x = op.in_values.astype(np.int64)
+                mean_acc = x.sum(axis=1)
+                c = x - (mean_acc >> op.mean_shift)[:, None]
+                var_acc = (c * c).sum(axis=1)
+                var_q = var_acc >> op.var_shift
+                y = get_table("rsqrt").apply(var_q)
+                acc[f"{op.name}#mean"] = mean_acc
+                acc[f"{op.name}#var"] = var_acc
+                acc[f"{op.name}#out"] = (c * y[:, None]).reshape(-1)
+                ln[op.name] = (c, y)
+                sel_in[f"{op.name}#y"] = (var_q, 0)
+                sel_out[f"{op.name}#y"] = y
 
         cs = self.cs
         for var, desc in self.result.recipe:
@@ -241,7 +280,47 @@ class BatchProver:
                 op = ops[name]
                 x = int(values[op.inputs[0]][idx])
                 cs.assign(var, int(op.gamma[idx]) * x)
+            elif kind == "lut":
+                # Lookup-argument wires (outputs, inverse columns,
+                # multiplicities, sponge, range bits) are recomputed en
+                # masse from the re-assigned input wires below.
+                continue
+            elif kind == "mul_wire":
+                _, name, d, kk = desc
+                op = ops[name]
+                if isinstance(op, MatMulOp):
+                    m, k, n = op.dims
+                    a2 = values[op.inputs[0]].reshape(op.a_shape)
+                    b2 = values[op.inputs[1]].reshape(op.b_shape)
+                    i, jj = d // n, d % n
+                    w = int(b2[jj, kk] if op.transpose_b else b2[kk, jj])
+                    cs.assign(var, int(a2[i, kk]) * w)
+                else:  # RowScaleOp: elementwise row reciprocal scaling
+                    e = int(values[op.inputs[0]][d])
+                    r = int(values[op.inputs[1]][d // op.width])
+                    cs.assign(var, e * r)
+            elif kind == "ln_sq":
+                _, name, flat = desc
+                c, _y = ln[name]
+                cv = int(c[flat // c.shape[1], flat % c.shape[1]])
+                cs.assign(var, cv * cv)
+            elif kind == "ln_prod":
+                _, name, flat = desc
+                c, y = ln[name]
+                cv = int(c[flat // c.shape[1], flat % c.shape[1]])
+                cs.assign(var, cv * int(y[flat // c.shape[1]]))
+            elif kind == "sel_bit":
+                _, tag, idx, v = desc
+                vals, lo = sel_in[tag]
+                cs.assign(var, 1 if int(vals[idx]) == lo + v else 0)
+            elif kind == "sel_out":
+                _, tag, idx = desc
+                cs.assign(var, int(sel_out[tag][idx]))
             else:
                 raise ValueError(f"unknown recipe descriptor {desc!r}")
+        if cs.lookup_blocks:
+            from repro.lookup.argument import reassign_lookup_columns
+
+            reassign_lookup_columns(cs)
         self.stats.assign_times.append(time.perf_counter() - start)
         return program

@@ -1,0 +1,53 @@
+"""`repro.lookup` — lookup-argument gadgets for 8-bit nonlinearities.
+
+ZENO's type-based gadgets stop at CNN nonlinearities: every activation
+pays per-element bit-decomposition constraints, which makes softmax,
+GELU, and LayerNorm — and therefore transformers — unaffordable.  This
+package adds the primitive the zkML field converged on instead: a
+*lookup argument* proving that each ``(input, output)`` pair of a
+nonlinearity is a row of a precomputed table.
+
+* :mod:`repro.lookup.table`    — :class:`LookupTable` (a quantized
+  function's full value table with its :class:`~repro.nn.quantize.\
+  QuantParams` metadata) plus the builtin registry: ``relu``, ``gelu``,
+  ``exp`` (softmax numerator), ``recip``, ``rsqrt``;
+* :mod:`repro.lookup.argument` — the :class:`LookupEngine` lowering a
+  LogUp-style (logarithmic-derivative) multiplicity argument to R1CS
+  through the existing :class:`~repro.core.circuit.gadgets.\
+  GadgetEmitter` conventions, with per-table columns shared by every
+  activation in the circuit, witness generation for the lookup columns
+  (inverses, multiplicities, Fiat–Shamir sponge states), and the
+  :class:`LookupBlock` metadata the `repro.analysis` auditors and the
+  §6.1 batch-sharing witness replay consume.
+
+See docs/ARCHITECTURE.md §13 for the design and the soundness
+discussion (strict mode binds the challenge to the witness via an
+in-circuit MiMC sponge; lean mode uses a fixed challenge and is — like
+every lean gadget — paper-accounting only, not sound).
+"""
+
+from repro.lookup.argument import (
+    LookupBlock,
+    LookupEngine,
+    LookupError,
+    LookupReport,
+    reassign_lookup_columns,
+    verify_lookup_block,
+)
+from repro.lookup.table import (
+    BUILTIN_TABLES,
+    LookupTable,
+    get_table,
+)
+
+__all__ = [
+    "BUILTIN_TABLES",
+    "LookupBlock",
+    "LookupEngine",
+    "LookupError",
+    "LookupReport",
+    "LookupTable",
+    "get_table",
+    "reassign_lookup_columns",
+    "verify_lookup_block",
+]

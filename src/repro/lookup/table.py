@@ -1,0 +1,257 @@
+"""Precomputed value tables for quantized 8-bit nonlinearities.
+
+A :class:`LookupTable` is the *semantic contract* of a nonlinearity: the
+complete list of legal ``(x, f(x))`` pairs over the function's quantized
+input domain.  The plaintext forward pass (:meth:`LookupTable.apply`)
+and the circuit lowering (:mod:`repro.lookup.argument`) read the same
+table object, so "logits match the plain-Python forward pass" holds by
+construction — there is no separate float path to drift from.
+
+Each table carries the :class:`~repro.nn.quantize.QuantParams` of its
+input and output tensors: the scale / zero-point metadata that defines
+what real-valued function the integer table encodes.  Out-of-domain
+inputs *raise* (never wrap): the table domain is exactly the range the
+lookup argument proves membership in, so an input outside it is a
+soundness event, not a modular-arithmetic detail.
+
+Packing.  The argument combines a pair into one field element as
+
+    packed(x, y) = (x - domain_lo) + 2^16 * (y + y_bias)
+
+``domain_lo``/``y_bias`` shift both components into ``[0, 2^16)``, so
+the packing is injective for any in-range pair — given that the input
+side is range-proven (by the upstream strict output-commitment range
+proof, or by the per-lookup input range proof the engine emits for raw
+inputs such as embedding token ids).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.quantize import QuantParams
+
+# Base used to pack (x, y) pairs into one integer: both the shifted input
+# and the biased output must stay below PACK_BASE for injectivity.
+PACK_BASE = 1 << 16
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """A complete quantized-function table ``f(domain_lo + i) = entries[i]``.
+
+    ``entries[i] + y_bias`` must lie in ``[0, PACK_BASE)``; the stored
+    ``entries`` themselves are the *semantic* output values (signed where
+    the function is signed, e.g. embedding rows).
+    """
+
+    name: str
+    domain_lo: int
+    entries: Tuple[int, ...]
+    y_bias: int = 0
+    # Set for registry builtins: lets the circuit auditor recompute the
+    # canonical table and reject a circuit whose table column was permuted
+    # or edited, even if the block metadata was tampered consistently.
+    registry_name: Optional[str] = None
+    in_params: QuantParams = field(default_factory=lambda: QuantParams(scale=1.0))
+    out_params: QuantParams = field(default_factory=lambda: QuantParams(scale=1.0))
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError(f"table {self.name!r} is empty")
+        if len(self.entries) > PACK_BASE:
+            raise ValueError(
+                f"table {self.name!r} has {len(self.entries)} entries; the "
+                f"pair packing supports at most {PACK_BASE}"
+            )
+        for i, y in enumerate(self.entries):
+            if not 0 <= y + self.y_bias < PACK_BASE:
+                raise ValueError(
+                    f"table {self.name!r} entry {i} ({y} + bias {self.y_bias}) "
+                    f"outside [0, {PACK_BASE})"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    @property
+    def domain_hi(self) -> int:
+        return self.domain_lo + self.size - 1
+
+    @property
+    def domain_bits(self) -> int:
+        """Bits needed for the shifted input ``x - domain_lo``."""
+        return max(1, (self.size - 1).bit_length())
+
+    def lookup(self, x: int) -> int:
+        """``f(x)`` for one integer input; raises when out of domain."""
+        idx = int(x) - self.domain_lo
+        if not 0 <= idx < self.size:
+            raise ValueError(
+                f"lookup table {self.name!r}: input {int(x)} outside domain "
+                f"[{self.domain_lo}, {self.domain_hi}] — quantized activation "
+                f"out of range (rejected, not wrapped)"
+            )
+        return int(self.entries[idx])
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup` with the same reject-don't-wrap rule."""
+        arr = np.asarray(x, dtype=np.int64)
+        idx = arr - self.domain_lo
+        if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= self.size):
+            bad = arr.reshape(-1)[
+                int(np.argmax((idx < 0) | (idx >= self.size)))
+            ]
+            raise ValueError(
+                f"lookup table {self.name!r}: input {int(bad)} outside domain "
+                f"[{self.domain_lo}, {self.domain_hi}] — quantized activation "
+                f"out of range (rejected, not wrapped)"
+            )
+        table = np.asarray(self.entries, dtype=np.int64)
+        return table[idx]
+
+    def pack(self, x: int, y: int) -> int:
+        """The field-element encoding of one (input, output) pair."""
+        return (int(x) - self.domain_lo) + PACK_BASE * (int(y) + self.y_bias)
+
+    def packed_entries(self) -> Tuple[int, ...]:
+        """Every legal packed pair, in domain order (the table column)."""
+        return tuple(
+            i + PACK_BASE * (y + self.y_bias)
+            for i, y in enumerate(self.entries)
+        )
+
+
+# -- builtin tables ---------------------------------------------------------------
+#
+# All builtins are pure-integer functions of the quantized input; scales
+# are powers of two so the requantization story matches the rest of the
+# pipeline.  Domains cover the strict gadget budget's committed-output
+# range ([-255, 255] signed / [0, 255] unsigned).
+
+# Fixed-point scale of the signed activations feeding gelu/exp (1 unit =
+# 1/32 in real terms), and of the recip/rsqrt fixed-point outputs.
+ACT_SCALE = 32
+RECIP_SHIFT = 14  # recip(x) = floor(2^14 / x)
+RSQRT_SHIFT = 11  # rsqrt(v) = round(2^11 / sqrt(v + 1))
+
+
+def relu_table() -> LookupTable:
+    """ReLU over the signed committed-output range [-256, 255]."""
+    return LookupTable(
+        name="relu8",
+        domain_lo=-256,
+        entries=tuple(max(0, x) for x in range(-256, 256)),
+        registry_name="relu",
+        in_params=QuantParams(scale=1.0),
+        out_params=QuantParams(scale=1.0),
+    )
+
+
+def gelu_table() -> LookupTable:
+    """Quantized GELU: y = clamp(round(gelu(x / 32) * 32), 0, 255).
+
+    The small negative dip of real GELU (min ~ -0.17) quantizes below one
+    output unit at this scale and is clamped to keep outputs uint8 for
+    downstream layers.
+    """
+    entries = []
+    for x in range(-256, 256):
+        real = x / ACT_SCALE
+        g = 0.5 * real * (1.0 + math.erf(real / math.sqrt(2.0)))
+        entries.append(min(255, max(0, round(g * ACT_SCALE))))
+    return LookupTable(
+        name="gelu8",
+        domain_lo=-256,
+        entries=tuple(entries),
+        registry_name="gelu",
+        in_params=QuantParams.pow2(-5),  # 1/ACT_SCALE
+        out_params=QuantParams.pow2(-5),
+    )
+
+
+def exp_table() -> LookupTable:
+    """Softmax numerator: y = round(127 * 2^((x - 255) / 32)).
+
+    Monotone in x with maximum 127 at the top of the domain, so a row of
+    attention scores maps to numerators whose sum fits comfortably in the
+    row-sum requantization.  Base 2 keeps the table a pure function of
+    integer x (no transcendental library variance).
+    """
+    entries = tuple(
+        round(127 * 2.0 ** ((x - 255) / ACT_SCALE)) for x in range(-256, 256)
+    )
+    return LookupTable(
+        name="exp8",
+        domain_lo=-256,
+        entries=entries,
+        registry_name="exp",
+        in_params=QuantParams.pow2(-5),  # 1/ACT_SCALE
+        out_params=QuantParams(scale=1.0 / 127.0),
+    )
+
+
+def recip_table() -> LookupTable:
+    """Fixed-point reciprocal of a uint8: y = floor(2^14 / max(x, 1)).
+
+    recip(0) = 2^14 (the max) so a softmax row whose numerator sum
+    requantized to zero degrades gracefully instead of dividing by zero.
+    """
+    entries = tuple((1 << RECIP_SHIFT) // max(x, 1) for x in range(256))
+    return LookupTable(
+        name="recip8",
+        domain_lo=0,
+        entries=entries,
+        registry_name="recip",
+        in_params=QuantParams(scale=1.0),
+        out_params=QuantParams.pow2(-RECIP_SHIFT),
+    )
+
+
+def rsqrt_table() -> LookupTable:
+    """Fixed-point reciprocal square root: y = round(2^11 / sqrt(x + 1)).
+
+    The +1 regularizer doubles as LayerNorm's epsilon: a zero-variance
+    row normalizes by 1 instead of dividing by zero.
+    """
+    entries = tuple(
+        round((1 << RSQRT_SHIFT) / math.sqrt(x + 1)) for x in range(256)
+    )
+    return LookupTable(
+        name="rsqrt8",
+        domain_lo=0,
+        entries=entries,
+        registry_name="rsqrt",
+        in_params=QuantParams(scale=1.0),
+        out_params=QuantParams.pow2(-RSQRT_SHIFT),
+    )
+
+
+BUILTIN_TABLES: Dict[str, Callable[[], LookupTable]] = {
+    "relu": relu_table,
+    "gelu": gelu_table,
+    "exp": exp_table,
+    "recip": recip_table,
+    "rsqrt": rsqrt_table,
+}
+
+_CACHE: Dict[str, LookupTable] = {}
+
+
+def get_table(name: str) -> LookupTable:
+    """The builtin table registry (memoized — tables are immutable)."""
+    table = _CACHE.get(name)
+    if table is None:
+        builder = BUILTIN_TABLES.get(name)
+        if builder is None:
+            raise KeyError(
+                f"unknown lookup table {name!r}; builtins: "
+                f"{sorted(BUILTIN_TABLES)}"
+            )
+        table = _CACHE[name] = builder()
+    return table

@@ -13,7 +13,10 @@ provides that plaintext substrate:
 * :mod:`repro.nn.graph`      — a small DAG model container with traced
   execution (the trace is the zk witness source);
 * :mod:`repro.nn.models`     — the paper's six networks (Table 4) in full
-  and ``mini`` scale;
+  and ``mini`` scale, plus the TINY/VIT transformer family;
+* :mod:`repro.nn.transformer` — embedding, multi-head attention with
+  quantized softmax, LayerNorm, and GELU MLP layers lowered through the
+  :mod:`repro.lookup` argument (ARCHITECTURE §13);
 * :mod:`repro.nn.data`       — deterministic synthetic MNIST / CIFAR-10
   stand-ins (see DESIGN.md "Substitutions").
 """
@@ -30,7 +33,26 @@ from repro.nn.layers import (
     ReLU,
 )
 from repro.nn.graph import LayerTrace, Model, Node
-from repro.nn.models import MODEL_BUILDERS, build_model, model_table
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    TRANSFORMER_ORDER,
+    build_model,
+    model_table,
+)
+from repro.nn.transformer import (
+    ActivationLUT,
+    ConcatCols,
+    Embedding,
+    LayerNorm,
+    MatMul,
+    Patchify,
+    PositionalEmbedding,
+    RowScale,
+    RowSum,
+    SliceCols,
+    add_attention_block,
+    add_mlp_block,
+)
 from repro.nn.data import synthetic_cifar10, synthetic_mnist
 
 __all__ = [
@@ -49,8 +71,21 @@ __all__ = [
     "Node",
     "LayerTrace",
     "MODEL_BUILDERS",
+    "TRANSFORMER_ORDER",
     "build_model",
     "model_table",
     "synthetic_mnist",
     "synthetic_cifar10",
+    "Embedding",
+    "PositionalEmbedding",
+    "MatMul",
+    "RowSum",
+    "RowScale",
+    "ActivationLUT",
+    "LayerNorm",
+    "SliceCols",
+    "ConcatCols",
+    "Patchify",
+    "add_attention_block",
+    "add_mlp_block",
 ]

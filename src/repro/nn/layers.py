@@ -178,25 +178,37 @@ class Linear(Layer):
         self.requant = requant
 
     def out_shape(self, in_shape: Shape) -> Shape:
-        (c_in,) = in_shape
+        # 1-D: classic FC head.  2-D (seq, features): the same weights
+        # applied to every row — transformer projections.
+        c_in = in_shape[-1]
         if c_in != self.weight.shape[1]:
             raise ValueError(
                 f"linear expects {self.weight.shape[1]} features, got {c_in}"
             )
-        return (self.weight.shape[0],)
+        if len(in_shape) == 1:
+            return (self.weight.shape[0],)
+        if len(in_shape) == 2:
+            return (in_shape[0], self.weight.shape[0])
+        raise ValueError(f"linear input must be 1-D or 2-D, got {in_shape}")
 
     def forward(self, x: np.ndarray) -> LayerOutput:
-        acc = self.weight @ x + self.bias
+        if x.ndim == 2:
+            acc = x @ self.weight.T + self.bias
+        else:
+            acc = self.weight @ x + self.bias
         return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
 
     def dot_geometry(self, in_shape: Shape) -> Tuple[int, int]:
-        return (self.weight.shape[0], self.weight.shape[1])
+        rows = in_shape[0] if len(in_shape) == 2 else 1
+        return (rows * self.weight.shape[0], self.weight.shape[1])
 
     def macs(self, in_shape: Shape) -> int:
-        return int(self.weight.size)
+        num_dots, n = self.dot_geometry(in_shape)
+        return num_dots * n
 
     def adds(self, in_shape: Shape) -> int:
-        return self.weight.shape[0] * (self.weight.shape[1] - 1)
+        num_dots, n = self.dot_geometry(in_shape)
+        return num_dots * (n - 1)
 
     def num_params(self) -> int:
         return self.weight.size + self.bias.size

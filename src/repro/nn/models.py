@@ -68,6 +68,17 @@ MODEL_INFO: Dict[str, ModelInfo] = {
     "RES50": ModelInfo("RES50", "ResNet-50", "cifar10", 69_191, 87.05),
 }
 
+#: Transformer family proved through the lookup-argument gadgets.  Kept
+#: out of ``MODEL_INFO`` on purpose: that dict mirrors Table 4 exactly
+#: (no paper FLOP/accuracy figures exist for these), and downstream code
+#: iterates ``MODEL_ORDER`` for the paper tables.
+TRANSFORMER_INFO: Dict[str, ModelInfo] = {
+    "TINY": ModelInfo("TINY", "TinyTransformer", "synthetic", 0, 0.0),
+    "VIT": ModelInfo("VIT", "ViT-Slice", "synthetic", 0, 0.0),
+}
+
+ALL_MODELS: Dict[str, ModelInfo] = {**MODEL_INFO, **TRANSFORMER_INFO}
+
 
 class _WeightSampler:
     """Deterministic Normal-distributed int8 weight generator."""
@@ -293,6 +304,66 @@ def _resnet50(sampler: _WeightSampler, side: int, width: int) -> Model:
 # -- calibration -----------------------------------------------------------------
 
 
+def _tiny_transformer(
+    sampler: _WeightSampler, seq: int, dim: int, heads: int, mlp: int
+) -> Model:
+    """Embedding -> positions -> attention block -> GELU MLP -> head.
+
+    The input is a ``(1, 1, seq)`` tensor of uint8 token ids (vocab 256,
+    so any synthetic image is a valid id sequence).
+    """
+    from repro.nn.transformer import (
+        Embedding,
+        PositionalEmbedding,
+        add_attention_block,
+        add_mlp_block,
+    )
+
+    model = Model("TinyTransformer", (1, 1, seq))
+    table = sampler.rng.integers(-128, 128, (256, dim)).astype(np.int64)
+    model.add("embed", Embedding(table))
+    pos = sampler.rng.integers(-16, 16, (seq, dim)).astype(np.int64)
+    model.add("pos", PositionalEmbedding(pos))
+    src = add_attention_block(model, "blk0.attn", "pos", dim, heads, sampler)
+    src = add_mlp_block(model, "blk0.mlp", src, dim, mlp, sampler)
+    model.add("flatten", Flatten(), inputs=(src,))
+    model.add("head", Linear(sampler.linear(10, seq * dim), sampler.bias(10)))
+    return model
+
+
+def _vit_slice(
+    sampler: _WeightSampler,
+    side: int,
+    patch: int,
+    dim: int,
+    heads: int,
+    mlp: int,
+) -> Model:
+    """One-block ViT slice: patchify -> linear projection -> transformer."""
+    from repro.nn.transformer import (
+        Patchify,
+        PositionalEmbedding,
+        add_attention_block,
+        add_mlp_block,
+    )
+
+    model = Model("ViT-Slice", (1, side, side))
+    model.add("patchify", Patchify(patch))
+    n_patch = (side // patch) ** 2
+    model.add(
+        "proj", Linear(sampler.linear(dim, patch * patch), sampler.bias(dim))
+    )
+    pos = sampler.rng.integers(-16, 16, (n_patch, dim)).astype(np.int64)
+    model.add("pos", PositionalEmbedding(pos))
+    src = add_attention_block(model, "blk0.attn", "pos", dim, heads, sampler)
+    src = add_mlp_block(model, "blk0.mlp", src, dim, mlp, sampler)
+    model.add("flatten", Flatten(), inputs=(src,))
+    model.add(
+        "head", Linear(sampler.linear(10, n_patch * dim), sampler.bias(10))
+    )
+    return model
+
+
 def calibrate(model: Model, num_images: int = 2, seed: int = 7) -> Model:
     """Set requantization shifts so every activation stays inside uint8.
 
@@ -309,6 +380,14 @@ def calibrate(model: Model, num_images: int = 2, seed: int = 7) -> Model:
     def feeds_bn(name: str) -> bool:
         return any(
             isinstance(model.node(f).layer, BatchNorm)
+            for f in followers.get(name, [])
+        )
+
+    def feeds_lut(name: str) -> bool:
+        from repro.nn.transformer import ActivationLUT
+
+        return any(
+            isinstance(model.node(f).layer, ActivationLUT)
             for f in followers.get(name, [])
         )
 
@@ -329,8 +408,11 @@ def calibrate(model: Model, num_images: int = 2, seed: int = 7) -> Model:
                 node.layer, (AvgPool2d, Add)
             ):
                 if not feeds_bn(node.name):
-                    # Margin of 2x guards unseen inputs.
-                    node.layer.requant = requant_shift(2 * max_acc[node.name])
+                    # Margin of 2x guards unseen inputs; 4x where the
+                    # consumer is a lookup table, whose [-256, 255]
+                    # domain rejects (not clips) any overshoot.
+                    margin = 4 if feeds_lut(node.name) else 2
+                    node.layer.requant = requant_shift(margin * max_acc[node.name])
                     values[node.name] = result.acc >> node.layer.requant
                 else:
                     node.layer.requant = 0
@@ -375,6 +457,16 @@ _SCALES = {
         "mini": dict(side=16, width=4),
         "micro": dict(side=16, width=2),
     },
+    "TINY": {
+        "full": dict(seq=8, dim=8, heads=2, mlp=16),
+        "mini": dict(seq=4, dim=4, heads=2, mlp=8),
+        "micro": dict(seq=4, dim=4, heads=1, mlp=4),
+    },
+    "VIT": {
+        "full": dict(side=8, patch=2, dim=8, heads=2, mlp=16),
+        "mini": dict(side=4, patch=2, dim=4, heads=2, mlp=8),
+        "micro": dict(side=4, patch=2, dim=4, heads=1, mlp=4),
+    },
 }
 
 _BUILDERS = {
@@ -384,12 +476,14 @@ _BUILDERS = {
     "VGG16": _vgg16,
     "RES18": _resnet18,
     "RES50": _resnet50,
+    "TINY": _tiny_transformer,
+    "VIT": _vit_slice,
 }
 
 
 def _build(abbr: str, scale: str, seed: int, prune=None) -> Model:
-    if abbr not in MODEL_INFO:
-        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
+    if abbr not in ALL_MODELS:
+        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(ALL_MODELS)}")
     if scale not in _SCALES[abbr]:
         raise KeyError(
             f"unknown scale {scale!r}; choose from {sorted(_SCALES[abbr])}"
@@ -397,7 +491,7 @@ def _build(abbr: str, scale: str, seed: int, prune=None) -> Model:
     sampler = _WeightSampler(seed)
     model = _BUILDERS[abbr](sampler, **_SCALES[abbr][scale])
     suffix = "" if scale == "full" else f"-{scale}"
-    model.name = f"{MODEL_INFO[abbr].full_name}{suffix}"
+    model.name = f"{ALL_MODELS[abbr].full_name}{suffix}"
     if prune is not None:
         # Prune before calibration so requant shifts fit the pruned net.
         from repro.nn.prune import PruneSpec, prune_model
@@ -410,21 +504,23 @@ def _build(abbr: str, scale: str, seed: int, prune=None) -> Model:
 
 MODEL_BUILDERS: Dict[str, Callable[..., Model]] = {
     abbr: (lambda a: lambda scale="full", seed=0: _build(a, scale, seed))(abbr)
-    for abbr in MODEL_INFO
+    for abbr in ALL_MODELS
 }
 
 MODEL_ORDER = ["SHAL", "LCS", "LCL", "VGG16", "RES18", "RES50"]
+TRANSFORMER_ORDER = ["TINY", "VIT"]
 
 
 def build_model(abbr: str, scale: str = "full", seed: int = 0, prune=None) -> Model:
-    """Build one of the paper's six networks (``scale`` = "full" | "mini").
+    """Build one of the paper's six networks (``scale`` = "full" | "mini"),
+    or a transformer from :data:`TRANSFORMER_ORDER`.
 
     ``prune`` optionally applies magnitude pruning before calibration;
     it accepts anything :meth:`repro.nn.prune.PruneSpec.parse` does
     (e.g. ``"0.6,0.2"`` = structured,unstructured fractions).
     """
-    if abbr not in MODEL_INFO:
-        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(MODEL_INFO)}")
+    if abbr not in ALL_MODELS:
+        raise KeyError(f"unknown model {abbr!r}; choose from {sorted(ALL_MODELS)}")
     return _build(abbr, scale, seed, prune=prune)
 
 

@@ -31,21 +31,58 @@ WEIGHT_BITS = 8
 
 @dataclass(frozen=True)
 class QuantParams:
-    """Affine quantization parameters for one tensor."""
+    """Affine quantization parameters for one tensor.
+
+    These are the semantic contract a :class:`repro.lookup.LookupTable`
+    carries for its input and output tensors: ``real = (q - zero_point) *
+    scale`` over the integer range :attr:`range`.  The lookup argument
+    proves the integer relation; the params say what real-valued function
+    that relation encodes.
+    """
 
     scale: float
     zero_point: int = 0
     bits: int = 8
 
+    @classmethod
+    def pow2(cls, shift: int, zero_point: int = 0, bits: int = 8) -> "QuantParams":
+        """Power-of-two scale ``2^shift`` — the only scales the requant
+        gadget (and therefore any in-circuit tensor) can realize."""
+        return cls(scale=2.0**shift, zero_point=zero_point, bits=bits)
+
+    @property
+    def range(self) -> tuple:
+        """Inclusive integer (lo, hi) this tensor's values must inhabit."""
+        if self.zero_point == 0:  # symmetric/signed convention for weights
+            m = 2 ** (self.bits - 1) - 1
+            return (-m, m)
+        return (0, 2**self.bits - 1)
+
     def quantize(self, real: np.ndarray) -> np.ndarray:
         q = np.round(real / self.scale) + self.zero_point
-        lo, hi = 0, 2**self.bits - 1
-        if self.zero_point == 0:  # symmetric/signed convention for weights
-            lo, hi = -(2 ** (self.bits - 1) - 1), 2 ** (self.bits - 1) - 1
+        lo, hi = self.range
         return np.clip(q, lo, hi).astype(np.int64)
 
     def dequantize(self, q: np.ndarray) -> np.ndarray:
         return (q.astype(np.float64) - self.zero_point) * self.scale
+
+    def assert_in_range(self, q: np.ndarray, context: str = "") -> np.ndarray:
+        """Reject (never wrap) values outside this tensor's integer range.
+
+        Circuit-side, the same guarantee comes from the range proof at the
+        lookup input; plaintext-side an out-of-range value raises here so
+        quantization bugs surface as errors, not field wraparound.
+        """
+        arr = np.asarray(q)
+        lo, hi = self.range
+        if arr.size and (int(arr.min()) < lo or int(arr.max()) > hi):
+            raise ValueError(
+                f"quantized value outside [{lo}, {hi}] in "
+                f"{context or 'tensor'}: "
+                f"[{int(arr.min())}, {int(arr.max())}] — "
+                f"rejected, not wrapped"
+            )
+        return q
 
 
 def quantize_weights(real: np.ndarray) -> np.ndarray:

@@ -1,0 +1,466 @@
+"""Transformer layers over the integer substrate (the `repro.lookup` workload).
+
+Every nonlinearity a transformer needs — softmax, GELU, LayerNorm's
+reciprocal square root — is lowered through a precomputed
+:class:`~repro.lookup.table.LookupTable`, so the plaintext forward pass
+here and the circuit lowering in :mod:`repro.core.circuit.compute` read
+the *same* integer tables and agree bit-for-bit by construction.
+
+Integer semantics (all shifts are public powers of two, as everywhere in
+this repo):
+
+* attention scores  ``S = (Q K^T) >> s_qk``      (calibrated shift)
+* softmax           ``E = exp8[S]``, ``r_i = recip8[(sum_j E_ij) >> s]``,
+                    ``P_ij = (E_ij * r_i) >> s_p``
+* GELU              ``gelu8[x]`` at 1/32 fixed-point scale
+* LayerNorm         ``m = rowsum(x) >> log2(d)``, ``c = x - m``,
+                    ``v = rowsum(c^2) >> (log2(d)+10)``,
+                    ``out = (c * rsqrt8[v]) >> 13``  (≈ 8·c/σ)
+
+The LayerNorm shifts are *static*: for any power-of-two row width ``d``
+and inputs in the committed-output range ``[-256, 255]``, the variance
+lands in ``rsqrt8``'s ``[0, 255]`` domain and the output in int8 — no
+calibration needed (see docs/ARCHITECTURE.md §13).
+
+Shape plumbing (head split/merge, ViT patchify) is free: those layers
+only describe index gathers and generate no constraints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.lookup.table import LookupTable, get_table
+from repro.nn.layers import Layer, LayerOutput, Shape
+
+
+def _log2_exact(n: int, what: str) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"{what} must be a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+class Embedding(Layer):
+    """Token-id -> row lookup into a ``(vocab, d)`` int8 table.
+
+    Accepts any input shape (ids are flattened), so the standard
+    ``(1, 1, seq)`` synthetic-image plumbing feeds it unchanged; ids are
+    uint8, matching ``vocab = 256``.  Out-of-vocabulary ids raise — same
+    reject-don't-wrap rule as the lookup tables, because in the circuit
+    the id *is* a lookup input.
+    """
+
+    kind = "embed"
+
+    def __init__(self, table: np.ndarray) -> None:
+        if table.ndim != 2:
+            raise ValueError(f"embedding table must be 2-D, got {table.shape}")
+        self.table = table.astype(np.int64)
+
+    @property
+    def vocab(self) -> int:
+        return self.table.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.table.shape[1]
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return (int(np.prod(in_shape)), self.dim)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        ids = x.reshape(-1)
+        if ids.size and (int(ids.min()) < 0 or int(ids.max()) >= self.vocab):
+            raise ValueError(
+                f"embedding id outside [0, {self.vocab}) — rejected, not wrapped"
+            )
+        out = self.table[ids]
+        return LayerOutput(acc=out, out=out)
+
+    def num_params(self) -> int:
+        return int(self.table.size)
+
+
+class PositionalEmbedding(Layer):
+    """Adds a public per-position table: ``out = x + pos`` (no requant)."""
+
+    kind = "ewise"
+
+    def __init__(self, pos: np.ndarray) -> None:
+        self.pos = pos.astype(np.int64)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        if tuple(in_shape) != self.pos.shape:
+            raise ValueError(
+                f"positional table {self.pos.shape} does not match input "
+                f"{tuple(in_shape)}"
+            )
+        return in_shape
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        acc = x + self.pos
+        return LayerOutput(acc=acc, out=acc)
+
+    def adds(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+    def num_params(self) -> int:
+        return int(self.pos.size)
+
+
+class MatMul(Layer):
+    """Private-by-private matrix product with a calibrated requant shift.
+
+    ``out = (A @ B) >> requant`` (or ``A @ B^T`` with ``transpose_b``) —
+    both operands are activations, so every scalar product costs one
+    multiplication constraint (Eq. 2); there is no public side to fold
+    into coefficients.
+    """
+
+    kind = "matmul"
+
+    def __init__(self, n_out: int, transpose_b: bool = False, requant: int = 0):
+        self.n_out = n_out
+        self.transpose_b = transpose_b
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        m, _ = in_shape
+        return (m, self.n_out)
+
+    def forward(self, a: np.ndarray, b: np.ndarray) -> LayerOutput:
+        acc = a @ (b.T if self.transpose_b else b)
+        from repro.nn.quantize import apply_requant
+
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def macs(self, in_shape: Shape) -> int:
+        m, k = in_shape
+        return m * k * self.n_out
+
+    def adds(self, in_shape: Shape) -> int:
+        m, k = in_shape
+        return m * max(0, k - 1) * self.n_out
+
+
+class RowSum(Layer):
+    """Per-row sum — a ones-vector dot product (softmax's denominator)."""
+
+    kind = "dot"
+
+    def __init__(self, requant: int = 0) -> None:
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        m, _ = in_shape
+        return (m, 1)
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        acc = x.sum(axis=1, keepdims=True).astype(np.int64)
+        from repro.nn.quantize import apply_requant
+
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def dot_geometry(self, in_shape: Shape) -> Tuple[int, int]:
+        m, n = in_shape
+        return (m, n)
+
+    def adds(self, in_shape: Shape) -> int:
+        m, n = in_shape
+        return m * (n - 1)
+
+
+class RowScale(Layer):
+    """``out_ij = (e_ij * r_i) >> requant`` — softmax's normalization."""
+
+    kind = "rowscale"
+
+    def __init__(self, requant: int = 0) -> None:
+        self.requant = requant
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def forward(self, e: np.ndarray, r: np.ndarray) -> LayerOutput:
+        acc = e * r.reshape(-1, 1)
+        from repro.nn.quantize import apply_requant
+
+        return LayerOutput(acc=acc, out=apply_requant(acc, self.requant))
+
+    def macs(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+
+class ActivationLUT(Layer):
+    """Elementwise nonlinearity through a builtin lookup table."""
+
+    kind = "lut"
+
+    def __init__(self, table_name: str) -> None:
+        self.table_name = table_name
+        self.table: LookupTable = get_table(table_name)
+
+    @property
+    def in_params(self):
+        """Quantization metadata of the tensor this LUT consumes."""
+        return self.table.in_params
+
+    @property
+    def out_params(self):
+        """Quantization metadata of the tensor this LUT produces."""
+        return self.table.out_params
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        return in_shape
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        out = self.table.apply(x)
+        return LayerOutput(acc=x, out=out)
+
+    def adds(self, in_shape: Shape) -> int:
+        return int(np.prod(in_shape))
+
+
+class LayerNorm(Layer):
+    """Row normalization via the ``rsqrt8`` table (static shifts).
+
+    Output is ``round-ish`` of ``8 * (x - mean) / sigma`` in int8; the
+    learned affine of framework LayerNorms is folded into the following
+    linear layer (weights are synthetic here anyway).
+    """
+
+    kind = "ln"
+    OUT_SHIFT = 13
+    VAR_EXTRA = 10  # var = rowsum(c^2) >> (log2 d + VAR_EXTRA), fits uint8
+
+    def __init__(self, dim: int) -> None:
+        self.dim = dim
+        self.mean_shift = _log2_exact(dim, "LayerNorm dim")
+        self.var_shift = self.mean_shift + self.VAR_EXTRA
+        self.out_shift = self.OUT_SHIFT
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        m, d = in_shape
+        if d != self.dim:
+            raise ValueError(f"LayerNorm({self.dim}) got row width {d}")
+        return in_shape
+
+    def intermediates(self, x: np.ndarray):
+        """All integer intermediates, shared with the circuit lowering."""
+        x = x.astype(np.int64)
+        mean = x.sum(axis=1) >> self.mean_shift
+        c = x - mean[:, None]
+        sq = c * c
+        var = sq.sum(axis=1) >> self.var_shift
+        y = get_table("rsqrt").apply(var)
+        prod = c * y[:, None]
+        out = prod >> self.out_shift
+        return mean, c, sq, var, y, prod, out
+
+    def forward(self, x: np.ndarray) -> LayerOutput:
+        _, _, _, _, _, prod, out = self.intermediates(x)
+        return LayerOutput(acc=prod, out=out)
+
+    def macs(self, in_shape: Shape) -> int:
+        return 2 * int(np.prod(in_shape))
+
+    def adds(self, in_shape: Shape) -> int:
+        m, d = in_shape
+        return m * (3 * d + 2)
+
+
+# -- constraint-free shape layers ------------------------------------------------------
+
+
+class GatherLayer(Layer):
+    """Base for layers that only permute/select wires (zero constraints)."""
+
+    kind = "shape"
+
+    def gather_sources(self, in_shapes: Sequence[Shape]) -> np.ndarray:
+        """``(out_size, 2)`` rows of ``(input_ordinal, flat_position)``."""
+        raise NotImplementedError
+
+    def _gather(self, xs: Sequence[np.ndarray]) -> np.ndarray:
+        sources = self.gather_sources([x.shape for x in xs])
+        flats = [x.reshape(-1) for x in xs]
+        out = np.array(
+            [int(flats[src][pos]) for src, pos in sources], dtype=np.int64
+        )
+        return out.reshape(self.out_shape(xs[0].shape))
+
+    def forward(self, *xs: np.ndarray) -> LayerOutput:
+        out = self._gather(xs)
+        return LayerOutput(acc=out, out=out)
+
+
+class SliceCols(GatherLayer):
+    """Select a column range — one attention head's slice of Q/K/V."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        m, n = in_shape
+        if not 0 <= self.lo < self.hi <= n:
+            raise ValueError(f"slice [{self.lo}:{self.hi}] outside width {n}")
+        return (m, self.hi - self.lo)
+
+    def gather_sources(self, in_shapes: Sequence[Shape]) -> np.ndarray:
+        m, n = in_shapes[0]
+        rows = []
+        for i in range(m):
+            for j in range(self.lo, self.hi):
+                rows.append((0, i * n + j))
+        return np.asarray(rows, dtype=np.int64)
+
+
+class ConcatCols(GatherLayer):
+    """Concatenate same-height inputs along columns — head merge."""
+
+    def __init__(self, widths: Sequence[int]) -> None:
+        self.widths = tuple(int(w) for w in widths)
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        m, n = in_shape
+        if n != self.widths[0]:
+            raise ValueError(
+                f"first input width {n} != declared {self.widths[0]}"
+            )
+        return (m, sum(self.widths))
+
+    def gather_sources(self, in_shapes: Sequence[Shape]) -> np.ndarray:
+        if len(in_shapes) != len(self.widths):
+            raise ValueError(
+                f"concat declared {len(self.widths)} inputs, got {len(in_shapes)}"
+            )
+        m = in_shapes[0][0]
+        for k, shape in enumerate(in_shapes):
+            if shape != (m, self.widths[k]):
+                raise ValueError(
+                    f"concat input {k} has shape {shape}, expected "
+                    f"({m}, {self.widths[k]})"
+                )
+        rows = []
+        for i in range(m):
+            for k, w in enumerate(self.widths):
+                for j in range(w):
+                    rows.append((k, i * w + j))
+        return np.asarray(rows, dtype=np.int64)
+
+
+class Patchify(GatherLayer):
+    """``(c, h, w)`` image -> ``(num_patches, c*p*p)`` patch rows (ViT)."""
+
+    def __init__(self, patch: int) -> None:
+        self.patch = patch
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        p = self.patch
+        if h % p or w % p:
+            raise ValueError(f"patch {p} does not divide {h}x{w}")
+        return ((h // p) * (w // p), c * p * p)
+
+    def gather_sources(self, in_shapes: Sequence[Shape]) -> np.ndarray:
+        c, h, w = in_shapes[0]
+        p = self.patch
+        rows = []
+        for pi in range(h // p):
+            for pj in range(w // p):
+                for ch in range(c):
+                    for di in range(p):
+                        for dj in range(p):
+                            flat = (
+                                ch * h * w
+                                + (pi * p + di) * w
+                                + (pj * p + dj)
+                            )
+                            rows.append((0, flat))
+        return np.asarray(rows, dtype=np.int64)
+
+
+# -- model assembly helpers ------------------------------------------------------------
+
+
+def add_attention_block(
+    model,
+    prefix: str,
+    src: str,
+    dim: int,
+    heads: int,
+    sampler,
+) -> str:
+    """Multi-head self-attention + residual + LayerNorm; returns out node."""
+    from repro.nn.layers import Add, Linear
+
+    if dim % heads:
+        raise ValueError(f"heads {heads} must divide dim {dim}")
+    head_dim = dim // heads
+    seq = model.shape_of(src)[0]
+    for name, w in (("q", dim), ("k", dim), ("v", dim)):
+        model.add(
+            f"{prefix}.{name}",
+            Linear(sampler.linear(w, dim), sampler.bias(w)),
+            inputs=(src,),
+        )
+    ctx_names: List[str] = []
+    for h in range(heads):
+        lo, hi = h * head_dim, (h + 1) * head_dim
+        for name in ("q", "k", "v"):
+            model.add(
+                f"{prefix}.h{h}.{name}",
+                SliceCols(lo, hi),
+                inputs=(f"{prefix}.{name}",),
+            )
+        model.add(
+            f"{prefix}.h{h}.scores",
+            MatMul(n_out=seq, transpose_b=True),
+            inputs=(f"{prefix}.h{h}.q", f"{prefix}.h{h}.k"),
+        )
+        model.add(f"{prefix}.h{h}.exp", ActivationLUT("exp"))
+        model.add(f"{prefix}.h{h}.rowsum", RowSum())
+        model.add(f"{prefix}.h{h}.recip", ActivationLUT("recip"))
+        model.add(
+            f"{prefix}.h{h}.probs",
+            RowScale(),
+            inputs=(f"{prefix}.h{h}.exp", f"{prefix}.h{h}.recip"),
+        )
+        model.add(
+            f"{prefix}.h{h}.ctx",
+            MatMul(n_out=head_dim),
+            inputs=(f"{prefix}.h{h}.probs", f"{prefix}.h{h}.v"),
+        )
+        ctx_names.append(f"{prefix}.h{h}.ctx")
+    model.add(
+        f"{prefix}.concat",
+        ConcatCols([head_dim] * heads),
+        inputs=tuple(ctx_names),
+    )
+    model.add(
+        f"{prefix}.out", Linear(sampler.linear(dim, dim), sampler.bias(dim))
+    )
+    model.add(f"{prefix}.res", Add(), inputs=(src, f"{prefix}.out"))
+    model.add(f"{prefix}.ln", LayerNorm(dim))
+    return f"{prefix}.ln"
+
+
+def add_mlp_block(model, prefix: str, src: str, dim: int, hidden: int, sampler) -> str:
+    """GELU MLP + residual + LayerNorm; returns the output node name."""
+    from repro.nn.layers import Add, Linear
+
+    model.add(
+        f"{prefix}.fc1",
+        Linear(sampler.linear(hidden, dim), sampler.bias(hidden)),
+        inputs=(src,),
+    )
+    model.add(f"{prefix}.gelu", ActivationLUT("gelu"))
+    model.add(
+        f"{prefix}.fc2", Linear(sampler.linear(dim, hidden), sampler.bias(dim))
+    )
+    model.add(f"{prefix}.res", Add(), inputs=(src, f"{prefix}.fc2"))
+    model.add(f"{prefix}.ln", LayerNorm(dim))
+    return f"{prefix}.ln"

@@ -113,8 +113,13 @@ def _scaled_terms(lc: LinearCombination, scale: int, p: int) -> tuple:
 
 
 def _leading_inverse(lc: LinearCombination, field) -> int:
-    """Inverse of the coefficient on the smallest variable index."""
-    lead = min(lc.terms)
+    """Inverse of the first nonzero coefficient (smallest variable index).
+
+    Stored zero coefficients are legal (an LC is a sparse map, not a
+    normalized polynomial), so skip them rather than inverting zero.
+    """
+    p = field.modulus
+    lead = min(v for v, c in lc.terms.items() if c % p)
     return field.inv(lc.terms[lead])
 
 

@@ -55,6 +55,9 @@ class ConstraintSystem:
         # layer_of() fast path: sorted disjoint (start, stop, tag) intervals,
         # invalidated on mark_layer and on constraint append.
         self._layer_index: Optional[List[Tuple[int, int, str]]] = None
+        # repro.lookup: one LookupBlock per table argument emitted into this
+        # system — consumed by the determinism auditor and batch replay.
+        self.lookup_blocks: List = []
 
     # -- allocation ----------------------------------------------------------
 

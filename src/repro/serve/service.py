@@ -55,6 +55,7 @@ class ServiceConfig:
     prewarm: bool = True  # spawn all workers at startup
     audit: bool = False  # pre-prove soundness audit of each cold circuit
     gadget_mode: Optional[str] = None  # None = worker default; "strict" w/ audit
+    relu_mode: Optional[str] = None  # None = worker default; "lookup" | "bits"
     # Derive each proof's (r, s) blinding from the CRS seed + image digest
     # instead of fresh OS randomness.  Proofs become a pure function of the
     # job, so any two nodes proving the same job emit byte-identical bytes
@@ -317,6 +318,7 @@ class ProvingService:
             ),
             "audit": self.config.audit,
             "gadgets": self.config.gadget_mode,
+            "relu_mode": self.config.relu_mode,
             "deterministic": self.config.deterministic,
         }
         # Per-layer aggregate fan-out: the whole batch shares one layer

@@ -104,8 +104,11 @@ def _warm_up(key: Tuple, spec: Dict[str, Any], base_image) -> _WarmEntry:
     image_privacy, weights_privacy = _PRIVACY[spec["privacy"]]
     model = build_model(spec["model"], scale=spec["scale"], seed=spec["seed"])
     options = None
-    if spec.get("gadgets"):
-        options = ComputeOptions(gadget_mode=spec["gadgets"])
+    if spec.get("gadgets") or spec.get("relu_mode"):
+        options = ComputeOptions(
+            gadget_mode=spec.get("gadgets") or "lean",
+            relu_mode=spec.get("relu_mode") or "bits",
+        )
     prover = BatchProver(
         model, base_image, image_privacy=image_privacy,
         weights_privacy=weights_privacy, options=options,
@@ -159,7 +162,7 @@ def prove_batch(
     backend = _backend(spec.get("backend", "simulated"))
     key = (
         spec["model"], spec["scale"], spec["seed"], spec["privacy"],
-        spec.get("gadgets"),
+        spec.get("gadgets"), spec.get("relu_mode"),
     )
     phases: Dict[str, float] = {}
     cold = key not in _WARM
@@ -294,7 +297,7 @@ def _prove_layer_batch(
     backend = _backend(spec.get("backend", "simulated"))
     key = (
         spec["model"], spec["scale"], spec["seed"], spec["privacy"],
-        spec.get("gadgets"), mode, num_segments, crs_seed,
+        spec.get("gadgets"), spec.get("relu_mode"), mode, num_segments, crs_seed,
     )
     phases: Dict[str, float] = {}
     cold = key not in _WARM_AGG
@@ -308,8 +311,11 @@ def _prove_layer_batch(
                 spec["model"], scale=spec["scale"], seed=spec["seed"]
             )
             options = None
-            if spec.get("gadgets"):
-                options = ComputeOptions(gadget_mode=spec["gadgets"])
+            if spec.get("gadgets") or spec.get("relu_mode"):
+                options = ComputeOptions(
+                    gadget_mode=spec.get("gadgets") or "lean",
+                    relu_mode=spec.get("relu_mode") or "bits",
+                )
             prover = BatchProver(
                 model, payloads[0]["image"], image_privacy=image_privacy,
                 weights_privacy=weights_privacy, options=options,

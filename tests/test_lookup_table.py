@@ -1,0 +1,95 @@
+"""Tests for the precomputed lookup tables (`repro.lookup.table`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lookup import get_table
+from repro.lookup.table import (
+    ACT_SCALE,
+    BUILTIN_TABLES,
+    PACK_BASE,
+    RECIP_SHIFT,
+    RSQRT_SHIFT,
+    LookupTable,
+)
+
+
+class TestLookupTable:
+    def test_basic_lookup_and_domain(self):
+        t = LookupTable(name="t", domain_lo=-2, entries=(9, 8, 7, 6))
+        assert t.size == 4
+        assert t.domain_hi == 1
+        assert t.lookup(-2) == 9
+        assert t.lookup(1) == 6
+
+    def test_out_of_domain_rejected_not_wrapped(self):
+        t = LookupTable(name="t", domain_lo=0, entries=(1, 2, 3))
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            t.lookup(3)
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            t.lookup(-1)
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            t.apply(np.array([0, 1, 7]))
+
+    def test_apply_matches_lookup(self):
+        t = get_table("gelu")
+        xs = np.arange(-256, 256)
+        vec = t.apply(xs)
+        assert [t.lookup(int(x)) for x in xs] == vec.tolist()
+
+    def test_empty_and_oversized_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            LookupTable(name="e", domain_lo=0, entries=())
+        with pytest.raises(ValueError, match="outside"):
+            LookupTable(name="big", domain_lo=0, entries=(PACK_BASE,))
+
+    def test_packing_is_injective_over_domain(self):
+        for name in BUILTIN_TABLES:
+            t = get_table(name)
+            packed = t.packed_entries()
+            assert len(set(packed)) == t.size
+            # pack() agrees with the precomputed column.
+            for x in (t.domain_lo, t.domain_hi):
+                assert t.pack(x, t.lookup(x)) in packed
+
+    def test_registry_memoized_and_unknown_rejected(self):
+        assert get_table("relu") is get_table("relu")
+        with pytest.raises(KeyError, match="unknown lookup table"):
+            get_table("sigmoid")
+
+
+class TestBuiltinSemantics:
+    def test_relu(self):
+        t = get_table("relu")
+        assert t.lookup(-256) == 0
+        assert t.lookup(-1) == 0
+        assert t.lookup(0) == 0
+        assert t.lookup(200) == 200
+
+    def test_gelu_monotone_tail_and_clamp(self):
+        t = get_table("gelu")
+        # Positive inputs approach identity; negatives collapse to ~0.
+        assert t.lookup(255) == 255
+        assert t.lookup(-256) == 0
+        real = 64 / ACT_SCALE
+        expected = 0.5 * real * (1 + math.erf(real / math.sqrt(2)))
+        assert t.lookup(64) == round(expected * ACT_SCALE)
+
+    def test_exp_monotone_with_max_127(self):
+        t = get_table("exp")
+        vals = [t.lookup(x) for x in range(-256, 256)]
+        assert vals == sorted(vals)
+        assert vals[-1] == 127
+
+    def test_recip_fixed_point(self):
+        t = get_table("recip")
+        assert t.lookup(1) == 1 << RECIP_SHIFT
+        assert t.lookup(0) == 1 << RECIP_SHIFT  # graceful zero row
+        assert t.lookup(128) == (1 << RECIP_SHIFT) // 128
+
+    def test_rsqrt_regularized(self):
+        t = get_table("rsqrt")
+        assert t.lookup(0) == 1 << RSQRT_SHIFT  # +1 regularizer
+        assert t.lookup(255) == round((1 << RSQRT_SHIFT) / 16.0)

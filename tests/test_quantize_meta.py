@@ -1,0 +1,75 @@
+"""Per-tensor quantization metadata exposed for the lookup tables.
+
+The ISSUE-10 satellite: lookup tables carry the scale/zero-point of their
+input and output tensors (`QuantParams`), the 8-bit range is an explicit
+property, and a quantized activation outside the range is *rejected*,
+never silently wrapped into the field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lookup import get_table
+from repro.nn import ActivationLUT
+from repro.nn.quantize import QuantParams
+
+
+class TestQuantParamsMetadata:
+    def test_pow2_constructor(self):
+        p = QuantParams.pow2(-5)
+        assert p.scale == 2.0**-5
+        assert p.zero_point == 0
+        assert QuantParams.pow2(3).scale == 8.0
+
+    def test_range_signed_and_unsigned(self):
+        assert QuantParams(scale=1.0).range == (-127, 127)
+        assert QuantParams(scale=1.0, zero_point=128).range == (0, 255)
+        assert QuantParams(scale=1.0, zero_point=128, bits=4).range == (0, 15)
+
+    def test_quantize_clips_into_range(self):
+        p = QuantParams(scale=1.0, zero_point=128)
+        q = p.quantize(np.array([-500.0, 0.0, 500.0]))
+        assert q.tolist() == [0, 128, 255]
+
+    def test_dequantize_roundtrip(self):
+        p = QuantParams.pow2(-5, zero_point=128)
+        q = np.array([0, 128, 255])
+        real = p.dequantize(q)
+        assert np.array_equal(p.quantize(real), q)
+
+
+class TestRejectNotWrap:
+    def test_activation_above_255_rejected(self):
+        p = QuantParams(scale=1.0, zero_point=128)
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            p.assert_in_range(np.array([100, 256]), "act")
+
+    def test_activation_below_0_rejected(self):
+        p = QuantParams(scale=1.0, zero_point=128)
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            p.assert_in_range(np.array([-1]))
+
+    def test_in_range_passes_through(self):
+        p = QuantParams(scale=1.0, zero_point=128)
+        arr = np.array([0, 255])
+        assert p.assert_in_range(arr) is arr
+
+    def test_table_rejects_out_of_domain_activation(self):
+        # The same invariant at the table layer: a quantized activation
+        # outside the proven domain raises instead of wrapping mod p.
+        t = get_table("gelu")
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            t.apply(np.array([256]))
+
+
+class TestTableParams:
+    def test_builtin_tables_carry_params(self):
+        assert get_table("gelu").in_params.scale == 2.0**-5
+        assert get_table("recip").out_params.scale == 2.0**-14
+        assert get_table("rsqrt").out_params.scale == 2.0**-11
+        assert get_table("relu").in_params.scale == 1.0
+
+    def test_activation_lut_layer_exposes_params(self):
+        lut = ActivationLUT("gelu")
+        assert lut.in_params is get_table("gelu").in_params
+        assert lut.out_params is get_table("gelu").out_params

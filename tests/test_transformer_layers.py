@@ -1,0 +1,230 @@
+"""Plaintext semantics of the `repro.nn.transformer` layer family.
+
+These layers share their integer arithmetic with the circuit lowering
+(every intermediate is an int64 the prover also witnesses), so the tests
+pin the exact quantized semantics: shifts, table applications, and the
+gather geometry of the zero-constraint shape layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lookup import get_table
+from repro.nn import build_model
+from repro.nn.data import synthetic_images
+from repro.nn.models import (
+    ALL_MODELS,
+    MODEL_INFO,
+    MODEL_ORDER,
+    TRANSFORMER_INFO,
+    TRANSFORMER_ORDER,
+)
+from repro.nn.transformer import (
+    ActivationLUT,
+    ConcatCols,
+    Embedding,
+    LayerNorm,
+    MatMul,
+    Patchify,
+    PositionalEmbedding,
+    RowScale,
+    RowSum,
+    SliceCols,
+    _log2_exact,
+)
+
+
+class TestEmbedding:
+    def test_gathers_rows(self):
+        table = np.arange(12, dtype=np.int64).reshape(4, 3)
+        emb = Embedding(table)
+        out = emb.forward(np.array([[2, 0, 3]])).out
+        assert out.shape == (3, 3)
+        assert np.array_equal(out, table[[2, 0, 3]])
+
+    def test_out_of_vocab_rejected_not_wrapped(self):
+        emb = Embedding(np.zeros((4, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            emb.forward(np.array([4]))
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            emb.forward(np.array([-1]))
+
+    def test_out_shape_flattens_ids(self):
+        emb = Embedding(np.zeros((256, 8), dtype=np.int64))
+        assert emb.out_shape((1, 1, 4)) == (4, 8)
+
+
+class TestPositionalEmbedding:
+    def test_adds_table(self):
+        pos = np.array([[1, -1], [2, -2]], dtype=np.int64)
+        lay = PositionalEmbedding(pos)
+        x = np.array([[10, 10], [20, 20]], dtype=np.int64)
+        assert np.array_equal(lay.forward(x).out, x + pos)
+
+    def test_shape_mismatch_rejected(self):
+        lay = PositionalEmbedding(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            lay.out_shape((3, 2))
+
+
+class TestMatMulFamily:
+    def test_matmul_requant(self):
+        a = np.array([[4, 4]], dtype=np.int64)
+        b = np.array([[2, 0], [0, 2]], dtype=np.int64)
+        lay = MatMul(n_out=2, requant=2)
+        out = lay.forward(a, b)
+        assert np.array_equal(out.acc, a @ b)
+        assert np.array_equal(out.out, (a @ b) >> 2)
+
+    def test_matmul_transpose_b(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        b = np.array([[5, 6], [7, 8]], dtype=np.int64)
+        lay = MatMul(n_out=2, transpose_b=True)
+        assert np.array_equal(lay.forward(a, b).acc, a @ b.T)
+
+    def test_rowsum(self):
+        x = np.array([[1, 2, 3], [10, 20, 30]], dtype=np.int64)
+        out = RowSum(requant=1).forward(x)
+        assert out.out.shape == (2, 1)
+        assert out.out.tolist() == [[3], [30]]
+
+    def test_rowscale(self):
+        e = np.array([[8, 16], [4, 4]], dtype=np.int64)
+        r = np.array([[2], [3]], dtype=np.int64)
+        out = RowScale(requant=1).forward(e, r)
+        assert out.out.tolist() == [[8, 16], [6, 6]]
+
+
+class TestLayerNorm:
+    def test_intermediates_semantics(self):
+        ln = LayerNorm(4)
+        assert ln.mean_shift == 2
+        assert ln.var_shift == 12
+        x = np.array([[8, 16, 24, 32]], dtype=np.int64)
+        mean, c, sq, var, y, prod, out = ln.intermediates(x)
+        assert mean[0] == (8 + 16 + 24 + 32) >> 2
+        assert np.array_equal(c, x - mean[:, None])
+        assert np.array_equal(sq, c * c)
+        assert var[0] == int(sq.sum()) >> 12
+        assert y[0] == get_table("rsqrt").apply(var)[0]
+        assert np.array_equal(out, (c * y[:, None]) >> ln.OUT_SHIFT)
+
+    def test_dim_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            LayerNorm(6)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(4).out_shape((2, 8))
+
+
+class TestLog2Exact:
+    def test_exact(self):
+        assert _log2_exact(1, "x") == 0
+        assert _log2_exact(64, "x") == 6
+
+    def test_inexact_raises(self):
+        with pytest.raises(ValueError):
+            _log2_exact(12, "x")
+
+
+class TestShapeLayers:
+    def test_slice_cols(self):
+        x = np.arange(12, dtype=np.int64).reshape(3, 4)
+        out = SliceCols(1, 3).forward(x).out
+        assert np.array_equal(out, x[:, 1:3])
+
+    def test_slice_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SliceCols(2, 6).out_shape((3, 4))
+
+    def test_concat_cols(self):
+        a = np.arange(4, dtype=np.int64).reshape(2, 2)
+        b = 10 + np.arange(6, dtype=np.int64).reshape(2, 3)
+        out = ConcatCols([2, 3]).forward(a, b).out
+        assert np.array_equal(out, np.concatenate([a, b], axis=1))
+
+    def test_concat_mismatched_input_rejected(self):
+        a = np.zeros((2, 2), dtype=np.int64)
+        b = np.zeros((3, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            ConcatCols([2, 3]).forward(a, b)
+
+    def test_patchify_matches_reshape(self):
+        c, h, w, p = 2, 4, 4, 2
+        x = np.arange(c * h * w, dtype=np.int64).reshape(c, h, w)
+        out = Patchify(p).forward(x).out
+        assert out.shape == (4, c * p * p)
+        # patch (0,0) = channels x x[0:2, 0:2]
+        expected0 = np.concatenate(
+            [x[ch, 0:2, 0:2].reshape(-1) for ch in range(c)]
+        )
+        assert np.array_equal(out[0], expected0)
+
+    def test_patchify_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            Patchify(3).out_shape((1, 4, 4))
+
+
+class TestActivationLUT:
+    def test_applies_table(self):
+        lut = ActivationLUT("relu")
+        x = np.array([[-5, 7]], dtype=np.int64)
+        assert np.array_equal(lut.forward(x).out, get_table("relu").apply(x))
+
+    def test_out_of_domain_rejected(self):
+        lut = ActivationLUT("gelu")
+        with pytest.raises(ValueError, match="rejected, not wrapped"):
+            lut.forward(np.array([[300]]))
+
+
+class TestModelRegistry:
+    def test_paper_table_unchanged(self):
+        # Transformers live in TRANSFORMER_INFO; the Table-4 dict and its
+        # iteration order stay exactly the paper's six CNNs.
+        assert list(MODEL_INFO) == MODEL_ORDER
+        assert list(TRANSFORMER_INFO) == TRANSFORMER_ORDER == ["TINY", "VIT"]
+        assert set(ALL_MODELS) == set(MODEL_ORDER) | set(TRANSFORMER_ORDER)
+
+    @pytest.mark.parametrize("abbr", TRANSFORMER_ORDER)
+    @pytest.mark.parametrize("scale", ["micro", "mini"])
+    def test_build_and_forward(self, abbr, scale):
+        model = build_model(abbr, scale=scale, seed=1)
+        image = synthetic_images(model.input_shape, n=1, seed=0)[0]
+        logits = model.forward(image)
+        assert logits.shape[-1] == 10
+        assert np.issubdtype(np.asarray(logits).dtype, np.integer)
+
+    def test_forward_deterministic_per_seed(self):
+        model_a = build_model("TINY", scale="micro", seed=3)
+        model_b = build_model("TINY", scale="micro", seed=3)
+        model_c = build_model("TINY", scale="micro", seed=4)
+        image = synthetic_images(model_a.input_shape, n=1, seed=0)[0]
+        assert np.array_equal(model_a.forward(image), model_b.forward(image))
+        assert not np.array_equal(
+            model_a.forward(image), model_c.forward(image)
+        )
+
+    def test_attention_block_node_wiring(self):
+        model = build_model("TINY", scale="mini", seed=0)
+        names = {n.name for n in model.nodes}
+        for expected in (
+            "blk0.attn.q",
+            "blk0.attn.h0.scores",
+            "blk0.attn.h1.probs",
+            "blk0.attn.concat",
+            "blk0.attn.ln",
+            "blk0.mlp.gelu",
+            "blk0.mlp.ln",
+            "head",
+        ):
+            assert expected in names, expected
+
+    def test_heads_must_divide_dim(self):
+        from repro.nn.graph import Model
+        from repro.nn.transformer import add_attention_block
+
+        model = Model("bad", (1, 1, 4))
+        model.add("embed", Embedding(np.zeros((256, 4), dtype=np.int64)))
+        with pytest.raises(ValueError, match="divide"):
+            add_attention_block(model, "a", "embed", dim=4, heads=3, sampler=None)
